@@ -1,0 +1,7 @@
+// Arbitration-policy ablation: robustness of the unspecified contention
+// resolution discipline (see DESIGN.md substitutions).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_arbitration"}, argc, argv);
+}

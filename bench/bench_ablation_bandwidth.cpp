@@ -1,0 +1,8 @@
+// Ablation A6 (Section 6): doubling TMIN/VMIN channel bandwidth — the
+// "unfair comparison" the conclusion discusses.  Doubled bandwidth is
+// modeled by double-width flits (halved flit counts); see EXPERIMENTS.md.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_bandwidth"}, argc, argv);
+}

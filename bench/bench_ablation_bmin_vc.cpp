@@ -1,0 +1,6 @@
+// Ablation A4 (Section 6): BMINs with virtual channels added.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_bmin_vc"}, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Ablation A7 (Section 5 text): cluster-32 partitioning of the four
+// networks (two 32-node binary-cube clusters).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_cluster32"}, argc, argv);
+}

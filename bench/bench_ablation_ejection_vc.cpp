@@ -1,0 +1,7 @@
+// Model-variant ablation: VMIN ejection-channel multiplexing (see
+// EXPERIMENTS.md discussion of the VMIN-vs-BMIN ordering).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_ejection_vc"}, argc, argv);
+}

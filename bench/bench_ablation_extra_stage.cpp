@@ -1,0 +1,9 @@
+// Ablation A8 (Section 6): extra-stage MINs — adaptive leading stages as
+// a cheaper alternative to dilation for multipath routing.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures(
+      {"ablation_extra_stage_uniform", "ablation_extra_stage_perm"}, argc,
+      argv);
+}

@@ -1,0 +1,6 @@
+// Ablation A5 (Section 6): hot-spot contention confined to clusters.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_hotspot_cluster"}, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Ablation A1 (Section 6 future work): sensitivity of the four networks to
+// short, long, and bimodal message-size distributions.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures(
+      {"ablation_msgsize_short", "ablation_msgsize_long",
+       "ablation_msgsize_bimodal"},
+      argc, argv);
+}

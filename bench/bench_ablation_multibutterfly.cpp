@@ -1,0 +1,6 @@
+// Multibutterfly ablation (Section 6 future work, ref [31]).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_multibutterfly"}, argc, argv);
+}

@@ -1,0 +1,6 @@
+// Switching-technique ablation (Section 1): wormhole vs store-and-forward.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_switching"}, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Ablation A2 (Section 6): switch size k = 2, 4, 8 at constant N = 64 for
+// the paper's headline DMIN-vs-BMIN comparison.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_switchsize"}, argc, argv);
+}

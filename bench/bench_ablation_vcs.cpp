@@ -1,0 +1,6 @@
+// Ablation A3 (Section 6): VMINs with more than two virtual channels.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"ablation_vcs"}, argc, argv);
+}

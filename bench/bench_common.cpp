@@ -1,0 +1,48 @@
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+
+namespace wormsim::bench {
+
+namespace {
+
+// SeriesSpec objects must outlive benchmark execution; keep them here.
+std::vector<std::shared_ptr<experiment::FigureSpec>> g_specs;
+
+}  // namespace
+
+int run_figures(const std::vector<std::string>& figure_ids, int argc,
+                char** argv) {
+  const experiment::RunOptions options = experiment::RunOptions::from_env();
+  const sim::SimConfig sim = options.sim_config();
+  const std::vector<double> loads = options.loads();
+
+  for (const std::string& id : figure_ids) {
+    auto spec = std::make_shared<experiment::FigureSpec>(
+        experiment::figure_spec(id));
+    std::printf("# %s\n", spec->title.c_str());
+    for (std::size_t s = 0; s < spec->series.size(); ++s) {
+      for (double load : loads) {
+        const std::string name =
+            id + "/" + spec->series[s].label + "/load=" +
+            util::format_double(load * 100.0, 0) + "%";
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [spec, s, load, sim](benchmark::State& state) {
+              run_point_benchmark(state, spec->series[s], load, sim);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+    g_specs.push_back(std::move(spec));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wormsim::bench

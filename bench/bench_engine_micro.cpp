@@ -1,0 +1,89 @@
+// Micro-benchmarks of the simulator itself: network construction, static
+// analyses, and engine cycle throughput.  These guard the tool's own
+// performance rather than reproduce a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/path_enum.hpp"
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "topology/network.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace wormsim;
+
+topology::NetworkConfig config_for(topology::NetworkKind kind) {
+  topology::NetworkConfig config;
+  config.kind = kind;
+  config.topology = "cube";
+  config.radix = 4;
+  config.stages = 3;
+  config.dilation = 2;
+  config.vcs = 2;
+  return config;
+}
+
+void BM_BuildNetwork(benchmark::State& state) {
+  const auto kind = static_cast<topology::NetworkKind>(state.range(0));
+  for (auto _ : state) {
+    const topology::Network net = topology::build_network(config_for(kind));
+    benchmark::DoNotOptimize(net.lane_count());
+  }
+}
+BENCHMARK(BM_BuildNetwork)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineCycles(benchmark::State& state) {
+  const auto kind = static_cast<topology::NetworkKind>(state.range(0));
+  const topology::Network net = topology::build_network(config_for(kind));
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.5;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1u << 30;
+  config.drain_cycles = 0;
+  sim::Engine engine(net, *router, &traffic, config);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineCycles)->DenseRange(0, 3);
+
+void BM_PathEnumerationBmin(benchmark::State& state) {
+  topology::NetworkConfig config;
+  config.kind = topology::NetworkKind::kBMIN;
+  config.radix = 4;
+  config.stages = 3;
+  config.vcs = 1;
+  const topology::Network net = topology::build_network(config);
+  const auto router = routing::make_router(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::count_paths(net, *router, 0, 63));
+  }
+}
+BENCHMARK(BM_PathEnumerationBmin)->Unit(benchmark::kMicrosecond);
+
+void BM_DeadlockCdg(benchmark::State& state) {
+  topology::NetworkConfig config;
+  config.kind = topology::NetworkKind::kBMIN;
+  config.radix = 2;
+  config.stages = 3;
+  config.vcs = 1;
+  const topology::Network net = topology::build_network(config);
+  const auto router = routing::make_router(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::verify_deadlock_free(net, *router));
+  }
+}
+BENCHMARK(BM_DeadlockCdg)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+// Reproduces Fig17 of the paper (both panels).  See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return wormsim::bench::run_figures({"fig17a", "fig17b"}, argc, argv);
+}

@@ -1,0 +1,100 @@
+// Fault-tolerance study: quantifies Section 2.1's motivation for
+// multipath MINs.  For each network design, reports whether the interior
+// is single-fault tolerant and the average fraction of (src, dst) pairs
+// still connected under f random interior channel faults.
+//
+// Usage: fault_study [--radix=4] [--stages=3] [--max-faults=4]
+//                    [--trials=20] [--seed=9]
+
+#include <iostream>
+
+#include "analysis/fault.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wormsim;
+
+  std::int64_t radix = 4;
+  std::int64_t stages = 3;
+  std::int64_t max_faults = 4;
+  std::int64_t trials = 20;
+  std::int64_t seed = 9;
+  util::CliParser cli(
+      "fault_study: pair connectivity of the MIN designs under random "
+      "interior link faults");
+  cli.add_flag("radix", &radix, "switch degree k");
+  cli.add_flag("stages", &stages, "stage count n");
+  cli.add_flag("max-faults", &max_faults, "largest fault count to test");
+  cli.add_flag("trials", &trials, "random fault sets per count");
+  cli.add_flag("seed", &seed, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto make = [&](topology::NetworkKind kind, unsigned extra, unsigned d,
+                  unsigned m) {
+    topology::NetworkConfig config;
+    config.kind = kind;
+    config.topology = "cube";
+    config.radix = static_cast<unsigned>(radix);
+    config.stages = static_cast<unsigned>(stages);
+    config.extra_stages = extra;
+    config.dilation = d;
+    config.vcs = m;
+    return config;
+  };
+  const std::vector<topology::NetworkConfig> configs = {
+      make(topology::NetworkKind::kTMIN, 0, 1, 1),
+      make(topology::NetworkKind::kVMIN, 0, 1, 2),
+      make(topology::NetworkKind::kDMIN, 0, 2, 1),
+      make(topology::NetworkKind::kTMIN, 1, 1, 1),  // extra-stage MIN
+      make(topology::NetworkKind::kBMIN, 0, 1, 1),
+  };
+
+  std::cout << "interior-fault coverage, N = "
+            << util::ipow(static_cast<unsigned>(radix),
+                          static_cast<unsigned>(stages))
+            << " nodes (" << trials << " random fault sets per count)\n\n";
+
+  std::vector<std::string> header{"network", "1-fault tolerant"};
+  for (std::int64_t f = 1; f <= max_faults; ++f) {
+    header.push_back("pairs ok, f=" + std::to_string(f));
+  }
+  util::Table table(std::move(header));
+
+  for (const topology::NetworkConfig& config : configs) {
+    const topology::Network net = topology::build_network(config);
+    const auto router = routing::make_router(net);
+
+    std::vector<topology::ChannelId> interior;
+    for (const auto& ch : net.channels()) {
+      if (ch.role == topology::ChannelRole::kForward ||
+          ch.role == topology::ChannelRole::kBackward) {
+        interior.push_back(ch.id);
+      }
+    }
+
+    table.row().cell(config.describe());
+    table.cell(std::string(
+        analysis::single_fault_tolerant(net, *router) ? "yes" : "NO"));
+
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    for (std::int64_t f = 1; f <= max_faults; ++f) {
+      double sum = 0;
+      for (std::int64_t t = 0; t < trials; ++t) {
+        analysis::FaultSet faults;
+        while (faults.size() < static_cast<std::size_t>(f)) {
+          faults.insert(interior[rng.below(interior.size())]);
+        }
+        sum += analysis::fault_coverage(net, *router, faults).fraction();
+      }
+      table.cell(sum / static_cast<double>(trials) * 100.0, 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(values are % of ordered src/dst pairs that remain "
+               "connected)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure runner: reproduces any registered evaluation figure or ablation
+// and prints it as a latency/throughput table — the exact rows/series the
+// paper's plots report.  This is the tool used to produce EXPERIMENTS.md.
+//
+// Usage: figures_cli --figure=fig18a [--quick] [--seed=N]
+//        figures_cli --list
+
+#include <iostream>
+
+#include "experiment/figures.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wormsim;
+
+  std::string figure = "fig18a";
+  bool list = false;
+  bool all = false;
+  bool quick = false;
+  bool csv = false;
+  std::int64_t seed = 20250707;
+  util::CliParser cli("figures_cli: run a paper figure reproduction");
+  cli.add_flag("figure", &figure, "figure id (see --list)");
+  cli.add_flag("list", &list, "list registered figure ids");
+  cli.add_flag("all", &all, "run every registered figure");
+  cli.add_flag("quick", &quick, "smoke-test mode (tiny simulations)");
+  cli.add_flag("csv", &csv, "emit machine-readable CSV instead of tables");
+  cli.add_flag("seed", &seed, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (list) {
+    for (const std::string& id : experiment::figure_ids()) {
+      std::cout << id << "\n";
+    }
+    return 0;
+  }
+
+  experiment::RunOptions options = experiment::RunOptions::from_env();
+  options.quick = options.quick || quick;
+  options.seed = static_cast<std::uint64_t>(seed);
+
+  std::vector<std::string> to_run;
+  if (all) {
+    to_run = experiment::figure_ids();
+  } else {
+    if (!experiment::figure_exists(figure)) {
+      std::cerr << "unknown figure '" << figure << "'; try --list\n";
+      return 1;
+    }
+    to_run.push_back(figure);
+  }
+  for (const std::string& id : to_run) {
+    const experiment::FigureResult result =
+        experiment::run_figure(id, options);
+    if (csv) {
+      experiment::print_figure_csv(result, std::cout);
+    } else {
+      experiment::print_figure(result, std::cout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Partitioning demo: reproduces Section 4 of the paper — Figs. 14 and 15
+// and Theorems 2-4 — by running the channel-usage analyses on cube,
+// butterfly, omega, and baseline MINs and on the butterfly BMIN.
+//
+// Usage: partitioning_demo [--radix=2] [--stages=3]
+
+#include <iostream>
+
+#include "analysis/bmin_usage.hpp"
+#include "partition/channel_usage.hpp"
+#include "partition/cluster.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormsim;
+
+void report_unidirectional(const topology::TopologySpec& topo,
+                           const partition::Clustering& clustering,
+                           const std::string& label) {
+  const partition::UsageReport report =
+      partition::analyze_channel_usage(topo, clustering);
+  std::cout << "\n" << topo.name() << " MIN, " << label << ":\n";
+  util::Table table({"cluster", "nodes", "channels per level (C1..Cn-1)",
+                     "balanced"});
+  for (std::size_t c = 0; c < report.clusters.size(); ++c) {
+    std::string levels;
+    for (unsigned level = 1; level + 1 < report.clusters[c].channels_per_level.size();
+         ++level) {
+      if (!levels.empty()) levels += " ";
+      levels += std::to_string(report.clusters[c].channels_per_level[level]);
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(c))
+        .cell(static_cast<std::uint64_t>(clustering.clusters[c].size()))
+        .cell(levels)
+        .cell(std::string(report.clusters[c].channel_balanced ? "yes" : "NO"));
+  }
+  table.print(std::cout);
+  std::cout << "contention-free: " << (report.contention_free ? "yes" : "NO")
+            << "\n";
+  if (!report.shared.empty()) {
+    std::cout << "example shared channels (level:address clusterA/clusterB):";
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, report.shared.size());
+         ++i) {
+      const auto& sh = report.shared[i];
+      std::cout << "  C" << sh.level << ":" << sh.address << " "
+                << sh.cluster_a << "/" << sh.cluster_b;
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t radix = 2;
+  std::int64_t stages = 3;
+  util::CliParser cli(
+      "partitioning_demo: Theorems 2-4 and Figs. 14-15 of the paper");
+  cli.add_flag("radix", &radix, "switch degree k");
+  cli.add_flag("stages", &stages, "stage count n");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto k = static_cast<unsigned>(radix);
+  const auto n = static_cast<unsigned>(stages);
+  const util::RadixSpec addr(k, n);
+
+  std::cout << "=== Unidirectional MIN partitionability (N = " << addr.size()
+            << ") ===\n";
+
+  if (k == 2 && n == 3) {
+    // Fig. 14: the paper's exact example partition 0XX, 1X0, 1X1.
+    const partition::Clustering fig14 = partition::Clustering::from_cubes(
+        {partition::CubeCluster::parse(addr, "0XX"),
+         partition::CubeCluster::parse(addr, "1X0"),
+         partition::CubeCluster::parse(addr, "1X1")});
+    report_unidirectional(topology::cube_topology(k, n), fig14,
+                          "Fig. 14 clusters 0XX / 1X0 / 1X1");
+    // Fig. 15a: butterfly with 0XX / 10X / 11X (channel-reduced).
+    const partition::Clustering fig15a = partition::Clustering::from_cubes(
+        {partition::CubeCluster::parse(addr, "0XX"),
+         partition::CubeCluster::parse(addr, "10X"),
+         partition::CubeCluster::parse(addr, "11X")});
+    report_unidirectional(topology::butterfly_topology(k, n), fig15a,
+                          "Fig. 15a clusters 0XX / 10X / 11X");
+    // Fig. 15b: butterfly with XX0 / XX1 (channel-shared).
+    report_unidirectional(topology::butterfly_topology(k, n),
+                          partition::Clustering::by_low_digits(addr, 1),
+                          "Fig. 15b clusters XX0 / XX1");
+  }
+
+  const partition::Clustering top =
+      partition::Clustering::by_top_digits(addr, 1);
+  report_unidirectional(topology::cube_topology(k, n), top,
+                        "base cubes on the top digit (Theorem 2)");
+  report_unidirectional(topology::omega_topology(k, n), top,
+                        "base cubes (omega behaves like cube)");
+  report_unidirectional(topology::butterfly_topology(k, n), top,
+                        "base cubes (Theorem 3: channel-reduced)");
+  report_unidirectional(topology::baseline_topology(k, n), top,
+                        "base cubes (baseline behaves like butterfly)");
+  report_unidirectional(topology::butterfly_topology(k, n),
+                        partition::Clustering::by_low_digits(addr, 1),
+                        "low-digit clusters (Theorem 3: channel-shared)");
+
+  std::cout << "\n=== BMIN partitionability (Theorem 4) ===\n";
+  topology::NetworkConfig bmin;
+  bmin.kind = topology::NetworkKind::kBMIN;
+  bmin.radix = k;
+  bmin.stages = n;
+  const topology::Network net = topology::build_network(bmin);
+  const auto router = routing::make_router(net);
+
+  for (const auto& [clustering, label] :
+       {std::make_pair(partition::Clustering::by_top_digits(addr, 1),
+                       std::string("base cubes (top digit)")),
+        std::make_pair(partition::Clustering::by_low_digits(addr, 1),
+                       std::string("non-base cubes (low digit)"))}) {
+    const analysis::BminUsageReport report =
+        analysis::analyze_bmin_usage(net, *router, clustering);
+    std::cout << "\nbutterfly BMIN, " << label << ":\n";
+    util::Table table({"cluster", "nodes", "fwd/level", "bwd/level",
+                       "max level", "balanced"});
+    for (std::size_t c = 0; c < report.clusters.size(); ++c) {
+      const auto& usage = report.clusters[c];
+      std::string fwd, bwd;
+      for (unsigned level = 0; level < usage.forward_per_level.size();
+           ++level) {
+        if (level > 0) {
+          fwd += " ";
+          bwd += " ";
+        }
+        fwd += std::to_string(usage.forward_per_level[level]);
+        bwd += std::to_string(usage.backward_per_level[level]);
+      }
+      table.row()
+          .cell(static_cast<std::uint64_t>(c))
+          .cell(static_cast<std::uint64_t>(clustering.clusters[c].size()))
+          .cell(fwd)
+          .cell(bwd)
+          .cell(static_cast<std::uint64_t>(usage.max_level_used))
+          .cell(std::string(usage.channel_balanced ? "yes" : "NO"));
+    }
+    table.print(std::cout);
+    std::cout << "contention-free: "
+              << (report.contention_free ? "yes" : "NO") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "analysis/analytical.hpp"
+
+#include <cmath>
+
+#include "analysis/path_enum.hpp"
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+using partition::Clustering;
+
+TrafficMatrix TrafficMatrix::uniform(const Clustering& clustering,
+                                     std::vector<double> weights) {
+  const std::size_t N = clustering.cluster_of.size();
+  if (weights.empty()) weights.assign(clustering.cluster_count(), 1.0);
+  WORMSIM_CHECK(weights.size() == clustering.cluster_count());
+
+  TrafficMatrix matrix;
+  matrix.rate.assign(N, 0.0);
+  matrix.dest.assign(N, std::vector<double>(N, 0.0));
+  double weighted_population = 0.0;
+  for (std::size_t s = 0; s < N; ++s) {
+    const auto cluster = clustering.cluster_of[s];
+    const double w =
+        clustering.clusters[cluster].size() < 2 ? 0.0 : weights[cluster];
+    matrix.rate[s] = w;
+    weighted_population += w;
+  }
+  WORMSIM_CHECK(weighted_population > 0.0);
+  for (std::size_t s = 0; s < N; ++s) {
+    matrix.rate[s] *= static_cast<double>(N) / weighted_population;
+    if (matrix.rate[s] <= 0.0) continue;
+    const auto& members = clustering.clusters[clustering.cluster_of[s]];
+    const double share = 1.0 / static_cast<double>(members.size() - 1);
+    for (topology::NodeId d : members) {
+      if (d != s) matrix.dest[s][d] = share;
+    }
+  }
+  matrix.validate();
+  return matrix;
+}
+
+TrafficMatrix TrafficMatrix::hotspot(const Clustering& clustering,
+                                     double extra) {
+  const std::size_t N = clustering.cluster_of.size();
+  TrafficMatrix matrix;
+  matrix.rate.assign(N, 1.0);
+  matrix.dest.assign(N, std::vector<double>(N, 0.0));
+  for (std::size_t s = 0; s < N; ++s) {
+    const auto& members = clustering.clusters[clustering.cluster_of[s]];
+    if (members.size() < 2) {
+      matrix.rate[s] = 0.0;
+      continue;
+    }
+    const double cluster_n = static_cast<double>(members.size());
+    const double y = cluster_n * extra;
+    const topology::NodeId hot = members.front();
+    // Raw probabilities before excluding self; renormalize over d != s.
+    double excluded = 0.0;
+    auto raw = [&](topology::NodeId d) {
+      return d == hot ? (1.0 + y) / (cluster_n + y)
+                      : 1.0 / (cluster_n + y);
+    };
+    for (topology::NodeId d : members) {
+      if (d == static_cast<topology::NodeId>(s)) excluded += raw(d);
+    }
+    for (topology::NodeId d : members) {
+      if (d == static_cast<topology::NodeId>(s)) continue;
+      matrix.dest[s][d] = raw(d) / (1.0 - excluded);
+    }
+  }
+  matrix.validate();
+  return matrix;
+}
+
+TrafficMatrix TrafficMatrix::permutation(
+    const std::vector<std::uint64_t>& target) {
+  const std::size_t N = target.size();
+  TrafficMatrix matrix;
+  matrix.rate.assign(N, 0.0);
+  matrix.dest.assign(N, std::vector<double>(N, 0.0));
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < N; ++s) {
+    if (target[s] == s) continue;
+    matrix.dest[s][target[s]] = 1.0;
+    matrix.rate[s] = 1.0;
+    ++active;
+  }
+  WORMSIM_CHECK_MSG(active > 0, "permutation has no active senders");
+  // Machine mean rate must be 1 over ALL nodes.
+  const double scale = static_cast<double>(N) / static_cast<double>(active);
+  for (double& r : matrix.rate) r *= scale;
+  matrix.validate();
+  return matrix;
+}
+
+void TrafficMatrix::validate() const {
+  WORMSIM_CHECK(rate.size() == dest.size());
+  double mean = 0.0;
+  for (std::size_t s = 0; s < rate.size(); ++s) {
+    WORMSIM_CHECK(rate[s] >= 0.0);
+    mean += rate[s];
+    double row = 0.0;
+    for (std::size_t d = 0; d < dest[s].size(); ++d) {
+      WORMSIM_CHECK(dest[s][d] >= 0.0);
+      WORMSIM_CHECK_MSG(d != s || dest[s][d] == 0.0, "self traffic");
+      row += dest[s][d];
+    }
+    if (rate[s] > 0.0) {
+      WORMSIM_CHECK_MSG(std::abs(row - 1.0) < 1e-9,
+                        "destination row does not sum to 1");
+    }
+  }
+  mean /= static_cast<double>(rate.size());
+  WORMSIM_CHECK_MSG(std::abs(mean - 1.0) < 1e-9,
+                    "mean rate must be 1 flit/node/cycle");
+}
+
+ChannelLoadBound channel_load_bound(const topology::Network& network,
+                                    const routing::Router& router,
+                                    const TrafficMatrix& traffic) {
+  const std::uint64_t N = network.node_count();
+  WORMSIM_CHECK(traffic.rate.size() == N);
+  ChannelLoadBound bound;
+  bound.load.assign(network.channels().size(), 0.0);
+  for (std::uint64_t s = 0; s < N; ++s) {
+    if (traffic.rate[s] <= 0.0) continue;
+    for (std::uint64_t d = 0; d < N; ++d) {
+      const double pair_rate = traffic.rate[s] * traffic.dest[s][d];
+      if (pair_rate <= 0.0) continue;
+      const auto paths = enumerate_paths(network, router, s, d);
+      WORMSIM_CHECK(!paths.empty());
+      const double share = pair_rate / static_cast<double>(paths.size());
+      for (const Path& path : paths) {
+        for (topology::ChannelId ch : path.channels) {
+          bound.load[ch] += share;
+        }
+      }
+    }
+  }
+  for (topology::ChannelId ch = 0; ch < bound.load.size(); ++ch) {
+    if (bound.load[ch] > bound.max_load) {
+      bound.max_load = bound.load[ch];
+      bound.hottest = ch;
+    }
+  }
+  return bound;
+}
+
+double unbuffered_delta_acceptance(unsigned radix, unsigned stages,
+                                   double request_probability) {
+  WORMSIM_CHECK(radix >= 2);
+  WORMSIM_CHECK(request_probability >= 0.0 && request_probability <= 1.0);
+  double p = request_probability;
+  const double k = static_cast<double>(radix);
+  for (unsigned i = 0; i < stages; ++i) {
+    p = 1.0 - std::pow(1.0 - p / k, k);
+  }
+  return p;
+}
+
+}  // namespace wormsim::analysis

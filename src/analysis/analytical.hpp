@@ -1,0 +1,77 @@
+// Analytical performance models.
+//
+// Two classic tools the paper's literature uses alongside simulation:
+//
+//  1. Channel-load bounds.  Given a traffic matrix and the routing
+//     relation, compute the expected load on every physical channel per
+//     unit of offered traffic (worms split evenly over their legal
+//     routes, matching the simulator's random lane policy).  The hottest
+//     channel bounds sustainable throughput:  bound = 1 / max_load.
+//     This exactly predicts e.g. the 25% ceiling of a TMIN under the
+//     2nd-butterfly permutation (four pairs per channel) and the
+//     hot-spot ceiling (1/N)/p_hot of Section 5.3.2.
+//
+//  2. The Patel / Kruskal-Snir acceptance recursion for unbuffered k x k
+//     Delta networks under independent uniform requests:
+//         p_{i+1} = 1 - (1 - p_i / k)^k
+//     — the classical closed-form reference point for MIN bandwidth
+//     (refs [5], [11] of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/cluster.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+/// Normalized traffic description: rate[s] is node s's injection rate in
+/// flits/cycle when the machine-wide mean offered load is 1 flit per node
+/// per cycle (so mean(rate) == 1 over all nodes); dest[s][d] is the
+/// probability that a message from s goes to d (rows sum to 1 for active
+/// nodes, 0 for inactive ones).
+struct TrafficMatrix {
+  std::vector<double> rate;
+  std::vector<std::vector<double>> dest;
+
+  /// Uniform traffic within each cluster, optional rate weights.
+  static TrafficMatrix uniform(const partition::Clustering& clustering,
+                               std::vector<double> weights = {});
+
+  /// x% hot-spot traffic (first node of each cluster is hot).
+  static TrafficMatrix hotspot(const partition::Clustering& clustering,
+                               double extra);
+
+  /// Fixed permutation; fixed points inactive.
+  static TrafficMatrix permutation(const std::vector<std::uint64_t>& target);
+
+  void validate() const;
+};
+
+struct ChannelLoadBound {
+  /// Expected flits/cycle per unit offered on each physical channel.
+  std::vector<double> load;
+  double max_load = 0.0;
+  topology::ChannelId hottest = topology::kInvalidId;
+
+  /// Sustainable-throughput upper bound as a fraction of capacity.
+  double throughput_bound() const {
+    return max_load <= 1.0 ? 1.0 : 1.0 / max_load;
+  }
+};
+
+/// Expected per-channel load assuming each worm splits evenly over all of
+/// its legal routes (the simulator's uniform random choice).  Lanes of a
+/// channel aggregate onto the channel.
+ChannelLoadBound channel_load_bound(const topology::Network& network,
+                                    const routing::Router& router,
+                                    const TrafficMatrix& traffic);
+
+/// Patel / Kruskal-Snir acceptance probability after n stages of
+/// unbuffered k x k switches with per-cycle input request probability p.
+double unbuffered_delta_acceptance(unsigned radix, unsigned stages,
+                                   double request_probability);
+
+}  // namespace wormsim::analysis

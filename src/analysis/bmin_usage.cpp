@@ -1,0 +1,78 @@
+#include "analysis/bmin_usage.hpp"
+
+#include "analysis/path_enum.hpp"
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+using topology::ChannelId;
+using topology::ChannelRole;
+using topology::Network;
+
+BminUsageReport analyze_bmin_usage(const Network& network,
+                                   const routing::Router& router,
+                                   const partition::Clustering& clustering) {
+  WORMSIM_CHECK_MSG(network.bidirectional(), "BMIN analysis needs a BMIN");
+  const unsigned n = network.stages();
+  clustering.validate(network.node_count());
+
+  constexpr std::uint32_t kUnowned = ~std::uint32_t{0};
+  std::vector<std::uint32_t> owner(network.channels().size(), kUnowned);
+  std::vector<std::uint8_t> used(network.channels().size(), 0);
+
+  BminUsageReport report;
+  report.clusters.resize(clustering.cluster_count());
+
+  for (std::uint32_t c = 0; c < clustering.cluster_count(); ++c) {
+    std::fill(used.begin(), used.end(), 0);
+    const auto& members = clustering.clusters[c];
+    for (topology::NodeId s : members) {
+      for (topology::NodeId d : members) {
+        if (s == d) continue;
+        for (const Path& path : enumerate_paths(network, router, s, d)) {
+          for (ChannelId ch : path.channels) {
+            used[ch] = 1;
+            std::uint32_t& who = owner[ch];
+            if (who == kUnowned) {
+              who = c;
+            } else if (who != c) {
+              report.contention_free = false;
+            }
+          }
+        }
+      }
+    }
+    BminClusterUsage& usage = report.clusters[c];
+    usage.forward_per_level.assign(n, 0);
+    usage.backward_per_level.assign(n, 0);
+    for (const topology::PhysChannel& ch : network.channels()) {
+      if (!used[ch.id]) continue;
+      const unsigned level = ch.conn_index;
+      switch (ch.role) {
+        case ChannelRole::kInjection:
+        case ChannelRole::kForward:
+          ++usage.forward_per_level[level];
+          break;
+        case ChannelRole::kEjection:
+        case ChannelRole::kBackward:
+          ++usage.backward_per_level[level];
+          break;
+      }
+      if (level > usage.max_level_used) usage.max_level_used = level;
+    }
+    if (members.size() > 1) {
+      for (unsigned level = 1; level < n; ++level) {
+        const bool level_used = usage.forward_per_level[level] > 0 ||
+                                usage.backward_per_level[level] > 0;
+        if (!level_used) continue;
+        if (usage.forward_per_level[level] != members.size() ||
+            usage.backward_per_level[level] != members.size()) {
+          usage.channel_balanced = false;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,44 @@
+// Channel-usage analysis for bidirectional MINs (Theorem 4).
+//
+// Unlike the unidirectional case (src/partition/channel_usage.hpp), a BMIN
+// worm may take any of k^t shortest paths, so a cluster's channel
+// footprint is the union over *all* turnaround routes of all its
+// intra-cluster pairs.  This module computes that footprint per connection
+// level and direction, and checks the paper's partitioning properties for
+// base cubes: contention freedom across clusters and channel balance
+// within each cluster's subtree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/cluster.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+struct BminClusterUsage {
+  /// Distinct forward (up) channels touched at each connection level
+  /// 0..n-1; level 0 counts injection node links.
+  std::vector<std::uint64_t> forward_per_level;
+  /// Distinct backward (down) channels, same indexing (level 0 counts
+  /// ejection node links).
+  std::vector<std::uint64_t> backward_per_level;
+  /// True iff every *used* inter-stage level carries exactly |cluster|
+  /// channels in each direction.
+  bool channel_balanced = true;
+  /// Highest inter-stage level the cluster touches (0 if none).
+  unsigned max_level_used = 0;
+};
+
+struct BminUsageReport {
+  std::vector<BminClusterUsage> clusters;
+  bool contention_free = true;
+};
+
+BminUsageReport analyze_bmin_usage(const topology::Network& network,
+                                   const routing::Router& router,
+                                   const partition::Clustering& clustering);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,69 @@
+// Hardware cost and switch-delay estimates.
+//
+// The conclusion compares the four designs' "hardware and packaging
+// complexity" and calls for a more detailed cost study, citing Chien's
+// cost/speed model for wormhole routers [22].  This module provides a
+// parametric estimate in that spirit:
+//
+//   * crossbar complexity     — crosspoint count, inputs x outputs, where
+//     dilated channels and the bidirectional switch widen the crossbar
+//     (a d-dilated or bidirectional k x k switch is physically a
+//     (k*d) x (k*d) or 2k x 2k crossbar; virtual channels keep the k x k
+//     crossbar but add buffers and multiplexers);
+//   * buffering               — single-flit buffers per switch (one per
+//     input lane);
+//   * arbitration             — requesters per output lane (drives the
+//     arbiter's depth: delay grows with log2 of the fan-in);
+//   * wiring                  — inter-switch physical channels times flit
+//     width (packaging/pin cost).
+//
+// The relative switch-delay estimate follows Chien's structure:
+// routing-decision + arbitration (log of fan-in) + crossbar traversal
+// (log of ports) + virtual-channel multiplexing overhead.  Absolute units
+// are arbitrary; only comparisons between the designs are meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+struct SwitchCost {
+  unsigned crossbar_inputs = 0;
+  unsigned crossbar_outputs = 0;
+  unsigned flit_buffers = 0;   ///< one per input lane
+  unsigned output_fan_in = 0;  ///< requesters an output arbiter sees
+  unsigned vc_multiplexers = 0;
+
+  std::uint64_t crosspoints() const {
+    return static_cast<std::uint64_t>(crossbar_inputs) * crossbar_outputs;
+  }
+
+  /// Relative cycle-time estimate (Chien-style): address decode +
+  /// arbitration + crossbar + VC mux, in gate-delay-ish units.
+  double relative_delay() const;
+};
+
+struct NetworkCost {
+  SwitchCost per_switch;
+  std::uint64_t switch_count = 0;
+  std::uint64_t interstage_channels = 0;  ///< physical inter-switch links
+  std::uint64_t node_channels = 0;
+  std::uint64_t total_flit_buffers = 0;
+  std::uint64_t total_crosspoints = 0;
+  std::uint64_t wire_count = 0;  ///< channels x flit width
+
+  /// Aggregate cost in crosspoint-equivalents: crosspoints + buffers
+  /// (a flit buffer ~ flit_width bits of storage ~ several crosspoints)
+  /// + wiring weight.
+  double cost_units() const;
+};
+
+/// Cost of one network design.  `flit_width_bits` sets the datapath and
+/// wiring width (the paper's channels move one flit per cycle; 16 bits is
+/// a typical mid-90s width).
+NetworkCost estimate_cost(const topology::NetworkConfig& config,
+                          unsigned flit_width_bits = 16);
+
+}  // namespace wormsim::analysis

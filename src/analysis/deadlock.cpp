@@ -1,0 +1,109 @@
+#include "analysis/deadlock.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+using routing::CandidateList;
+using routing::RouteQuery;
+using topology::LaneId;
+using topology::Network;
+
+namespace {
+
+/// Collects every lane-to-lane dependency reachable for one (src, dst)
+/// query.  `visited` prevents re-expanding a lane within the query.
+void collect(const Network& network, const routing::Router& router,
+             const RouteQuery& query, LaneId lane,
+             std::vector<std::uint8_t>& visited,
+             std::vector<std::unordered_set<LaneId>>& adjacency) {
+  if (visited[lane]) return;
+  visited[lane] = 1;
+  if (network.lane_channel(lane).dst.is_node()) return;
+  CandidateList candidates;
+  router.candidates(query, lane, candidates);
+  for (LaneId next : candidates) {
+    // Holding `lane`'s buffer, the worm may wait on `next`.
+    adjacency[lane].insert(next);
+    collect(network, router, query, next, visited, adjacency);
+  }
+}
+
+}  // namespace
+
+ChannelDependencyGraph build_cdg(const Network& network,
+                                 const routing::Router& router) {
+  const std::uint64_t N = network.node_count();
+  std::vector<std::unordered_set<LaneId>> adjacency(network.lane_count());
+  std::vector<std::uint8_t> visited(network.lane_count(), 0);
+  for (std::uint64_t s = 0; s < N; ++s) {
+    const LaneId inj =
+        network.channel(network.injection_channel(static_cast<topology::NodeId>(s)))
+            .first_lane;
+    for (std::uint64_t d = 0; d < N; ++d) {
+      if (s == d) continue;
+      std::fill(visited.begin(), visited.end(), 0);
+      const RouteQuery query = routing::make_query(network, s, d);
+      collect(network, router, query, inj, visited, adjacency);
+    }
+  }
+  ChannelDependencyGraph graph;
+  graph.adjacency.resize(network.lane_count());
+  for (std::size_t lane = 0; lane < adjacency.size(); ++lane) {
+    graph.adjacency[lane].assign(adjacency[lane].begin(),
+                                 adjacency[lane].end());
+    graph.edge_count += adjacency[lane].size();
+  }
+  return graph;
+}
+
+CycleSearchResult find_cycle(const ChannelDependencyGraph& graph) {
+  const std::size_t n = graph.adjacency.size();
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(n, kWhite);
+  std::vector<LaneId> parent(n, topology::kInvalidId);
+
+  CycleSearchResult result;
+  // Iterative DFS with an explicit stack of (vertex, next-edge-index).
+  std::vector<std::pair<LaneId, std::size_t>> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    stack.clear();
+    stack.emplace_back(static_cast<LaneId>(root), 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [vertex, edge] = stack.back();
+      if (edge < graph.adjacency[vertex].size()) {
+        const LaneId next = graph.adjacency[vertex][edge++];
+        if (color[next] == kWhite) {
+          color[next] = kGray;
+          parent[next] = vertex;
+          stack.emplace_back(next, 0);
+        } else if (color[next] == kGray) {
+          // Found a back edge vertex -> next: reconstruct the cycle.
+          result.acyclic = false;
+          result.cycle.push_back(next);
+          for (LaneId walk = vertex; walk != next;
+               walk = parent[walk]) {
+            result.cycle.push_back(walk);
+          }
+          result.cycle.push_back(next);
+          return result;
+        }
+      } else {
+        color[vertex] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+bool verify_deadlock_free(const Network& network,
+                          const routing::Router& router) {
+  return find_cycle(build_cdg(network, router)).acyclic;
+}
+
+}  // namespace wormsim::analysis

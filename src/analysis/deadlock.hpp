@@ -1,0 +1,43 @@
+// Channel-dependency-graph deadlock analysis.
+//
+// Wormhole deadlock freedom is equivalent to acyclicity of the channel
+// dependency graph (Dally & Seitz): vertices are the virtual-channel lanes
+// and there is an edge a -> b whenever some route can hold lane a while
+// requesting lane b.  We build the CDG exhaustively from the Router's
+// candidate relation over all source/destination pairs, then run a cycle
+// search.  Section 3.2.1's claim — turnaround routing is deadlock-free
+// because a worm turns exactly once — becomes a checkable property, as
+// does deadlock freedom of destination-tag routing in unidirectional MINs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+struct ChannelDependencyGraph {
+  /// adjacency[lane] = lanes it can wait on while holding `lane`.
+  std::vector<std::vector<topology::LaneId>> adjacency;
+  std::size_t edge_count = 0;
+};
+
+/// Builds the CDG by walking every route of every ordered pair.
+ChannelDependencyGraph build_cdg(const topology::Network& network,
+                                 const routing::Router& router);
+
+struct CycleSearchResult {
+  bool acyclic = true;
+  /// When cyclic: one witness cycle, as a lane sequence (first == last).
+  std::vector<topology::LaneId> cycle;
+};
+
+CycleSearchResult find_cycle(const ChannelDependencyGraph& graph);
+
+/// Convenience: true iff the network's routing is deadlock-free.
+bool verify_deadlock_free(const topology::Network& network,
+                          const routing::Router& router);
+
+}  // namespace wormsim::analysis

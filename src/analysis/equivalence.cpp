@@ -1,0 +1,184 @@
+#include "analysis/equivalence.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+using topology::TopologySpec;
+
+LayeredWiring layered_wiring(const TopologySpec& spec) {
+  const unsigned n = spec.stages();
+  const unsigned k = spec.radix();
+  const std::uint64_t N = spec.nodes();
+  LayeredWiring wiring;
+  wiring.stages = n;
+  wiring.switches_per_stage = static_cast<std::uint32_t>(N / k);
+  if (n < 2) return wiring;
+  wiring.between.resize(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    auto& matrix = wiring.between[i];
+    matrix.assign(static_cast<std::size_t>(wiring.switches_per_stage) *
+                      wiring.switches_per_stage,
+                  0);
+    for (std::uint64_t a = 0; a < N; ++a) {
+      const std::uint64_t b =
+          spec.connection(i + 1).apply(spec.address_spec(), a);
+      const auto src = static_cast<std::uint32_t>(a / k);
+      const auto dst = static_cast<std::uint32_t>(b / k);
+      ++matrix[static_cast<std::size_t>(src) * wiring.switches_per_stage +
+               dst];
+    }
+  }
+  return wiring;
+}
+
+namespace {
+
+/// Backtracking isomorphism search in BFS order over the layered graph,
+/// so every vertex after the first is constrained by an already-mapped
+/// neighbor (VF2-style pruning).
+class IsoSearch {
+ public:
+  IsoSearch(const LayeredWiring& a, const LayeredWiring& b) : a_(a), b_(b) {}
+
+  std::optional<StageMapping> run() {
+    const std::uint32_t per = a_.switches_per_stage;
+    mapping_.assign(a_.stages, std::vector<std::uint32_t>(per, kUnset));
+    used_.assign(a_.stages, std::vector<bool>(per, false));
+    order_ = bfs_order();
+    if (assign(0)) return mapping_;
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+
+  struct Vertex {
+    unsigned stage;
+    std::uint32_t index;
+  };
+
+  std::uint32_t mult_a(unsigned boundary, std::uint32_t left,
+                       std::uint32_t right) const {
+    return a_.between[boundary][static_cast<std::size_t>(left) *
+                                    a_.switches_per_stage +
+                                right];
+  }
+  std::uint32_t mult_b(unsigned boundary, std::uint32_t left,
+                       std::uint32_t right) const {
+    return b_.between[boundary][static_cast<std::size_t>(left) *
+                                    b_.switches_per_stage +
+                                right];
+  }
+
+  /// Orders vertices so each (after the first per component) touches a
+  /// previously ordered neighbor.
+  std::vector<Vertex> bfs_order() const {
+    const std::uint32_t per = a_.switches_per_stage;
+    std::vector<std::vector<bool>> seen(a_.stages,
+                                        std::vector<bool>(per, false));
+    std::vector<Vertex> order;
+    std::queue<Vertex> queue;
+    for (unsigned stage = 0; stage < a_.stages; ++stage) {
+      for (std::uint32_t s = 0; s < per; ++s) {
+        if (seen[stage][s]) continue;
+        seen[stage][s] = true;
+        queue.push({stage, s});
+        while (!queue.empty()) {
+          const Vertex v = queue.front();
+          queue.pop();
+          order.push_back(v);
+          // Neighbors across both adjacent boundaries.
+          if (v.stage + 1 < a_.stages) {
+            for (std::uint32_t t = 0; t < per; ++t) {
+              if (mult_a(v.stage, v.index, t) > 0 && !seen[v.stage + 1][t]) {
+                seen[v.stage + 1][t] = true;
+                queue.push({v.stage + 1, t});
+              }
+            }
+          }
+          if (v.stage > 0) {
+            for (std::uint32_t t = 0; t < per; ++t) {
+              if (mult_a(v.stage - 1, t, v.index) > 0 &&
+                  !seen[v.stage - 1][t]) {
+                seen[v.stage - 1][t] = true;
+                queue.push({v.stage - 1, t});
+              }
+            }
+          }
+        }
+      }
+    }
+    return order;
+  }
+
+  bool consistent(const Vertex& v, std::uint32_t candidate) const {
+    const std::uint32_t per = a_.switches_per_stage;
+    // Every already-mapped neighbor (and non-neighbor) at the adjacent
+    // stages must have matching multiplicity in b.
+    if (v.stage + 1 < a_.stages) {
+      for (std::uint32_t t = 0; t < per; ++t) {
+        const std::uint32_t image = mapping_[v.stage + 1][t];
+        if (image == kUnset) continue;
+        if (mult_a(v.stage, v.index, t) != mult_b(v.stage, candidate, image)) {
+          return false;
+        }
+      }
+    }
+    if (v.stage > 0) {
+      for (std::uint32_t t = 0; t < per; ++t) {
+        const std::uint32_t image = mapping_[v.stage - 1][t];
+        if (image == kUnset) continue;
+        if (mult_a(v.stage - 1, t, v.index) !=
+            mult_b(v.stage - 1, image, candidate)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool assign(std::size_t position) {
+    if (position == order_.size()) return true;
+    const Vertex v = order_[position];
+    for (std::uint32_t candidate = 0; candidate < a_.switches_per_stage;
+         ++candidate) {
+      if (used_[v.stage][candidate]) continue;
+      if (!consistent(v, candidate)) continue;
+      mapping_[v.stage][v.index] = candidate;
+      used_[v.stage][candidate] = true;
+      if (assign(position + 1)) return true;
+      mapping_[v.stage][v.index] = kUnset;
+      used_[v.stage][candidate] = false;
+    }
+    return false;
+  }
+
+  const LayeredWiring& a_;
+  const LayeredWiring& b_;
+  StageMapping mapping_;
+  std::vector<std::vector<bool>> used_;
+  std::vector<Vertex> order_;
+};
+
+}  // namespace
+
+std::optional<StageMapping> find_stage_isomorphism(const LayeredWiring& a,
+                                                   const LayeredWiring& b) {
+  if (a.stages != b.stages ||
+      a.switches_per_stage != b.switches_per_stage) {
+    return std::nullopt;
+  }
+  return IsoSearch(a, b).run();
+}
+
+bool topologically_equivalent(const TopologySpec& a, const TopologySpec& b) {
+  if (a.radix() != b.radix() || a.stages() != b.stages()) return false;
+  return find_stage_isomorphism(layered_wiring(a), layered_wiring(b))
+      .has_value();
+}
+
+}  // namespace wormsim::analysis

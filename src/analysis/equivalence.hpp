@@ -1,0 +1,51 @@
+// Topological equivalence of multistage networks.
+//
+// Section 2 of the paper leans on the classical result (Wu & Feng [12])
+// that the Delta-class MINs — omega, flip, cube, butterfly, baseline — are
+// topologically and functionally equivalent.  This module makes the claim
+// checkable: two n-stage MIN wirings are *topologically equivalent* when
+// there exist per-stage relabelings of switches (plus relabelings of the
+// input and output terminals) that map one wiring onto the other,
+// ignoring port order.
+//
+// The checker runs a layered backtracking search over stage-wise switch
+// bijections with adjacency-multiset pruning; network sizes in this
+// project (<= a few hundred switches) keep this fast.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/topology_spec.hpp"
+
+namespace wormsim::analysis {
+
+/// A MIN wiring reduced to its stage-adjacency structure: for each stage
+/// boundary, how many channels connect each (left, right) switch pair.
+/// Terminal (node) attachments are summarized by switch, since terminal
+/// labels may be freely renamed.
+struct LayeredWiring {
+  unsigned stages = 0;
+  std::uint32_t switches_per_stage = 0;
+  /// between[i] is a (per_stage x per_stage) multiplicity matrix of
+  /// channels from stage i switches to stage i+1 switches, 0 <= i < n-1.
+  std::vector<std::vector<std::uint32_t>> between;
+};
+
+LayeredWiring layered_wiring(const topology::TopologySpec& spec);
+
+/// A witness: mapping[i][s] = the switch of `b` that stage-i switch s of
+/// `a` maps to.
+using StageMapping = std::vector<std::vector<std::uint32_t>>;
+
+/// Searches for a stage-preserving isomorphism between the two wirings.
+std::optional<StageMapping> find_stage_isomorphism(
+    const LayeredWiring& a, const LayeredWiring& b);
+
+/// Convenience: true iff the two topologies have the same shape and an
+/// isomorphism exists.
+bool topologically_equivalent(const topology::TopologySpec& a,
+                              const topology::TopologySpec& b);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,81 @@
+#include "analysis/fault.hpp"
+
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+using routing::CandidateList;
+using routing::RouteQuery;
+using topology::ChannelRole;
+using topology::LaneId;
+using topology::Network;
+
+namespace {
+
+bool reachable(const Network& network, const routing::Router& router,
+               const RouteQuery& query, LaneId lane, const FaultSet& faults) {
+  const topology::PhysChannel& ch = network.lane_channel(lane);
+  if (faults.count(ch.id) > 0) return false;
+  if (ch.dst.is_node()) return true;
+  CandidateList candidates;
+  router.candidates(query, lane, candidates);
+  // Dedupe lanes to channels (virtual lanes share fate with their wires).
+  util::InlineVector<topology::ChannelId, routing::kMaxCandidates> seen;
+  for (LaneId next : candidates) {
+    const topology::ChannelId next_channel = network.lane(next).channel;
+    if (seen.contains(next_channel)) continue;
+    seen.push_back(next_channel);
+    if (reachable(network, router, query,
+                  network.channel(next_channel).first_lane, faults)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool pair_survives(const Network& network, const routing::Router& router,
+                   std::uint64_t src, std::uint64_t dst,
+                   const FaultSet& faults) {
+  WORMSIM_CHECK(src != dst);
+  const RouteQuery query = routing::make_query(network, src, dst);
+  const LaneId inj =
+      network
+          .channel(network.injection_channel(static_cast<topology::NodeId>(src)))
+          .first_lane;
+  return reachable(network, router, query, inj, faults);
+}
+
+FaultCoverage fault_coverage(const Network& network,
+                             const routing::Router& router,
+                             const FaultSet& faults) {
+  FaultCoverage coverage;
+  const std::uint64_t N = network.node_count();
+  for (std::uint64_t s = 0; s < N; ++s) {
+    for (std::uint64_t d = 0; d < N; ++d) {
+      if (s == d) continue;
+      ++coverage.total_pairs;
+      if (pair_survives(network, router, s, d, faults)) {
+        ++coverage.connected_pairs;
+      }
+    }
+  }
+  return coverage;
+}
+
+bool single_fault_tolerant(const Network& network,
+                           const routing::Router& router) {
+  for (const topology::PhysChannel& ch : network.channels()) {
+    if (ch.role != ChannelRole::kForward &&
+        ch.role != ChannelRole::kBackward) {
+      continue;
+    }
+    const FaultCoverage coverage =
+        fault_coverage(network, router, FaultSet{ch.id});
+    if (coverage.connected_pairs != coverage.total_pairs) return false;
+  }
+  return true;
+}
+
+}  // namespace wormsim::analysis

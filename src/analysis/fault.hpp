@@ -1,0 +1,58 @@
+// Link-fault coverage analysis.
+//
+// Section 2.1 motivates multipath MINs: "if a link becomes congested or
+// fails, the unique path property can easily disrupt the communication
+// between some input and output pairs."  This module quantifies that:
+// given a set of failed physical channels, which source/destination pairs
+// still have at least one usable route?
+//
+// A TMIN loses every pair whose unique path crosses a failed channel; a
+// d-dilated MIN survives any single inter-stage channel fault (the
+// sibling channel remains); a BMIN's adaptive forward phase routes around
+// up-channel faults, while a down-channel fault cuts the pairs whose
+// unique backward path uses it; extra-stage MINs survive interior faults
+// via their disjoint route copies.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+using FaultSet = std::unordered_set<topology::ChannelId>;
+
+/// True iff at least one route from src to dst avoids every failed
+/// channel.
+bool pair_survives(const topology::Network& network,
+                   const routing::Router& router, std::uint64_t src,
+                   std::uint64_t dst, const FaultSet& faults);
+
+struct FaultCoverage {
+  std::uint64_t total_pairs = 0;
+  std::uint64_t connected_pairs = 0;
+
+  double fraction() const {
+    return total_pairs == 0
+               ? 1.0
+               : static_cast<double>(connected_pairs) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+/// Coverage over all ordered pairs (excluding src == dst).
+FaultCoverage fault_coverage(const topology::Network& network,
+                             const routing::Router& router,
+                             const FaultSet& faults);
+
+/// True iff every ordered pair survives EVERY single fault of one
+/// inter-stage (forward/backward) channel — single-fault tolerance of the
+/// network interior.  Node links are excluded: with one-port nodes their
+/// loss always disconnects a node.
+bool single_fault_tolerant(const topology::Network& network,
+                           const routing::Router& router);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,100 @@
+#include "analysis/path_enum.hpp"
+
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+using routing::CandidateList;
+using routing::RouteQuery;
+using topology::ChannelId;
+using topology::LaneId;
+using topology::Network;
+
+namespace {
+
+/// Depth-first walk over the candidate relation.  Candidates are lanes;
+/// two lanes of the same physical channel describe the same route, so the
+/// walk dedupes to channel granularity.
+template <typename OnComplete>
+void walk(const Network& network, const routing::Router& router,
+          const RouteQuery& query, LaneId lane,
+          std::vector<ChannelId>& prefix, const OnComplete& on_complete) {
+  const topology::PhysChannel& ch = network.lane_channel(lane);
+  prefix.push_back(ch.id);
+  if (ch.dst.is_node()) {
+    WORMSIM_CHECK_MSG(ch.dst.id == query.dst,
+                      "route terminated at the wrong node");
+    on_complete(prefix);
+  } else {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    // Dedupe candidate lanes to channels while preserving order.
+    util::InlineVector<ChannelId, routing::kMaxCandidates> seen;
+    for (LaneId next : candidates) {
+      const ChannelId next_channel = network.lane(next).channel;
+      if (seen.contains(next_channel)) continue;
+      seen.push_back(next_channel);
+      const LaneId first_lane = network.channel(next_channel).first_lane;
+      walk(network, router, query, first_lane, prefix, on_complete);
+    }
+  }
+  prefix.pop_back();
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_paths(const Network& network,
+                                  const routing::Router& router,
+                                  std::uint64_t src, std::uint64_t dst) {
+  WORMSIM_CHECK(src != dst);
+  const RouteQuery query = routing::make_query(network, src, dst);
+  std::vector<Path> paths;
+  std::vector<ChannelId> prefix;
+  const ChannelId inj = network.injection_channel(
+      static_cast<topology::NodeId>(src));
+  walk(network, router, query, network.channel(inj).first_lane, prefix,
+       [&paths](const std::vector<ChannelId>& channels) {
+         paths.push_back(Path{channels});
+       });
+  return paths;
+}
+
+std::uint64_t count_paths(const Network& network,
+                          const routing::Router& router, std::uint64_t src,
+                          std::uint64_t dst) {
+  WORMSIM_CHECK(src != dst);
+  const RouteQuery query = routing::make_query(network, src, dst);
+  std::uint64_t count = 0;
+  std::vector<ChannelId> prefix;
+  const ChannelId inj = network.injection_channel(
+      static_cast<topology::NodeId>(src));
+  walk(network, router, query, network.channel(inj).first_lane, prefix,
+       [&count](const std::vector<ChannelId>&) { ++count; });
+  return count;
+}
+
+bool verify_full_access(const Network& network,
+                        const routing::Router& router) {
+  const std::uint64_t N = network.node_count();
+  for (std::uint64_t s = 0; s < N; ++s) {
+    for (std::uint64_t d = 0; d < N; ++d) {
+      if (s == d) continue;
+      if (count_paths(network, router, s, d) == 0) return false;
+    }
+  }
+  return true;
+}
+
+bool verify_unique_paths(const Network& network,
+                         const routing::Router& router) {
+  const std::uint64_t N = network.node_count();
+  for (std::uint64_t s = 0; s < N; ++s) {
+    for (std::uint64_t d = 0; d < N; ++d) {
+      if (s == d) continue;
+      if (count_paths(network, router, s, d) != 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,44 @@
+// Static route enumeration.
+//
+// Walks the Router's candidate relation from injection to ejection and
+// returns every distinct route a worm could take, at physical-channel
+// granularity.  Used to verify Theorem 1 (a butterfly BMIN has k^t
+// shortest paths), the banyan unique-path property of Delta MINs, path
+// lengths, and to feed the deadlock and partitioning analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+struct Path {
+  /// Channels in traversal order, injection channel first and ejection
+  /// channel last.
+  std::vector<topology::ChannelId> channels;
+};
+
+/// Every route from `src` to `dst` the router permits.
+std::vector<Path> enumerate_paths(const topology::Network& network,
+                                  const routing::Router& router,
+                                  std::uint64_t src, std::uint64_t dst);
+
+/// Path count only (cheaper than materializing Path objects).
+std::uint64_t count_paths(const topology::Network& network,
+                          const routing::Router& router, std::uint64_t src,
+                          std::uint64_t dst);
+
+/// True iff every ordered (src, dst) pair has at least one route and every
+/// route ends at `dst` — the network provides full access.
+bool verify_full_access(const topology::Network& network,
+                        const routing::Router& router);
+
+/// True iff every ordered pair has exactly one route (the banyan property
+/// of Delta networks under destination-tag routing).
+bool verify_unique_paths(const topology::Network& network,
+                         const routing::Router& router);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,52 @@
+#include "analysis/utilization.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace wormsim::analysis {
+
+std::string role_name(topology::ChannelRole role) {
+  switch (role) {
+    case topology::ChannelRole::kInjection:
+      return "injection";
+    case topology::ChannelRole::kEjection:
+      return "ejection";
+    case topology::ChannelRole::kForward:
+      return "forward";
+    case topology::ChannelRole::kBackward:
+      return "backward";
+  }
+  return "?";
+}
+
+std::vector<LevelUtilization> summarize_utilization(
+    const topology::Network& network,
+    const std::vector<std::uint64_t>& busy_cycles,
+    std::uint64_t measure_cycles) {
+  WORMSIM_CHECK(busy_cycles.size() == network.channels().size());
+  WORMSIM_CHECK(measure_cycles > 0);
+  std::map<std::pair<unsigned, int>, LevelUtilization> buckets;
+  for (const topology::PhysChannel& ch : network.channels()) {
+    const auto key =
+        std::make_pair(ch.conn_index, static_cast<int>(ch.role));
+    LevelUtilization& bucket = buckets[key];
+    bucket.level = ch.conn_index;
+    bucket.role = ch.role;
+    ++bucket.channel_count;
+    const double fraction = static_cast<double>(busy_cycles[ch.id]) /
+                            static_cast<double>(measure_cycles);
+    bucket.mean += fraction;  // running sum; divided below
+    bucket.max = std::max(bucket.max, fraction);
+  }
+  std::vector<LevelUtilization> out;
+  out.reserve(buckets.size());
+  for (auto& [key, bucket] : buckets) {
+    bucket.mean /= static_cast<double>(bucket.channel_count);
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,29 @@
+// Channel-utilization summaries from simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+
+struct LevelUtilization {
+  unsigned level = 0;               ///< connection index C_i
+  topology::ChannelRole role{};     ///< direction class
+  std::uint64_t channel_count = 0;  ///< physical channels at this level/role
+  double mean = 0.0;                ///< mean busy fraction
+  double max = 0.0;                 ///< hottest channel's busy fraction
+};
+
+/// Aggregates per-channel busy-cycle counters (SimResult::
+/// channel_busy_cycles) by connection level and role.
+std::vector<LevelUtilization> summarize_utilization(
+    const topology::Network& network,
+    const std::vector<std::uint64_t>& busy_cycles,
+    std::uint64_t measure_cycles);
+
+std::string role_name(topology::ChannelRole role);
+
+}  // namespace wormsim::analysis

@@ -1,0 +1,569 @@
+#include "experiment/figures.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <ostream>
+
+#include "experiment/parallel.hpp"
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace wormsim::experiment {
+
+using partition::Clustering;
+using topology::NetworkConfig;
+using topology::NetworkKind;
+using traffic::LengthSpec;
+using traffic::WorkloadSpec;
+
+sim::SimConfig RunOptions::sim_config() const {
+  sim::SimConfig config;
+  config.seed = seed;
+  if (quick) {
+    config.warmup_cycles = 5'000;
+    config.measure_cycles = 15'000;
+    config.drain_cycles = 5'000;
+  } else {
+    config.warmup_cycles = 40'000;
+    config.measure_cycles = 160'000;
+    config.drain_cycles = 80'000;
+  }
+  return config;
+}
+
+std::vector<double> RunOptions::loads() const {
+  if (quick) return {0.10, 0.30, 0.50};
+  return {0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
+}
+
+SweepOptions RunOptions::sweep_options() const {
+  SweepOptions options;
+  options.loads = loads();
+  options.sim = sim_config();
+  options.stop_after_unsustainable = 2;
+  return options;
+}
+
+RunOptions RunOptions::from_env() {
+  RunOptions options;
+  if (const char* quick = std::getenv("WORMSIM_QUICK")) {
+    options.quick = quick[0] != '\0' && quick[0] != '0';
+  }
+  if (const char* seed = std::getenv("WORMSIM_SEED")) {
+    options.seed = std::strtoull(seed, nullptr, 10);
+  }
+  return options;
+}
+
+NetworkConfig tmin_config(const std::string& topology, unsigned radix,
+                          unsigned stages) {
+  NetworkConfig config;
+  config.kind = NetworkKind::kTMIN;
+  config.topology = topology;
+  config.radix = radix;
+  config.stages = stages;
+  config.dilation = 1;
+  config.vcs = 1;
+  return config;
+}
+
+NetworkConfig dmin_config(const std::string& topology, unsigned radix,
+                          unsigned stages, unsigned dilation) {
+  NetworkConfig config = tmin_config(topology, radix, stages);
+  config.kind = NetworkKind::kDMIN;
+  config.dilation = dilation;
+  return config;
+}
+
+NetworkConfig vmin_config(const std::string& topology, unsigned radix,
+                          unsigned stages, unsigned vcs) {
+  NetworkConfig config = tmin_config(topology, radix, stages);
+  config.kind = NetworkKind::kVMIN;
+  config.vcs = vcs;
+  // The standard VMIN multiplexes every switch output channel — including
+  // the node ejection link — which is what reproduces the paper's
+  // VMIN-slightly-above-BMIN ordering under uniform traffic (see
+  // ablation_ejection_vc and EXPERIMENTS.md).
+  config.vc_node_links = true;
+  return config;
+}
+
+NetworkConfig bmin_config(unsigned radix, unsigned stages, unsigned vcs) {
+  NetworkConfig config;
+  config.kind = NetworkKind::kBMIN;
+  config.topology = "butterfly";
+  config.radix = radix;
+  config.stages = stages;
+  config.vcs = vcs;
+  return config;
+}
+
+namespace {
+
+// ---- Workload factories --------------------------------------------------
+
+enum class ClusterKind { kGlobal, kTop16, kLow16, kHalf32 };
+
+Clustering make_clustering(const topology::Network& net, ClusterKind kind) {
+  switch (kind) {
+    case ClusterKind::kGlobal:
+      return Clustering::global(net.node_count());
+    case ClusterKind::kTop16:
+      return Clustering::by_top_digits(net.address_spec(), 1);
+    case ClusterKind::kLow16:
+      return Clustering::by_low_digits(net.address_spec(), 1);
+    case ClusterKind::kHalf32:
+      return Clustering::contiguous(net.node_count(), 2);
+  }
+  WORMSIM_CHECK_MSG(false, "unreachable");
+}
+
+/// Uniform traffic within each cluster, optional per-cluster rate weights.
+auto uniform_workload(ClusterKind kind, std::vector<double> weights = {},
+                      LengthSpec length = LengthSpec{}) {
+  return [kind, weights, length](const topology::Network& net, double load) {
+    WorkloadSpec spec;
+    spec.pattern = WorkloadSpec::Pattern::kUniform;
+    spec.offered = load;
+    spec.length = length;
+    spec.clustering = make_clustering(net, kind);
+    spec.cluster_weights = weights;
+    return spec;
+  };
+}
+
+auto hotspot_workload(double extra, ClusterKind kind = ClusterKind::kGlobal) {
+  return [extra, kind](const topology::Network& net, double load) {
+    WorkloadSpec spec;
+    spec.pattern = WorkloadSpec::Pattern::kHotspot;
+    spec.hotspot_extra = extra;
+    spec.offered = load;
+    spec.clustering = make_clustering(net, kind);
+    return spec;
+  };
+}
+
+auto shuffle_workload() {
+  return [](const topology::Network& net, double load) {
+    WorkloadSpec spec;
+    spec.pattern = WorkloadSpec::Pattern::kShuffle;
+    spec.offered = load;
+    spec.clustering = Clustering::global(net.node_count());
+    return spec;
+  };
+}
+
+auto butterfly_workload(unsigned index) {
+  return [index](const topology::Network& net, double load) {
+    WorkloadSpec spec;
+    spec.pattern = WorkloadSpec::Pattern::kButterfly;
+    spec.butterfly_index = index;
+    spec.offered = load;
+    spec.clustering = Clustering::global(net.node_count());
+    return spec;
+  };
+}
+
+// ---- Figure definitions --------------------------------------------------
+
+using SeriesList = std::vector<SeriesSpec>;
+
+/// The four networks compared in Section 5.3, each paired with the same
+/// workload factory.
+template <typename WorkloadFactory>
+SeriesList four_networks(const WorkloadFactory& factory) {
+  return {
+      {"TMIN(cube)", tmin_config(), factory},
+      {"DMIN(cube,d=2)", dmin_config(), factory},
+      {"VMIN(cube,m=2)", vmin_config(), factory},
+      {"BMIN(butterfly)", bmin_config(), factory},
+  };
+}
+
+struct FigureDef {
+  std::string title;
+  SeriesList series;
+};
+
+FigureDef define_figure(const std::string& id) {
+  // Fig. 16 — cube vs butterfly TMIN.
+  if (id == "fig16a") {
+    return {"Fig 16a: cube vs butterfly TMIN, global uniform",
+            {{"TMIN(cube)", tmin_config("cube"),
+              uniform_workload(ClusterKind::kGlobal)},
+             {"TMIN(butterfly)", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kGlobal)}}};
+  }
+  if (id == "fig16b") {
+    return {"Fig 16b: cube vs butterfly TMIN, cluster-16 uniform",
+            {{"TMIN(cube) balanced 0XX..3XX", tmin_config("cube"),
+              uniform_workload(ClusterKind::kTop16)},
+             {"TMIN(butterfly) reduced 0XX..3XX", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kTop16)},
+             {"TMIN(butterfly) shared XX0..XX3", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kLow16)}}};
+  }
+  // Fig. 17 — unequal cluster rates.
+  if (id == "fig17a") {
+    const std::vector<double> ratio{4, 1, 1, 1};
+    return {"Fig 17a: cluster-16 traffic ratio 4:1:1:1",
+            {{"TMIN(cube) balanced", tmin_config("cube"),
+              uniform_workload(ClusterKind::kTop16, ratio)},
+             {"TMIN(butterfly) reduced", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kTop16, ratio)},
+             {"TMIN(butterfly) shared", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kLow16, ratio)}}};
+  }
+  if (id == "fig17b") {
+    const std::vector<double> skew{4, 1, 1, 1};
+    const std::vector<double> solo{1, 0, 0, 0};
+    return {"Fig 17b: cube balanced vs butterfly shared, ratios "
+            "1:0:0:0 and 4:1:1:1",
+            {{"TMIN(cube) 1:0:0:0", tmin_config("cube"),
+              uniform_workload(ClusterKind::kTop16, solo)},
+             {"TMIN(butterfly) shared 1:0:0:0", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kLow16, solo)},
+             {"TMIN(cube) 4:1:1:1", tmin_config("cube"),
+              uniform_workload(ClusterKind::kTop16, skew)},
+             {"TMIN(butterfly) shared 4:1:1:1", tmin_config("butterfly"),
+              uniform_workload(ClusterKind::kLow16, skew)}}};
+  }
+  // Fig. 18 — four networks, uniform.
+  if (id == "fig18a") {
+    return {"Fig 18a: four networks, global uniform",
+            four_networks(uniform_workload(ClusterKind::kGlobal))};
+  }
+  if (id == "fig18b") {
+    return {"Fig 18b: four networks, cluster-16 uniform",
+            four_networks(uniform_workload(ClusterKind::kTop16))};
+  }
+  // Fig. 19 — hot spots.
+  if (id == "fig19a") {
+    return {"Fig 19a: four networks, global hot spot (5% extra)",
+            four_networks(hotspot_workload(0.05))};
+  }
+  if (id == "fig19b") {
+    return {"Fig 19b: four networks, global hot spot (10% extra)",
+            four_networks(hotspot_workload(0.10))};
+  }
+  // Fig. 20 — permutations.
+  if (id == "fig20a") {
+    return {"Fig 20a: four networks, perfect-shuffle permutation",
+            four_networks(shuffle_workload())};
+  }
+  if (id == "fig20b") {
+    return {"Fig 20b: four networks, 2nd butterfly permutation",
+            four_networks(butterfly_workload(2))};
+  }
+
+  // ---- Ablations (Section 6 future-work directions) ----------------------
+  if (id == "ablation_msgsize_short") {
+    return {"Ablation: short messages (uniform 8-32 flits), global uniform",
+            four_networks(uniform_workload(ClusterKind::kGlobal, {},
+                                           LengthSpec::uniform(8, 32)))};
+  }
+  if (id == "ablation_msgsize_long") {
+    return {"Ablation: long messages (uniform 512-1024 flits), global "
+            "uniform",
+            four_networks(uniform_workload(ClusterKind::kGlobal, {},
+                                           LengthSpec::uniform(512, 1024)))};
+  }
+  if (id == "ablation_msgsize_bimodal") {
+    return {"Ablation: bimodal messages (8-32 / 512-1024), global uniform",
+            four_networks(uniform_workload(
+                ClusterKind::kGlobal, {},
+                LengthSpec::bimodal(8, 32, 512, 1024, 0.5)))};
+  }
+  if (id == "ablation_switchsize") {
+    SeriesList series;
+    struct Shape {
+      unsigned k, n;
+    };
+    for (const Shape shape : {Shape{2, 6}, Shape{4, 3}, Shape{8, 2}}) {
+      const std::string suffix =
+          "k=" + std::to_string(shape.k) + ",n=" + std::to_string(shape.n);
+      series.push_back({"DMIN(" + suffix + ",d=2)",
+                        dmin_config("cube", shape.k, shape.n),
+                        uniform_workload(ClusterKind::kGlobal)});
+      series.push_back({"BMIN(" + suffix + ")",
+                        bmin_config(shape.k, shape.n),
+                        uniform_workload(ClusterKind::kGlobal)});
+    }
+    return {"Ablation: switch size k=2/4/8 at N=64, DMIN vs BMIN, global "
+            "uniform",
+            series};
+  }
+  if (id == "ablation_vcs") {
+    SeriesList series{{"TMIN(cube)", tmin_config(),
+                       uniform_workload(ClusterKind::kGlobal)}};
+    for (unsigned m : {2u, 4u, 8u}) {
+      series.push_back({"VMIN(cube,m=" + std::to_string(m) + ")",
+                        vmin_config("cube", 4, 3, m),
+                        uniform_workload(ClusterKind::kGlobal)});
+    }
+    return {"Ablation: VMIN virtual-channel count, global uniform", series};
+  }
+  if (id == "ablation_bmin_vc") {
+    SeriesList series;
+    for (unsigned m : {1u, 2u, 4u}) {
+      series.push_back({"BMIN(m=" + std::to_string(m) + ")",
+                        bmin_config(4, 3, m),
+                        uniform_workload(ClusterKind::kGlobal)});
+    }
+    series.push_back({"DMIN(cube,d=2)", dmin_config(),
+                      uniform_workload(ClusterKind::kGlobal)});
+    return {"Ablation: BMIN with virtual channels, global uniform", series};
+  }
+  if (id == "ablation_hotspot_cluster") {
+    return {"Ablation: per-cluster hot spots (5%), cluster-16",
+            four_networks(hotspot_workload(0.05, ClusterKind::kTop16))};
+  }
+  if (id == "ablation_bandwidth") {
+    // Doubling TMIN/VMIN channel bandwidth is modeled by halving flit
+    // counts (each double-width flit carries two baseline flits), so
+    // reported flit-loads stay comparable in *time*; see EXPERIMENTS.md.
+    return {"Ablation: TMIN/VMIN with doubled channel bandwidth vs "
+            "DMIN/BMIN",
+            {{"TMIN(cube) 2x bandwidth", tmin_config(),
+              uniform_workload(ClusterKind::kGlobal, {},
+                               LengthSpec::uniform(4, 512))},
+             {"VMIN(cube,m=2) 2x bandwidth", vmin_config(),
+              uniform_workload(ClusterKind::kGlobal, {},
+                               LengthSpec::uniform(4, 512))},
+             {"DMIN(cube,d=2)", dmin_config(),
+              uniform_workload(ClusterKind::kGlobal)},
+             {"BMIN(butterfly)", bmin_config(),
+              uniform_workload(ClusterKind::kGlobal)}}};
+  }
+  if (id == "ablation_cluster32") {
+    return {"Ablation: four networks, cluster-32 uniform",
+            four_networks(uniform_workload(ClusterKind::kHalf32))};
+  }
+  if (id == "ablation_extra_stage_uniform" ||
+      id == "ablation_extra_stage_perm") {
+    // Section 6 future work: extra-stage MINs.  Compare plain TMIN,
+    // TMINs with 1-2 adaptive extra stages, and the DMIN they approximate.
+    topology::NetworkConfig x1 = tmin_config();
+    x1.extra_stages = 1;
+    topology::NetworkConfig x2 = tmin_config();
+    x2.extra_stages = 2;
+    const bool uniform = id == "ablation_extra_stage_uniform";
+    auto factory = [uniform](const topology::Network& net, double load) {
+      WorkloadSpec spec;
+      if (uniform) {
+        spec.pattern = WorkloadSpec::Pattern::kUniform;
+      } else {
+        spec.pattern = WorkloadSpec::Pattern::kButterfly;
+        spec.butterfly_index = 2;
+      }
+      spec.offered = load;
+      spec.clustering = Clustering::global(net.node_count());
+      return spec;
+    };
+    return {std::string("Ablation: extra-stage MINs, ") +
+                (uniform ? "global uniform" : "2nd butterfly permutation"),
+            {{"TMIN(cube)", tmin_config(), factory},
+             {"TMIN+1 extra stage", x1, factory},
+             {"TMIN+2 extra stages", x2, factory},
+             {"DMIN(cube,d=2)", dmin_config(), factory}}};
+  }
+  if (id == "ablation_multibutterfly") {
+    // Section 6 future work [31]: randomly-wired splitter networks break
+    // structured-traffic worst cases.  The 2nd-butterfly permutation caps
+    // a deterministic TMIN at 25%; the multibutterfly's random wiring
+    // spreads those pairs across channels.
+    topology::NetworkConfig mbmin = tmin_config();
+    mbmin.splitter_dilation = 2;
+    return {"Ablation: multibutterfly vs TMIN vs DMIN, 2nd butterfly "
+            "permutation",
+            {{"TMIN(cube)", tmin_config(), butterfly_workload(2)},
+             {"MBMIN(d=2)", mbmin, butterfly_workload(2)},
+             {"DMIN(cube,d=2)", dmin_config(), butterfly_workload(2)}}};
+  }
+  if (id == "ablation_arbitration") {
+    // Robustness of the DESIGN.md substitution decision: does the
+    // unspecified contention-resolution discipline change any conclusion?
+    SeriesList series;
+    struct Policy {
+      const char* name;
+      sim::ArbitrationOrder order;
+      sim::LaneSelection lane;
+    };
+    for (const Policy policy :
+         {Policy{"rotating+random", sim::ArbitrationOrder::kRotating,
+                 sim::LaneSelection::kRandomFree},
+          Policy{"random+random", sim::ArbitrationOrder::kRandom,
+                 sim::LaneSelection::kRandomFree},
+          Policy{"fixed+first-free", sim::ArbitrationOrder::kFixed,
+                 sim::LaneSelection::kFirstFree}}) {
+      for (const auto& net :
+           {dmin_config(), bmin_config()}) {
+        SeriesSpec spec;
+        spec.label = net.describe() + " " + policy.name;
+        spec.net = net;
+        spec.workload = uniform_workload(ClusterKind::kGlobal);
+        spec.tweak_sim = [policy](sim::SimConfig& config) {
+          config.arbitration = policy.order;
+          config.lane_selection = policy.lane;
+        };
+        series.push_back(std::move(spec));
+      }
+    }
+    return {"Ablation: arbitration/lane-selection policies, global uniform",
+            series};
+  }
+  if (id == "ablation_switching") {
+    // Section 1's switching-technique contrast: wormhole vs
+    // store-and-forward on identical hardware, global uniform traffic.
+    SeriesList series;
+    for (const auto& [label, net] :
+         std::vector<std::pair<std::string, topology::NetworkConfig>>{
+             {"TMIN wormhole", tmin_config()},
+             {"TMIN store-and-forward", tmin_config()},
+             {"BMIN wormhole", bmin_config()},
+             {"BMIN store-and-forward", bmin_config()}}) {
+      SeriesSpec spec;
+      spec.label = label;
+      spec.net = net;
+      spec.workload = uniform_workload(ClusterKind::kGlobal);
+      if (label.find("store") != std::string::npos) {
+        spec.switching = SeriesSpec::Switching::kStoreForward;
+      }
+      series.push_back(std::move(spec));
+    }
+    return {"Ablation: wormhole vs store-and-forward switching, global "
+            "uniform",
+            series};
+  }
+  if (id == "ablation_ejection_vc") {
+    // Model-variant study: does letting the VMIN multiplex its ejection
+    // channels (vc_node_links) recover the paper's VMIN >= BMIN ordering?
+    topology::NetworkConfig vmin_serial = vmin_config();
+    vmin_serial.vc_node_links = false;
+    return {"Ablation: VMIN ejection-channel model (serialized vs "
+            "VC-multiplexed node links)",
+            {{"VMIN(m=2) serialized ejection", vmin_serial,
+              uniform_workload(ClusterKind::kGlobal)},
+             {"VMIN(m=2,evc) standard", vmin_config(),
+              uniform_workload(ClusterKind::kGlobal)},
+             {"VMIN(m=4,evc)", vmin_config("cube", 4, 3, 4),
+              uniform_workload(ClusterKind::kGlobal)},
+             {"BMIN(butterfly)", bmin_config(),
+              uniform_workload(ClusterKind::kGlobal)}}};
+  }
+  WORMSIM_CHECK_MSG(false, "unknown figure id");
+}
+
+const std::vector<std::string>& registry() {
+  static const std::vector<std::string> ids = {
+      "fig16a",
+      "fig16b",
+      "fig17a",
+      "fig17b",
+      "fig18a",
+      "fig18b",
+      "fig19a",
+      "fig19b",
+      "fig20a",
+      "fig20b",
+      "ablation_msgsize_short",
+      "ablation_msgsize_long",
+      "ablation_msgsize_bimodal",
+      "ablation_switchsize",
+      "ablation_vcs",
+      "ablation_bmin_vc",
+      "ablation_hotspot_cluster",
+      "ablation_bandwidth",
+      "ablation_cluster32",
+      "ablation_ejection_vc",
+      "ablation_extra_stage_uniform",
+      "ablation_extra_stage_perm",
+      "ablation_switching",
+      "ablation_arbitration",
+      "ablation_multibutterfly",
+  };
+  return ids;
+}
+
+}  // namespace
+
+std::vector<std::string> figure_ids() { return registry(); }
+
+bool figure_exists(const std::string& id) {
+  for (const std::string& known : registry()) {
+    if (known == id) return true;
+  }
+  return false;
+}
+
+FigureSpec figure_spec(const std::string& id) {
+  FigureDef def = define_figure(id);
+  FigureSpec spec;
+  spec.id = id;
+  spec.title = std::move(def.title);
+  spec.series = std::move(def.series);
+  return spec;
+}
+
+FigureResult run_figure(const std::string& id, const RunOptions& options) {
+  const FigureSpec def = figure_spec(id);
+  FigureResult result;
+  result.id = id;
+  result.title = def.title;
+  // WORMSIM_THREADS > 1 fans series out over a worker pool (results are
+  // identical to the sequential run; see experiment/parallel.hpp).
+  unsigned threads = 1;
+  if (const char* env = std::getenv("WORMSIM_THREADS")) {
+    threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  result.series = run_all_series(def.series, options.sweep_options(), threads);
+  return result;
+}
+
+void print_figure(const FigureResult& result, std::ostream& os) {
+  os << "== " << result.title << " ==\n";
+  for (const Series& series : result.series) {
+    os << "\n-- " << series.label << " --\n";
+    util::Table table({"offered%", "accepted%", "latency_us", "p95_us",
+                       "net_lat_us", "queue_us", "sustainable",
+                       "max_queue"});
+    for (const SweepPoint& point : series.points) {
+      table.row()
+          .cell(point.offered_requested * 100.0, 1)
+          .cell(point.throughput * 100.0, 1)
+          .cell(point.latency_us, 1)
+          .cell(point.latency_p95_us, 1)
+          .cell(point.network_latency_us, 1)
+          .cell(point.queueing_us, 1)
+          .cell(std::string(point.sustainable ? "yes" : "no"))
+          .cell(point.max_source_queue);
+    }
+    table.print(os);
+  }
+  os << "\n";
+}
+
+void print_figure_csv(const FigureResult& result, std::ostream& os) {
+  util::Table table({"figure", "series", "offered_pct", "accepted_pct",
+                     "latency_us", "latency_p95_us", "network_latency_us",
+                     "queueing_us", "sustainable", "max_source_queue"});
+  for (const Series& series : result.series) {
+    for (const SweepPoint& point : series.points) {
+      table.row()
+          .cell(result.id)
+          .cell(series.label)
+          .cell(point.offered_requested * 100.0, 2)
+          .cell(point.throughput * 100.0, 2)
+          .cell(point.latency_us, 2)
+          .cell(point.latency_p95_us, 2)
+          .cell(point.network_latency_us, 2)
+          .cell(point.queueing_us, 2)
+          .cell(std::string(point.sustainable ? "1" : "0"))
+          .cell(point.max_source_queue);
+    }
+  }
+  table.print_csv(os);
+}
+
+}  // namespace wormsim::experiment

@@ -1,0 +1,75 @@
+// Figure registry: one entry per evaluation figure of the paper plus the
+// future-work ablations listed in DESIGN.md.  Bench binaries and examples
+// call run_figure() and print the resulting latency/throughput series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/sweep.hpp"
+
+namespace wormsim::experiment {
+
+/// Global run controls shared by all figures.
+struct RunOptions {
+  bool quick = false;          ///< smoke-test mode: tiny sims, few loads
+  std::uint64_t seed = 20250707;
+
+  /// Simulation phases sized for stable means (quick mode shrinks them).
+  sim::SimConfig sim_config() const;
+  std::vector<double> loads() const;
+  SweepOptions sweep_options() const;
+
+  /// Honors WORMSIM_QUICK=1 and WORMSIM_SEED=<n>.
+  static RunOptions from_env();
+};
+
+struct FigureResult {
+  std::string id;
+  std::string title;
+  std::vector<Series> series;
+};
+
+/// A figure's definition before running: its title and the series
+/// (network + workload) it sweeps.  Bench binaries use this to register
+/// one benchmark per point.
+struct FigureSpec {
+  std::string id;
+  std::string title;
+  std::vector<SeriesSpec> series;
+};
+
+FigureSpec figure_spec(const std::string& id);
+
+/// Runs a figure by id ("fig16a" ... "fig20b", "ablation_*").  Aborts on
+/// unknown ids; consult figure_ids().
+FigureResult run_figure(const std::string& id, const RunOptions& options);
+
+std::vector<std::string> figure_ids();
+
+/// True if `id` names a registered figure.
+bool figure_exists(const std::string& id);
+
+/// Renders the figure as an aligned table (one row per point, one block
+/// per series).
+void print_figure(const FigureResult& result, std::ostream& os);
+
+/// Machine-readable CSV: one row per (series, point) with a `series`
+/// column — ready for plotting tools.
+void print_figure_csv(const FigureResult& result, std::ostream& os);
+
+// ---- Standard 64-node network configurations (Section 5) ----------------
+
+topology::NetworkConfig tmin_config(const std::string& topology = "cube",
+                                    unsigned radix = 4, unsigned stages = 3);
+topology::NetworkConfig dmin_config(const std::string& topology = "cube",
+                                    unsigned radix = 4, unsigned stages = 3,
+                                    unsigned dilation = 2);
+topology::NetworkConfig vmin_config(const std::string& topology = "cube",
+                                    unsigned radix = 4, unsigned stages = 3,
+                                    unsigned vcs = 2);
+topology::NetworkConfig bmin_config(unsigned radix = 4, unsigned stages = 3,
+                                    unsigned vcs = 1);
+
+}  // namespace wormsim::experiment

@@ -1,0 +1,22 @@
+// Parallel sweep execution.
+//
+// Every sweep point builds its own Network, traffic source and engine, so
+// series are embarrassingly parallel.  run_all_series() fans series out
+// over a worker pool; results are bitwise identical to the sequential
+// path because each simulation seeds its own generator.
+#pragma once
+
+#include <vector>
+
+#include "experiment/sweep.hpp"
+
+namespace wormsim::experiment {
+
+/// Runs each series (in order-preserving fashion) on up to `threads`
+/// workers.  threads == 0 picks std::thread::hardware_concurrency();
+/// threads == 1 degenerates to the sequential loop.
+std::vector<Series> run_all_series(const std::vector<SeriesSpec>& specs,
+                                   const SweepOptions& options,
+                                   unsigned threads = 0);
+
+}  // namespace wormsim::experiment

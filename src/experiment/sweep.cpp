@@ -1,0 +1,72 @@
+#include "experiment/sweep.hpp"
+
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "sim/store_forward.hpp"
+#include "util/check.hpp"
+
+namespace wormsim::experiment {
+
+SweepPoint run_point(const SeriesSpec& spec, double load,
+                     const sim::SimConfig& base_sim_config) {
+  sim::SimConfig sim_config = base_sim_config;
+  if (spec.tweak_sim) spec.tweak_sim(sim_config);
+  const topology::Network network = topology::build_network(spec.net);
+  const auto router = routing::make_router(network);
+  traffic::WorkloadSpec workload = spec.workload(network, load);
+  WORMSIM_CHECK_MSG(workload.offered == load,
+                    "workload factory must honor the requested load");
+  traffic::StandardTraffic traffic(network, std::move(workload));
+  sim::SimResult result;
+  if (spec.switching == SeriesSpec::Switching::kStoreForward) {
+    sim::StoreForwardConfig sf_config;
+    sf_config.seed = sim_config.seed;
+    sf_config.warmup_cycles = sim_config.warmup_cycles;
+    sf_config.measure_cycles = sim_config.measure_cycles;
+    sf_config.drain_cycles = sim_config.drain_cycles;
+    sf_config.sustainable_queue_limit = sim_config.sustainable_queue_limit;
+    sf_config.queue_capacity = sim_config.queue_capacity;
+    sf_config.flits_per_microsecond = sim_config.flits_per_microsecond;
+    sim::StoreForwardEngine engine(network, *router, &traffic, sf_config);
+    result = engine.run();
+  } else {
+    sim::Engine engine(network, *router, &traffic, sim_config);
+    result = engine.run();
+  }
+
+  SweepPoint point;
+  point.offered_requested = load;
+  point.offered_measured = result.offered_fraction();
+  point.throughput = result.throughput_fraction();
+  point.latency_us = result.mean_latency_us();
+  point.latency_p95_us = result.latency_quantile_us(0.95);
+  point.network_latency_us = result.mean_network_latency_us();
+  point.queueing_us =
+      result.queueing_cycles.mean() / result.flits_per_microsecond;
+  point.sustainable = result.sustainable(sim_config.sustainable_queue_limit);
+  point.max_source_queue = result.max_source_queue;
+  point.delivered_messages = result.delivered_messages_total;
+  return point;
+}
+
+Series run_series(const SeriesSpec& spec, const SweepOptions& options) {
+  Series series;
+  series.label = spec.label;
+  unsigned unsustainable_streak = 0;
+  for (double load : options.loads) {
+    const SweepPoint point = run_point(spec, load, options.sim);
+    series.points.push_back(point);
+    if (!point.sustainable) {
+      ++unsustainable_streak;
+      if (options.stop_after_unsustainable != 0 &&
+          unsustainable_streak >= options.stop_after_unsustainable) {
+        break;
+      }
+    } else {
+      unsustainable_streak = 0;
+    }
+  }
+  return series;
+}
+
+}  // namespace wormsim::experiment

@@ -1,0 +1,70 @@
+// Offered-load sweeps: the x-axis machinery behind every figure.
+//
+// The paper's evaluation plots average communication latency against
+// accepted (sustainable) network throughput while the offered load rises.
+// A Sweep runs one (network, workload) combination at a list of offered
+// loads and records one SweepPoint per load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "topology/network.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::experiment {
+
+struct SweepPoint {
+  double offered_requested = 0.0;  ///< configured load fraction
+  double offered_measured = 0.0;   ///< generated flits / capacity
+  double throughput = 0.0;         ///< delivered flits / capacity
+  double latency_us = 0.0;         ///< mean end-to-end latency
+  double latency_p95_us = 0.0;     ///< 95th-percentile end-to-end latency
+  double network_latency_us = 0.0; ///< mean in-network latency
+  double queueing_us = 0.0;        ///< mean source-queue wait
+  bool sustainable = false;
+  std::uint64_t max_source_queue = 0;
+  std::uint64_t delivered_messages = 0;
+};
+
+struct Series {
+  std::string label;
+  std::vector<SweepPoint> points;
+};
+
+/// One curve of a figure: a network plus a workload generator.  The
+/// workload factory receives the built network (clusterings need its
+/// address space) and the offered load for the point being run.
+struct SeriesSpec {
+  std::string label;
+  topology::NetworkConfig net;
+  std::function<traffic::WorkloadSpec(const topology::Network&, double load)>
+      workload;
+  /// Switching technique: wormhole (the paper's subject) or the
+  /// store-and-forward reference engine (Section 1's comparison).
+  enum class Switching { kWormhole, kStoreForward };
+  Switching switching = Switching::kWormhole;
+
+  /// Optional per-series simulator-config override (e.g. arbitration
+  /// policy ablations); applied after the sweep's base config.
+  std::function<void(sim::SimConfig&)> tweak_sim;
+};
+
+struct SweepOptions {
+  std::vector<double> loads;
+  sim::SimConfig sim;
+  /// Stop a series after this many consecutive unsustainable points (the
+  /// curve has hit its plateau; more points only burn time).  0 disables.
+  unsigned stop_after_unsustainable = 2;
+};
+
+SweepPoint run_point(const SeriesSpec& spec, double load,
+                     const sim::SimConfig& sim_config);
+
+Series run_series(const SeriesSpec& spec, const SweepOptions& options);
+
+}  // namespace wormsim::experiment

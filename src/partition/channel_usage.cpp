@@ -1,0 +1,76 @@
+#include "partition/channel_usage.hpp"
+
+#include "util/check.hpp"
+
+namespace wormsim::partition {
+
+namespace {
+constexpr std::size_t kMaxSharedExamples = 32;
+constexpr std::uint32_t kUnowned = ~std::uint32_t{0};
+}  // namespace
+
+UsageReport analyze_channel_usage(const topology::TopologySpec& topo,
+                                  const Clustering& clustering) {
+  const unsigned n = topo.stages();
+  const std::uint64_t N = topo.nodes();
+  clustering.validate(N);
+
+  UsageReport report;
+  report.clusters.resize(clustering.cluster_count());
+
+  // owner[level][address] = cluster that used the channel (or kUnowned).
+  std::vector<std::vector<std::uint32_t>> owner(
+      n + 1, std::vector<std::uint32_t>(N, kUnowned));
+  // used[level][address] marks per-cluster usage; reset between clusters.
+  std::vector<std::vector<std::uint8_t>> used(
+      n + 1, std::vector<std::uint8_t>(N, 0));
+
+  for (std::uint32_t c = 0; c < clustering.cluster_count(); ++c) {
+    const auto& members = clustering.clusters[c];
+    for (auto& level : used) {
+      std::fill(level.begin(), level.end(), 0);
+    }
+    for (topology::NodeId s : members) {
+      for (topology::NodeId d : members) {
+        if (s == d) continue;
+        for (unsigned level = 0; level <= n; ++level) {
+          const std::uint64_t addr =
+              level < n ? topo.entry_channel_address(level, s, d)
+                        : static_cast<std::uint64_t>(d);
+          used[level][addr] = 1;
+          std::uint32_t& who = owner[level][addr];
+          if (who == kUnowned) {
+            who = c;
+          } else if (who != c) {
+            report.contention_free = false;
+            if (report.shared.size() < kMaxSharedExamples) {
+              report.shared.push_back({level, addr, who, c});
+            }
+          }
+        }
+      }
+    }
+    ClusterUsage& usage = report.clusters[c];
+    usage.channels_per_level.resize(n + 1, 0);
+    for (unsigned level = 0; level <= n; ++level) {
+      std::uint64_t count = 0;
+      for (std::uint64_t addr = 0; addr < N; ++addr) {
+        count += used[level][addr];
+      }
+      usage.channels_per_level[level] = count;
+    }
+    // The paper's balance condition applies between adjacent stages
+    // (levels 1 .. n-1); clusters of one node generate no traffic.
+    if (members.size() > 1) {
+      for (unsigned level = 1; level < n; ++level) {
+        if (usage.channels_per_level[level] != members.size()) {
+          usage.channel_balanced = false;
+        }
+      }
+    }
+    if (!usage.channel_balanced) report.all_channel_balanced = false;
+  }
+  return report;
+}
+
+}  // namespace wormsim::partition

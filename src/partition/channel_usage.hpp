@@ -1,0 +1,54 @@
+// Channel-usage accounting for network partitioning (Section 4).
+//
+// For every cluster of a Clustering, enumerate all intra-cluster
+// source/destination pairs and record which channel addresses their unique
+// destination-tag path uses at every connection level C_0 .. C_n.  From the
+// per-level address sets we can decide the paper's two partitioning
+// properties:
+//
+//   * contention-free — no channel is used by two different clusters;
+//   * channel-balanced — between any two adjacent stages a cluster of c
+//     nodes is allocated exactly c channels.
+//
+// These checkers are the computational counterparts of Lemma 1 and
+// Theorems 2 and 3.  (The BMIN counterpart, Theorem 4, requires path
+// enumeration over the bidirectional network and lives in src/analysis.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/cluster.hpp"
+#include "topology/topology_spec.hpp"
+
+namespace wormsim::partition {
+
+struct ClusterUsage {
+  /// Distinct channel addresses used at each connection level C_0 .. C_n.
+  std::vector<std::uint64_t> channels_per_level;
+  /// True iff every inter-stage level (C_1 .. C_{n-1}) uses exactly
+  /// |cluster| channels.
+  bool channel_balanced = true;
+};
+
+struct SharedChannel {
+  unsigned level = 0;
+  std::uint64_t address = 0;
+  std::uint32_t cluster_a = 0;
+  std::uint32_t cluster_b = 0;
+};
+
+struct UsageReport {
+  std::vector<ClusterUsage> clusters;
+  bool contention_free = true;
+  bool all_channel_balanced = true;
+  /// Examples of channels claimed by more than one cluster (capped).
+  std::vector<SharedChannel> shared;
+};
+
+/// Exhaustive usage analysis of a unidirectional MIN under destination-tag
+/// routing.  Cost is O(|clusters| * max_cluster_size^2 * n).
+UsageReport analyze_channel_usage(const topology::TopologySpec& topo,
+                                  const Clustering& clustering);
+
+}  // namespace wormsim::partition

@@ -1,0 +1,29 @@
+// Destination-tag routing for unidirectional Delta MINs (Section 2).
+//
+// At stage G_i the packet leaves through output port t_i, where the tag
+// digit mapping t_i = d_{tag_digit(i)} was derived symbolically by the
+// TopologySpec.  In a TMIN the port holds exactly one lane; in a DMIN it
+// holds d physical channels and in a VMIN m virtual lanes, all of which are
+// legal candidates ("packets destined for a particular output port are
+// randomly distributed to one of the free channels of that port").
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace wormsim::routing {
+
+class DestinationTagRouter final : public Router {
+ public:
+  explicit DestinationTagRouter(const topology::Network& network);
+
+  void candidates(const RouteQuery& query, topology::LaneId in_lane,
+                  CandidateList& out) const override;
+
+  /// Unidirectional MIN paths all have length n + 1 (Section 3.2.3).
+  unsigned path_length(const RouteQuery& query) const override;
+
+ private:
+  const topology::Network& network_;
+};
+
+}  // namespace wormsim::routing

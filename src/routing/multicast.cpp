@@ -1,0 +1,118 @@
+#include "routing/multicast.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wormsim::routing {
+
+using topology::NodeId;
+
+std::size_t MulticastSchedule::message_count() const {
+  std::size_t total = 0;
+  for (const auto& round : rounds) total += round.size();
+  return total;
+}
+
+unsigned min_rounds(std::size_t destinations) {
+  unsigned rounds = 0;
+  std::size_t covered = 1;  // the source
+  while (covered < destinations + 1) {
+    covered *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+MulticastSchedule binomial_schedule(NodeId source,
+                                    std::vector<NodeId> dests) {
+  std::sort(dests.begin(), dests.end());
+  MulticastSchedule schedule;
+  std::vector<NodeId> holders{source};
+  std::size_t next = 0;
+  while (next < dests.size()) {
+    std::vector<Unicast> round;
+    const std::size_t senders = std::min(holders.size(),
+                                         dests.size() - next);
+    for (std::size_t i = 0; i < senders; ++i) {
+      round.push_back({holders[i], dests[next]});
+      holders.push_back(dests[next]);
+      ++next;
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Recursive halving over an address-sorted range: the holder hands the
+/// upper half to its first element, then both recurse in parallel.
+/// Contiguous sorted ranges align with fat-tree subtrees, so recursion
+/// depth r work runs in increasingly disjoint subtrees.
+void expand(NodeId holder, const std::vector<NodeId>& dests,
+            std::size_t begin, std::size_t end, unsigned round,
+            MulticastSchedule& schedule) {
+  if (begin >= end) return;
+  if (schedule.rounds.size() <= round) schedule.rounds.emplace_back();
+  const std::size_t mid = begin + (end - begin) / 2;
+  // Send to the representative of the upper half; it takes over that half.
+  const NodeId representative = dests[mid];
+  schedule.rounds[round].push_back({holder, representative});
+  expand(holder, dests, begin, mid, round + 1, schedule);
+  expand(representative, dests, mid + 1, end, round + 1, schedule);
+}
+
+}  // namespace
+
+MulticastSchedule subtree_schedule(const topology::Network& network,
+                                   NodeId source,
+                                   std::vector<NodeId> dests) {
+  std::sort(dests.begin(), dests.end());
+  // Rotate so the range starts just after the source: the first split then
+  // separates the source's own subtree from the rest.
+  const auto pivot =
+      std::upper_bound(dests.begin(), dests.end(), source);
+  std::rotate(dests.begin(), pivot, dests.end());
+  (void)network;
+  MulticastSchedule schedule;
+  expand(source, dests, 0, dests.size(), 0, schedule);
+  return schedule;
+}
+
+void validate_schedule(NodeId source, const std::vector<NodeId>& dests,
+                       const MulticastSchedule& schedule) {
+  std::vector<NodeId> holders{source};
+  std::vector<NodeId> received;
+  for (const auto& round : schedule.rounds) {
+    std::vector<NodeId> senders_this_round;
+    std::vector<NodeId> new_holders;
+    for (const Unicast& uc : round) {
+      WORMSIM_CHECK_MSG(
+          std::find(holders.begin(), holders.end(), uc.src) != holders.end(),
+          "sender does not hold the message");
+      WORMSIM_CHECK_MSG(std::find(senders_this_round.begin(),
+                                  senders_this_round.end(),
+                                  uc.src) == senders_this_round.end(),
+                        "one-port violation: node sends twice in a round");
+      WORMSIM_CHECK_MSG(
+          std::find(received.begin(), received.end(), uc.dst) ==
+              received.end() && uc.dst != source,
+          "destination receives twice");
+      senders_this_round.push_back(uc.src);
+      received.push_back(uc.dst);
+      new_holders.push_back(uc.dst);
+    }
+    holders.insert(holders.end(), new_holders.begin(), new_holders.end());
+  }
+  WORMSIM_CHECK_MSG(received.size() == dests.size(),
+                    "schedule does not cover all destinations");
+  std::vector<NodeId> sorted_received = received;
+  std::vector<NodeId> sorted_dests = dests;
+  std::sort(sorted_received.begin(), sorted_received.end());
+  std::sort(sorted_dests.begin(), sorted_dests.end());
+  WORMSIM_CHECK_MSG(sorted_received == sorted_dests,
+                    "schedule covers the wrong destination set");
+}
+
+}  // namespace wormsim::routing

@@ -1,0 +1,70 @@
+// Software multicast for wormhole MINs.
+//
+// The paper's conclusion points to its companion work, "Optimal Software
+// Multicast in Wormhole-Routed Multistage Networks" (Xu, Gui & Ni,
+// Supercomputing '94): with one-port nodes and no hardware multicast, a
+// multicast is a schedule of unicast rounds — in each round every node
+// that already holds the message may forward it to one new destination.
+// The minimum number of rounds is ceil(log2(|D| + 1)).
+//
+// Two schedulers are provided:
+//
+//   * binomial_schedule — classic recursive doubling over the destination
+//     list; round-optimal but oblivious to network structure.
+//   * subtree_schedule — recursive doubling that follows the BMIN's fat
+//     tree: the holder set expands subtree-first, so later (and larger)
+//     rounds run inside disjoint subtrees and cannot contend (Theorem 4's
+//     locality).  Round-optimal AND contention-aware.
+//
+// simulate_makespan() replays a schedule on the flit-level engine, one
+// round barrier at a time, and reports the total cycles, making the
+// contention difference between the two schedules measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::routing {
+
+struct Unicast {
+  topology::NodeId src;
+  topology::NodeId dst;
+};
+
+struct MulticastSchedule {
+  /// rounds[r] = unicasts launched simultaneously in round r; each src
+  /// must hold the message (be the source or a prior round's dst).
+  std::vector<std::vector<Unicast>> rounds;
+
+  std::size_t round_count() const { return rounds.size(); }
+  std::size_t message_count() const;
+};
+
+/// Lower bound on rounds for a one-port multicast to `destinations` nodes.
+unsigned min_rounds(std::size_t destinations);
+
+/// Recursive doubling over (source + sorted destinations).
+MulticastSchedule binomial_schedule(topology::NodeId source,
+                                    std::vector<topology::NodeId> dests);
+
+/// Fat-tree-aware recursive doubling: holders cover foreign subtrees
+/// before fanning out inside their own (locality-first ordering of the
+/// destination list; the recursion itself is standard doubling).
+MulticastSchedule subtree_schedule(const topology::Network& network,
+                                   topology::NodeId source,
+                                   std::vector<topology::NodeId> dests);
+
+/// Validates: every destination receives exactly once, every sender holds
+/// the message when it sends, nobody sends two messages in one round.
+/// Aborts on violation (programming error in a scheduler).
+void validate_schedule(topology::NodeId source,
+                       const std::vector<topology::NodeId>& dests,
+                       const MulticastSchedule& schedule);
+
+// The engine-based replay, simulate_makespan(), lives in
+// sim/multicast_replay.hpp (the simulator layers above routing).
+
+}  // namespace wormsim::routing

@@ -1,0 +1,27 @@
+#include "routing/router.hpp"
+
+#include "routing/destination_tag.hpp"
+#include "routing/turnaround.hpp"
+#include "util/radix.hpp"
+
+namespace wormsim::routing {
+
+std::unique_ptr<Router> make_router(const topology::Network& network) {
+  if (network.bidirectional()) {
+    return std::make_unique<TurnaroundRouter>(network);
+  }
+  return std::make_unique<DestinationTagRouter>(network);
+}
+
+RouteQuery make_query(const topology::Network& network, std::uint64_t src,
+                      std::uint64_t dst) {
+  RouteQuery query;
+  query.src = src;
+  query.dst = dst;
+  if (network.bidirectional() && src != dst) {
+    query.turn_stage = util::first_difference(network.address_spec(), src, dst);
+  }
+  return query;
+}
+
+}  // namespace wormsim::routing

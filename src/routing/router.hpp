@@ -1,0 +1,59 @@
+// Routing interfaces.
+//
+// A Router answers one question: given a worm's header sitting in the
+// buffer of input lane `in_lane`, which output lanes of that switch may it
+// take?  Routers are pure/deterministic — the candidate list is a complete,
+// ordered enumeration; adaptive policies (random lane selection, free-lane
+// filtering, arbitration) are applied by the caller (the simulator engine
+// or the static path enumerator), which keeps routing logic independently
+// testable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "topology/network.hpp"
+#include "util/inline_vector.hpp"
+
+namespace wormsim::routing {
+
+/// Upper bound on candidate lanes from one switch: k ports x lanes-per-port
+/// with k <= 16 and dilation*vcs <= 8.
+inline constexpr std::size_t kMaxCandidates = 128;
+
+using CandidateList = util::InlineVector<topology::LaneId, kMaxCandidates>;
+
+/// The routing-relevant state of a packet.
+struct RouteQuery {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  /// BMIN only: FirstDifference(src, dst), the stage where the worm turns.
+  unsigned turn_stage = 0;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Appends every output lane the header may legally take from the switch
+  /// that owns `in_lane`'s buffer.  An empty result means the packet is
+  /// misrouted (a bug); routers abort in that case.
+  virtual void candidates(const RouteQuery& query, topology::LaneId in_lane,
+                          CandidateList& out) const = 0;
+
+  /// Number of channels (hops) a packet traverses from source to
+  /// destination, including the node links.
+  virtual unsigned path_length(const RouteQuery& query) const = 0;
+};
+
+/// Creates the canonical router for the network's kind: destination-tag for
+/// unidirectional MINs, turnaround for BMINs.  The network must outlive the
+/// router.
+std::unique_ptr<Router> make_router(const topology::Network& network);
+
+/// Builds the route query for a packet, computing the turnaround stage for
+/// bidirectional networks.
+RouteQuery make_query(const topology::Network& network, std::uint64_t src,
+                      std::uint64_t dst);
+
+}  // namespace wormsim::routing

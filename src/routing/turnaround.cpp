@@ -1,0 +1,66 @@
+#include "routing/turnaround.hpp"
+
+#include "util/check.hpp"
+
+namespace wormsim::routing {
+
+using topology::ChannelRole;
+using topology::LaneId;
+using topology::Network;
+using topology::PhysChannel;
+using topology::Side;
+using topology::Switch;
+
+TurnaroundRouter::TurnaroundRouter(const Network& network)
+    : network_(network) {
+  WORMSIM_CHECK_MSG(network.bidirectional(),
+                    "turnaround routing applies to BMINs");
+}
+
+void TurnaroundRouter::candidates(const RouteQuery& query, LaneId in_lane,
+                                  CandidateList& out) const {
+  const PhysChannel& ch = network_.lane_channel(in_lane);
+  WORMSIM_CHECK_MSG(ch.dst.is_switch(),
+                    "routing queried for a lane that ends at a node");
+  const Switch& sw = network_.switch_ref(ch.dst.id);
+  const unsigned stage = sw.stage;
+  const bool moving_up = ch.role == ChannelRole::kInjection ||
+                         ch.role == ChannelRole::kForward;
+
+  if (moving_up && stage < query.turn_stage) {
+    // Step 3 of Fig. 7: forward connection to any port r_i.
+    for (const auto& port_lanes : sw.right.out_lanes) {
+      for (LaneId lane : port_lanes) out.push_back(lane);
+    }
+    WORMSIM_CHECK_MSG(!out.empty(), "no forward lanes below the turn stage");
+    return;
+  }
+
+  // Steps 2 and 4 of Fig. 7: at the turn stage (arriving on a left input)
+  // or while moving backward (arriving on a right input), leave through
+  // left output port d_j.
+  WORMSIM_CHECK_MSG(moving_up ? stage == query.turn_stage : true,
+                    "worm moved above its turnaround stage");
+  if (moving_up) {
+    // Turnaround connections forbid l_i -> l_i; the forward path arrives on
+    // left port s_stage and s_stage != d_stage by FirstDifference.
+    WORMSIM_DCHECK(ch.dst.side == Side::kLeft);
+    WORMSIM_DCHECK(
+        ch.dst.port !=
+        network_.address_spec().digit(query.dst, stage));
+  } else {
+    WORMSIM_DCHECK(ch.role == ChannelRole::kBackward);
+    WORMSIM_DCHECK(stage < query.turn_stage);
+  }
+  const unsigned port = network_.address_spec().digit(query.dst, stage);
+  for (LaneId lane : sw.left.out_lanes[port]) {
+    out.push_back(lane);
+  }
+  WORMSIM_CHECK_MSG(!out.empty(), "no backward lanes on the destination port");
+}
+
+unsigned TurnaroundRouter::path_length(const RouteQuery& query) const {
+  return 2 * (query.turn_stage + 1);
+}
+
+}  // namespace wormsim::routing

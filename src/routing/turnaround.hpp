@@ -1,0 +1,28 @@
+// Turnaround routing for butterfly BMINs (Section 3, Fig. 7).
+//
+// A worm first moves forward (up, toward higher stages) to any switch at
+// stage t = FirstDifference(S, D); while moving up it may take *any*
+// forward output port.  At stage t it turns around onto left output port
+// d_t; from then on it moves backward, taking left output port d_j at each
+// stage G_j, which is the unique path down to the destination.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace wormsim::routing {
+
+class TurnaroundRouter final : public Router {
+ public:
+  explicit TurnaroundRouter(const topology::Network& network);
+
+  void candidates(const RouteQuery& query, topology::LaneId in_lane,
+                  CandidateList& out) const override;
+
+  /// BMIN path length is 2 (t + 1) (Section 3.2.3), counting node links.
+  unsigned path_length(const RouteQuery& query) const override;
+
+ private:
+  const topology::Network& network_;
+};
+
+}  // namespace wormsim::routing

@@ -1,0 +1,65 @@
+// Simulation run parameters (Section 5 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wormsim::sim {
+
+/// Order in which waiting headers are offered output lanes each cycle.
+/// The paper does not specify a discipline; kRotating (the default) gives
+/// every input a fair share of first pick, kRandom re-draws the order
+/// every cycle, kFixed always scans in lane-id order (deliberately
+/// unfair; exists to measure how much the choice matters).
+enum class ArbitrationOrder : std::uint8_t { kRotating, kRandom, kFixed };
+
+/// How a header picks among its free candidate lanes.  The paper says
+/// packets are "randomly distributed to one of the free channels"
+/// (kRandomFree); kFirstFree is the deterministic alternative.
+enum class LaneSelection : std::uint8_t { kRandomFree, kFirstFree };
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+
+  ArbitrationOrder arbitration = ArbitrationOrder::kRotating;
+  LaneSelection lane_selection = LaneSelection::kRandomFree;
+
+  /// Cycles before measurement starts (network reaches steady state).
+  std::uint64_t warmup_cycles = 60'000;
+  /// Measurement window length.
+  std::uint64_t measure_cycles = 240'000;
+  /// Extra cycles after the window so in-flight measured messages can
+  /// finish and report their latency.
+  std::uint64_t drain_cycles = 60'000;
+
+  /// "The throughput is considered sustainable when the number of messages
+  /// queued at their source nodes does not exceed some small limit, 100 in
+  /// the simulations."
+  std::uint64_t sustainable_queue_limit = 100;
+
+  /// Hard cap on a source queue; beyond it new arrivals are dropped and
+  /// counted.  Only reached far past saturation, where the run is already
+  /// marked unsustainable.
+  std::uint64_t queue_capacity = 1'500;
+
+  /// Channel bandwidth: 20 flits/microsecond, i.e. 1 cycle = 0.05 us.
+  double flits_per_microsecond = 20.0;
+
+  /// Cycles without any flit movement (while flits are in flight) before
+  /// the engine declares a deadlock and aborts.  Wormhole routing in these
+  /// networks is deadlock-free, so this is purely a watchdog.
+  std::uint64_t deadlock_watchdog_cycles = 50'000;
+
+  /// Collect per-physical-channel busy-cycle counters (used by the
+  /// partitioning experiments; small overhead).
+  bool record_channel_utilization = false;
+
+  std::uint64_t total_cycles() const {
+    return warmup_cycles + measure_cycles + drain_cycles;
+  }
+  double microseconds(double cycles) const {
+    return cycles / flits_per_microsecond;
+  }
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,363 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace wormsim::sim {
+
+using topology::ChannelId;
+using topology::kInvalidId;
+using topology::LaneId;
+using topology::NodeId;
+using topology::PhysChannel;
+
+Engine::Engine(const topology::Network& network,
+               const routing::Router& router, TrafficSource* traffic,
+               SimConfig config)
+    : network_(network),
+      router_(router),
+      traffic_(traffic),
+      config_(config),
+      rng_(config.seed) {
+  const std::size_t lanes = network_.lane_count();
+  buf_packet_.assign(lanes, kNoPacket);
+  buf_seq_.assign(lanes, 0);
+  arrived_.assign(lanes, 0);
+  route_out_.assign(lanes, kInvalidId);
+  alloc_owner_.assign(lanes, kInvalidId);
+  channel_used_.assign(network_.channels().size(), 0);
+  vc_rr_.assign(network_.channels().size(), 0);
+  channel_faulty_.assign(network_.channels().size(), 0);
+
+  nodes_.resize(network_.node_count());
+  for (NodeId node = 0; node < network_.node_count(); ++node) {
+    NodeState& state = nodes_[node];
+    state.active = traffic_ != nullptr && traffic_->node_active(node);
+    if (state.active) {
+      state.next_arrival = traffic_->next_gap(node, rng_);
+    }
+  }
+
+  for (const topology::Lane& lane : network_.lanes()) {
+    if (network_.channel(lane.channel).dst.is_switch()) {
+      switch_input_lanes_.push_back(lane.id);
+    }
+  }
+
+  result_.measure_cycles = config_.measure_cycles;
+  result_.node_count = network_.node_count();
+  result_.flits_per_microsecond = config_.flits_per_microsecond;
+  if (config_.record_channel_utilization) {
+    result_.channel_busy_cycles.assign(network_.channels().size(), 0);
+  }
+}
+
+PacketId Engine::inject_message(NodeId src, std::uint64_t dst,
+                                std::uint32_t length) {
+  WORMSIM_CHECK_MSG(dst != src, "self-addressed message");
+  WORMSIM_CHECK(length >= 1);
+  PacketState pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.length = length;
+  pkt.create_cycle = cycle_;
+  pkt.measured = in_measure_window();
+  pkt.turn_stage = routing::make_query(network_, src, dst).turn_stage;
+  const auto id = static_cast<PacketId>(packets_.size());
+  packets_.push_back(pkt);
+  enqueue_packet(src, id);
+  trace(TraceEvent::Kind::kCreated, id, 0, topology::kInvalidId);
+  return id;
+}
+
+void Engine::enqueue_packet(NodeId src, PacketId id) {
+  NodeState& node = nodes_[src];
+  if (node.queue.size() >= config_.queue_capacity) {
+    ++result_.dropped_messages;
+    packets_[id].deliver_cycle = kNoCycle;
+    return;
+  }
+  node.queue.push_back(id);
+  if (in_measure_window()) {
+    result_.max_source_queue =
+        std::max<std::uint64_t>(result_.max_source_queue, node.queue.size());
+  }
+}
+
+void Engine::generate_arrivals() {
+  if (traffic_ == nullptr) return;
+  const auto now = static_cast<double>(cycle_);
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    NodeState& state = nodes_[node];
+    if (!state.active) continue;
+    while (state.next_arrival <= now) {
+      const std::uint64_t dst = traffic_->next_destination(node, rng_);
+      WORMSIM_DCHECK(dst != node);
+      const std::uint32_t length = traffic_->next_length(node, rng_);
+      const PacketId id = inject_message(node, dst, length);
+      if (in_measure_window()) {
+        ++result_.generated_messages_in_window;
+        result_.generated_flits_in_window += packets_[id].length;
+      }
+      state.next_arrival += std::max(traffic_->next_gap(node, rng_), 1e-9);
+    }
+  }
+}
+
+void Engine::route_and_allocate() {
+  // Headers are served in a configurable order; the default rotation
+  // keeps any single switch or lane from a systematic priority advantage.
+  const std::size_t count = switch_input_lanes_.size();
+  if (count == 0) return;
+  std::size_t offset = 0;
+  switch (config_.arbitration) {
+    case ArbitrationOrder::kRotating:
+      offset = static_cast<std::size_t>(cycle_ % count);
+      break;
+    case ArbitrationOrder::kRandom:
+      offset = static_cast<std::size_t>(rng_.below(count));
+      break;
+    case ArbitrationOrder::kFixed:
+      break;
+  }
+  routing::CandidateList candidates;
+  routing::CandidateList free_lanes;
+  for (std::size_t i = 0; i < count; ++i) {
+    const LaneId u = switch_input_lanes_[(i + offset) % count];
+    if (buf_packet_[u] == kNoPacket) continue;
+    if (buf_seq_[u] != 0) continue;               // body flits follow routes
+    if (route_out_[u] != kInvalidId) continue;    // already routed
+    const PacketState& pkt = packets_[buf_packet_[u]];
+    routing::RouteQuery query;
+    query.src = pkt.src;
+    query.dst = pkt.dst;
+    query.turn_stage = pkt.turn_stage;
+    candidates.clear();
+    router_.candidates(query, u, candidates);
+    free_lanes.clear();
+    for (LaneId lane : candidates) {
+      if (alloc_owner_[lane] != kInvalidId) continue;
+      if (channel_faulty_[network_.lane(lane).channel]) continue;
+      free_lanes.push_back(lane);
+    }
+    if (free_lanes.empty()) continue;  // blocked; retry next cycle
+    const LaneId chosen =
+        config_.lane_selection == LaneSelection::kFirstFree
+            ? free_lanes[0]
+            : free_lanes[static_cast<std::size_t>(
+                  rng_.below(free_lanes.size()))];
+    route_out_[u] = chosen;
+    alloc_owner_[chosen] = u;
+    trace(TraceEvent::Kind::kRouted, buf_packet_[u], 0, chosen);
+  }
+}
+
+void Engine::fail_channel(ChannelId channel) {
+  WORMSIM_CHECK_MSG(cycle_ == 0, "fail channels before the first step");
+  const PhysChannel& ch = network_.channel(channel);
+  WORMSIM_CHECK_MSG(ch.src.is_switch() && ch.dst.is_switch(),
+                    "failing a node link disconnects a one-port node");
+  channel_faulty_[channel] = 1;
+}
+
+bool Engine::try_channel(ChannelId ch_id) {
+  if (channel_used_[ch_id] || channel_faulty_[ch_id]) return false;
+  const PhysChannel& ch = network_.channel(ch_id);
+
+  // Gather the lanes of this physical channel that could transmit a flit
+  // right now, then let the round-robin pointer pick among them.
+  std::uint32_t ready_mask = 0;
+  for (unsigned v = 0; v < ch.num_lanes; ++v) {
+    const LaneId lane = ch.first_lane + v;
+    if (ch.src.is_node()) {
+      // Injection channel: the node pushes flits of its active message.
+      const NodeState& node = nodes_[ch.src.id];
+      if (node.tx_packet == kNoPacket) continue;
+      if (buf_packet_[lane] != kNoPacket) continue;  // switch buffer full
+      ready_mask |= 1u << v;
+    } else {
+      const LaneId u = alloc_owner_[lane];
+      if (u == kInvalidId) continue;
+      if (buf_packet_[u] == kNoPacket || arrived_[u]) continue;
+      WORMSIM_DCHECK(route_out_[u] == lane);
+      if (ch.dst.is_switch() && buf_packet_[lane] != kNoPacket) continue;
+      ready_mask |= 1u << v;
+    }
+  }
+  if (ready_mask == 0) return false;
+
+  unsigned pick = vc_rr_[ch_id] % ch.num_lanes;
+  while ((ready_mask & (1u << pick)) == 0) pick = (pick + 1) % ch.num_lanes;
+  vc_rr_[ch_id] = static_cast<std::uint8_t>((pick + 1) % ch.num_lanes);
+
+  const LaneId lane = ch.first_lane + pick;
+  if (ch.src.is_node()) {
+    move_from_node(ch.src.id, lane);
+  } else {
+    move_from_switch(alloc_owner_[lane], lane);
+  }
+  channel_used_[ch_id] = 1;
+  if (config_.record_channel_utilization && in_measure_window()) {
+    ++result_.channel_busy_cycles[ch_id];
+  }
+  last_move_cycle_ = cycle_;
+  return true;
+}
+
+void Engine::move_from_node(NodeId node_id, LaneId lane) {
+  NodeState& node = nodes_[node_id];
+  PacketState& pkt = packets_[node.tx_packet];
+  WORMSIM_DCHECK(buf_packet_[lane] == kNoPacket);
+  buf_packet_[lane] = node.tx_packet;
+  buf_seq_[lane] = node.tx_sent;
+  arrived_[lane] = 1;
+  ++occupied_;
+  if (node.tx_sent == 0) {
+    pkt.inject_cycle = cycle_;
+  }
+  trace(TraceEvent::Kind::kFlitMoved, node.tx_packet, node.tx_sent, lane);
+  ++node.tx_sent;
+  if (node.tx_sent == pkt.length) {
+    node.tx_packet = kNoPacket;
+    node.tx_sent = 0;
+  }
+}
+
+void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
+  const PacketId pkt_id = buf_packet_[in_lane];
+  const std::uint32_t seq = buf_seq_[in_lane];
+  const PacketState& pkt = packets_[pkt_id];
+  const bool tail = seq + 1 == pkt.length;
+  const PhysChannel& out_ch = network_.lane_channel(out_lane);
+
+  buf_packet_[in_lane] = kNoPacket;
+  --occupied_;
+  trace(TraceEvent::Kind::kFlitMoved, pkt_id, seq, out_lane);
+  if (out_ch.dst.is_node()) {
+    deliver_flit(pkt_id, seq);
+  } else {
+    WORMSIM_DCHECK(buf_packet_[out_lane] == kNoPacket);
+    buf_packet_[out_lane] = pkt_id;
+    buf_seq_[out_lane] = seq;
+    arrived_[out_lane] = 1;
+    ++occupied_;
+  }
+  if (tail) {
+    // The worm's tail has crossed this hop: release both the input unit's
+    // route and the output lane for the next worm.
+    route_out_[in_lane] = kInvalidId;
+    alloc_owner_[out_lane] = kInvalidId;
+  }
+}
+
+void Engine::deliver_flit(PacketId pkt_id, std::uint32_t seq) {
+  PacketState& pkt = packets_[pkt_id];
+  WORMSIM_DCHECK(network_.channel(network_.ejection_channel(
+                     static_cast<NodeId>(pkt.dst))) .dst.id == pkt.dst);
+  if (in_measure_window()) {
+    ++result_.delivered_flits_in_window;
+  }
+  if (seq + 1 == pkt.length) {
+    pkt.deliver_cycle = cycle_;
+    trace(TraceEvent::Kind::kDelivered, pkt_id, seq, topology::kInvalidId);
+    ++result_.delivered_messages_total;
+    if (pkt.measured) {
+      const auto latency =
+          static_cast<double>(cycle_ - pkt.create_cycle);
+      result_.latency_cycles.add(latency);
+      result_.latency_histogram.add(latency);
+      result_.network_latency_cycles.add(
+          static_cast<double>(cycle_ - pkt.inject_cycle));
+      result_.queueing_cycles.add(
+          static_cast<double>(pkt.inject_cycle - pkt.create_cycle));
+    }
+  }
+}
+
+void Engine::advance_flits() {
+  std::fill(channel_used_.begin(), channel_used_.end(), 0);
+  // Resolve movement to a fixpoint: a move can free a buffer that enables
+  // another move in the same cycle, which is exactly how an unblocked worm
+  // slides forward one hop as a unit.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (ChannelId ch = 0; ch < network_.channels().size(); ++ch) {
+      if (try_channel(ch)) moved = true;
+    }
+  }
+  std::fill(arrived_.begin(), arrived_.end(), 0);
+}
+
+void Engine::step() {
+  generate_arrivals();
+  // One-port source: start transmitting the queue head when idle.
+  for (NodeState& node : nodes_) {
+    if (node.tx_packet == kNoPacket && !node.queue.empty()) {
+      node.tx_packet = node.queue.front();
+      node.queue.pop_front();
+      node.tx_sent = 0;
+    }
+  }
+  route_and_allocate();
+  advance_flits();
+
+  if (occupied_ > 0 &&
+      cycle_ - last_move_cycle_ > config_.deadlock_watchdog_cycles) {
+    report_deadlock();
+  }
+  ++cycle_;
+}
+
+void Engine::report_deadlock() const {
+  std::fprintf(stderr,
+               "wormsim: deadlock watchdog fired at cycle %llu "
+               "(%lld flits stuck)\n",
+               static_cast<unsigned long long>(cycle_),
+               static_cast<long long>(occupied_));
+  for (LaneId lane = 0; lane < buf_packet_.size(); ++lane) {
+    if (buf_packet_[lane] == kNoPacket) continue;
+    const PacketState& pkt = packets_[buf_packet_[lane]];
+    const PhysChannel& ch = network_.lane_channel(lane);
+    std::fprintf(stderr,
+                 "  lane %u (channel %u role %d) holds packet %u seq %u "
+                 "(src %llu dst %llu len %u)\n",
+                 lane, ch.id, static_cast<int>(ch.role), buf_packet_[lane],
+                 buf_seq_[lane], static_cast<unsigned long long>(pkt.src),
+                 static_cast<unsigned long long>(pkt.dst), pkt.length);
+  }
+  WORMSIM_CHECK_MSG(false, "deadlock detected (should be impossible)");
+}
+
+bool Engine::idle() const {
+  if (occupied_ != 0) return false;
+  for (const NodeState& node : nodes_) {
+    if (node.tx_packet != kNoPacket || !node.queue.empty()) return false;
+  }
+  return true;
+}
+
+bool Engine::run_until_idle(std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (idle()) return true;
+    step();
+  }
+  return idle();
+}
+
+SimResult Engine::run() {
+  const std::uint64_t total = config_.total_cycles();
+  while (cycle_ < total) {
+    step();
+  }
+  for (const PacketState& pkt : packets_) {
+    if (pkt.measured && !pkt.delivered()) {
+      ++result_.measured_messages_unfinished;
+    }
+  }
+  return result_;
+}
+
+}  // namespace wormsim::sim

@@ -1,0 +1,160 @@
+// Flit-level wormhole simulation engine.
+//
+// The engine advances a Network cycle by cycle.  Within a cycle:
+//
+//   1. *Arrivals* — each active node draws Poisson message arrivals into
+//      its FCFS source queue and, if idle, starts transmitting the queue
+//      head (one-port architecture: one outgoing message at a time).
+//   2. *Routing & allocation* — every header flit waiting in a switch
+//      input buffer asks the Router for its legal output lanes, and claims
+//      a free one (chosen uniformly at random among the free candidates,
+//      matching the paper's random distribution over dilated channels and
+//      forward BMIN channels).  The claimed lane stays allocated to the
+//      worm until its tail flit crosses it.
+//   3. *Advance* — flits move one hop.  Each physical channel carries at
+//      most one flit per cycle; when several virtual-channel lanes of a
+//      channel are ready, a round-robin pointer picks one (flit-level fair
+//      multiplexing, Section 2.2).  Movement is resolved to a fixpoint so
+//      an unblocked worm advances as a unit — every flit behind a moving
+//      flit moves in the same cycle, giving the full one-flit-per-cycle
+//      wormhole pipeline with single-flit buffers.
+//
+// Buffers hold exactly one flit (Section 5: "each input channel in a
+// switch has a buffer the size of a single flit").  A buffer lives at the
+// *downstream* end of its lane.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/packet.hpp"
+#include "sim/trace.hpp"
+#include "sim/traffic_source.hpp"
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::sim {
+
+class Engine {
+ public:
+  /// `traffic` may be null for manually driven runs (tests inject messages
+  /// with inject_message()).  All referenced objects must outlive the
+  /// engine.
+  Engine(const topology::Network& network, const routing::Router& router,
+         TrafficSource* traffic, SimConfig config);
+
+  /// Runs warmup + measurement + drain and returns aggregated metrics.
+  SimResult run();
+
+  /// Advances one cycle (arrivals, routing, flit movement).
+  void step();
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Queues a message at its source node, bypassing the traffic source.
+  PacketId inject_message(topology::NodeId src, std::uint64_t dst,
+                          std::uint32_t length);
+
+  /// True when no flit is buffered anywhere and all source queues are
+  /// empty and idle.
+  bool idle() const;
+
+  /// Steps until idle() or `max_cycles` elapse; returns true if idle.
+  bool run_until_idle(std::uint64_t max_cycles);
+
+  const PacketState& packet(PacketId id) const { return packets_.at(id); }
+  std::size_t packet_count() const { return packets_.size(); }
+  const topology::Network& network() const { return network_; }
+
+  /// Lane occupancy introspection for tests: packet in the lane's buffer,
+  /// or kNoPacket.
+  PacketId buffered_packet(topology::LaneId lane) const {
+    return buf_packet_.at(lane);
+  }
+
+  std::uint64_t source_queue_length(topology::NodeId node) const {
+    return nodes_.at(node).queue.size();
+  }
+
+  /// Total flits currently buffered in the network.
+  std::int64_t flits_in_flight() const { return occupied_; }
+
+  /// Attaches an event observer (null to detach).  The engine reports
+  /// creations, routing grants, flit moves, and deliveries.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Marks a physical channel as failed: headers never route onto it and
+  /// no flit crosses it.  Only adaptive networks (DMIN, VMIN with spare
+  /// lanes, BMIN, extra-stage MINs) can route around interior faults; a
+  /// worm whose every legal lane is faulty blocks forever and trips the
+  /// deadlock watchdog.  Must be called before the first step(); node
+  /// links cannot be failed (a one-port node would be disconnected).
+  void fail_channel(topology::ChannelId channel);
+
+ private:
+  struct NodeState {
+    std::deque<PacketId> queue;
+    PacketId tx_packet = kNoPacket;
+    std::uint32_t tx_sent = 0;
+    double next_arrival = 0.0;
+    bool active = false;
+  };
+
+  void generate_arrivals();
+  void route_and_allocate();
+  void advance_flits();
+  bool try_channel(topology::ChannelId ch);
+  void move_from_node(topology::NodeId node, topology::LaneId lane);
+  void move_from_switch(topology::LaneId in_lane, topology::LaneId out_lane);
+  void deliver_flit(PacketId pkt, std::uint32_t seq);
+  void enqueue_packet(topology::NodeId src, PacketId id);
+  bool in_measure_window() const {
+    return cycle_ >= config_.warmup_cycles &&
+           cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  }
+  [[noreturn]] void report_deadlock() const;
+
+  void trace(TraceEvent::Kind kind, PacketId packet, std::uint32_t seq,
+             topology::LaneId lane) {
+    if (trace_ == nullptr) return;
+    trace_->on_event(TraceEvent{kind, cycle_, packet, seq, lane});
+  }
+
+  const topology::Network& network_;
+  const routing::Router& router_;
+  TrafficSource* traffic_;
+  SimConfig config_;
+  util::Rng rng_;
+  TraceSink* trace_ = nullptr;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t last_move_cycle_ = 0;
+  std::int64_t occupied_ = 0;
+
+  std::vector<PacketState> packets_;
+  std::vector<NodeState> nodes_;
+
+  // Per-lane state, indexed by LaneId.
+  std::vector<PacketId> buf_packet_;
+  std::vector<std::uint32_t> buf_seq_;
+  std::vector<std::uint8_t> arrived_;          // moved into buffer this cycle
+  std::vector<topology::LaneId> route_out_;    // input-unit worm route
+  std::vector<topology::LaneId> alloc_owner_;  // output-lane allocation
+
+  // Per-physical-channel state, indexed by ChannelId.
+  std::vector<std::uint8_t> channel_used_;    // transmitted a flit this cycle
+  std::vector<std::uint8_t> vc_rr_;           // round-robin lane pointer
+  std::vector<std::uint8_t> channel_faulty_;  // failed channels
+
+  // Lanes whose buffer sits at a switch, in scan order for routing.
+  std::vector<topology::LaneId> switch_input_lanes_;
+
+  SimResult result_;
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,75 @@
+// Aggregated results of one simulation run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/stats.hpp"
+
+namespace wormsim::sim {
+
+struct SimResult {
+  /// End-to-end message latency in cycles (source queueing included),
+  /// over messages created inside the measurement window.
+  util::OnlineStats latency_cycles;
+  /// Latency distribution (bin width 20 cycles = 1 us; overflow above
+  /// 60k cycles); quantile() yields p50/p95/p99 in cycles.
+  util::Histogram latency_histogram{20.0, 3000};
+  /// Network-only latency (injection of header -> delivery of tail).
+  util::OnlineStats network_latency_cycles;
+  /// Source queueing delay (creation -> injection of header).
+  util::OnlineStats queueing_cycles;
+
+  std::uint64_t delivered_flits_in_window = 0;
+  std::uint64_t generated_messages_in_window = 0;
+  std::uint64_t generated_flits_in_window = 0;
+  std::uint64_t delivered_messages_total = 0;
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t max_source_queue = 0;
+  std::uint64_t measured_messages_unfinished = 0;
+
+  std::uint64_t measure_cycles = 0;
+  std::uint64_t node_count = 0;
+  double flits_per_microsecond = 20.0;
+
+  /// Busy cycles per physical channel over the measurement window (empty
+  /// unless SimConfig::record_channel_utilization).
+  std::vector<std::uint64_t> channel_busy_cycles;
+
+  /// Accepted throughput as a fraction of the theoretical maximum of one
+  /// flit per node per cycle (the one-port ejection bound).
+  double throughput_fraction() const {
+    if (measure_cycles == 0 || node_count == 0) return 0.0;
+    return static_cast<double>(delivered_flits_in_window) /
+           (static_cast<double>(measure_cycles) *
+            static_cast<double>(node_count));
+  }
+
+  /// Offered load, same normalization.
+  double offered_fraction() const {
+    if (measure_cycles == 0 || node_count == 0) return 0.0;
+    return static_cast<double>(generated_flits_in_window) /
+           (static_cast<double>(measure_cycles) *
+            static_cast<double>(node_count));
+  }
+
+  /// Sustainability per the paper: max source-queue length stayed within
+  /// the limit.
+  bool sustainable(std::uint64_t limit = 100) const {
+    return max_source_queue <= limit && dropped_messages == 0;
+  }
+
+  double mean_latency_us() const {
+    return latency_cycles.mean() / flits_per_microsecond;
+  }
+  double mean_network_latency_us() const {
+    return network_latency_cycles.mean() / flits_per_microsecond;
+  }
+  /// Latency quantile in microseconds (upper bin edge).
+  double latency_quantile_us(double q) const {
+    return latency_histogram.quantile(q) / flits_per_microsecond;
+  }
+};
+
+}  // namespace wormsim::sim

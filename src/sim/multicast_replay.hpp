@@ -1,0 +1,21 @@
+// Engine-based replay of software multicast schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/multicast.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::sim {
+
+/// Replays the schedule on the flit-level engine with a barrier between
+/// rounds and returns the total cycles until the last destination holds
+/// the message.  `message_flits` is the multicast payload length.
+std::uint64_t simulate_makespan(const topology::Network& network,
+                                const routing::Router& router,
+                                const routing::MulticastSchedule& schedule,
+                                std::uint32_t message_flits,
+                                std::uint64_t seed = 1);
+
+}  // namespace wormsim::sim

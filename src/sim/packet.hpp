@@ -1,0 +1,30 @@
+// Packet bookkeeping for the wormhole engine.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/network.hpp"
+
+namespace wormsim::sim {
+
+using PacketId = std::uint32_t;
+inline constexpr PacketId kNoPacket = topology::kInvalidId;
+inline constexpr std::uint64_t kNoCycle = ~std::uint64_t{0};
+
+/// Lifetime record of one message.  The paper treats packets and messages
+/// interchangeably (no packetization), and so do we.
+struct PacketState {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint32_t length = 0;  ///< flits
+  /// BMIN: FirstDifference(src, dst), where the worm turns around.
+  unsigned turn_stage = 0;
+  std::uint64_t create_cycle = kNoCycle;   ///< entered the source queue
+  std::uint64_t inject_cycle = kNoCycle;   ///< header flit entered network
+  std::uint64_t deliver_cycle = kNoCycle;  ///< tail flit consumed
+  bool measured = false;  ///< created inside the measurement window
+
+  bool delivered() const { return deliver_cycle != kNoCycle; }
+};
+
+}  // namespace wormsim::sim

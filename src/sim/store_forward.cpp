@@ -1,0 +1,278 @@
+#include "sim/store_forward.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wormsim::sim {
+
+using topology::ChannelId;
+using topology::kInvalidId;
+using topology::LaneId;
+using topology::NodeId;
+using topology::PhysChannel;
+
+StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
+                                       const routing::Router& router,
+                                       TrafficSource* traffic,
+                                       StoreForwardConfig config)
+    : network_(network),
+      router_(router),
+      traffic_(traffic),
+      config_(config),
+      rng_(config.seed) {
+  WORMSIM_CHECK(config_.buffer_packets >= 1);
+  nodes_.resize(network_.node_count());
+  lanes_.resize(network_.lane_count());
+  channel_free_at_.assign(network_.channels().size(), 0);
+
+  result_.measure_cycles = config_.measure_cycles;
+  result_.node_count = network_.node_count();
+  result_.flits_per_microsecond = config_.flits_per_microsecond;
+
+  for (NodeId node = 0; node < network_.node_count(); ++node) {
+    nodes_[node].active = traffic_ != nullptr && traffic_->node_active(node);
+    if (nodes_[node].active) {
+      const double gap = traffic_->next_gap(node, rng_);
+      schedule(static_cast<std::uint64_t>(std::llround(std::max(1.0, gap))),
+               Event::Kind::kArrivalGen, node);
+    }
+  }
+}
+
+void StoreForwardEngine::schedule(std::uint64_t time, Event::Kind kind,
+                                  std::uint64_t payload) {
+  WORMSIM_DCHECK(time >= now_);
+  events_.push(Event{time, kind, payload});
+}
+
+PacketId StoreForwardEngine::inject_message(NodeId src, std::uint64_t dst,
+                                            std::uint32_t length,
+                                            std::uint64_t when) {
+  WORMSIM_CHECK_MSG(dst != src, "self-addressed message");
+  WORMSIM_CHECK(length >= 1);
+  WORMSIM_CHECK(when >= now_);
+  PacketState pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.length = length;
+  pkt.create_cycle = when;
+  pkt.turn_stage = routing::make_query(network_, src, dst).turn_stage;
+  const auto id = static_cast<PacketId>(packets_.size());
+  packets_.push_back(pkt);
+  if (when == now_) {
+    packets_[id].measured = in_measure_window();
+    nodes_[src].queue.push_back(id);
+    pump();
+  } else {
+    schedule(when, Event::Kind::kInject, id);
+  }
+  return id;
+}
+
+bool StoreForwardEngine::lane_has_space(LaneId lane) const {
+  const LaneState& state = lanes_[lane];
+  return state.queue.size() + state.incoming < config_.buffer_packets;
+}
+
+bool StoreForwardEngine::start_transfer(PacketId pkt, LaneId from,
+                                        LaneId to) {
+  const PhysChannel& ch = network_.lane_channel(to);
+  WORMSIM_DCHECK(channel_free_at_[ch.id] <= now_);
+  if (from == kInvalidId) {
+    PacketState& state = packets_[pkt];
+    nodes_[state.src].transmitting = true;
+    state.inject_cycle = now_;
+  } else {
+    lanes_[from].transmitting = true;
+  }
+  if (ch.dst.is_switch()) {
+    ++lanes_[to].incoming;
+  }
+  const std::uint32_t length = packets_[pkt].length;
+  channel_free_at_[ch.id] = now_ + length;
+  transfers_.push_back(Transfer{pkt, from, to});
+  schedule(now_ + length, Event::Kind::kTransferDone, transfers_.size() - 1);
+  ++in_flight_;
+  return true;
+}
+
+bool StoreForwardEngine::try_start_from_node(NodeId node) {
+  NodeState& state = nodes_[node];
+  if (state.transmitting || state.queue.empty()) return false;
+  const ChannelId inj = network_.injection_channel(node);
+  const PhysChannel& ch = network_.channel(inj);
+  if (channel_free_at_[ch.id] > now_) return false;
+  const LaneId lane = ch.first_lane;
+  if (!lane_has_space(lane)) return false;
+  return start_transfer(state.queue.front(), kInvalidId, lane);
+}
+
+bool StoreForwardEngine::try_start_from_lane(LaneId lane) {
+  LaneState& state = lanes_[lane];
+  if (state.transmitting || state.queue.empty()) return false;
+  const PacketId pkt = state.queue.front();
+  const PacketState& packet = packets_[pkt];
+  routing::RouteQuery query;
+  query.src = packet.src;
+  query.dst = packet.dst;
+  query.turn_stage = packet.turn_stage;
+  routing::CandidateList candidates;
+  router_.candidates(query, lane, candidates);
+  routing::CandidateList usable;
+  for (LaneId next : candidates) {
+    const PhysChannel& ch = network_.lane_channel(next);
+    if (channel_free_at_[ch.id] > now_) continue;
+    if (ch.dst.is_switch() && !lane_has_space(next)) continue;
+    // Dedupe lanes of the same channel: one transfer occupies the wires.
+    bool duplicate = false;
+    for (LaneId seen : usable) {
+      if (network_.lane(seen).channel == ch.id) duplicate = true;
+    }
+    if (!duplicate) usable.push_back(next);
+  }
+  if (usable.empty()) return false;
+  const LaneId chosen =
+      usable[static_cast<std::size_t>(rng_.below(usable.size()))];
+  return start_transfer(pkt, lane, chosen);
+}
+
+void StoreForwardEngine::pump() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (NodeId node = 0; node < nodes_.size(); ++node) {
+      if (try_start_from_node(node)) progress = true;
+    }
+    for (LaneId lane = 0; lane < lanes_.size(); ++lane) {
+      if (network_.lane_channel(lane).dst.is_switch() &&
+          try_start_from_lane(lane)) {
+        progress = true;
+      }
+    }
+  }
+}
+
+void StoreForwardEngine::deliver(PacketId pkt_id) {
+  PacketState& pkt = packets_[pkt_id];
+  pkt.deliver_cycle = now_;
+  ++result_.delivered_messages_total;
+  if (in_measure_window()) {
+    result_.delivered_flits_in_window += pkt.length;
+  }
+  if (pkt.measured) {
+    const auto latency = static_cast<double>(now_ - pkt.create_cycle);
+    result_.latency_cycles.add(latency);
+    result_.latency_histogram.add(latency);
+    result_.network_latency_cycles.add(
+        static_cast<double>(now_ - pkt.inject_cycle));
+    result_.queueing_cycles.add(
+        static_cast<double>(pkt.inject_cycle - pkt.create_cycle));
+  }
+}
+
+void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
+  --in_flight_;
+  if (transfer.from == kInvalidId) {
+    NodeState& node = nodes_[packets_[transfer.packet].src];
+    WORMSIM_DCHECK(!node.queue.empty() &&
+                   node.queue.front() == transfer.packet);
+    node.queue.pop_front();
+    node.transmitting = false;
+  } else {
+    LaneState& from = lanes_[transfer.from];
+    WORMSIM_DCHECK(!from.queue.empty() &&
+                   from.queue.front() == transfer.packet);
+    from.queue.pop_front();
+    from.transmitting = false;
+  }
+  const PhysChannel& ch = network_.lane_channel(transfer.to);
+  if (ch.dst.is_node()) {
+    deliver(transfer.packet);
+  } else {
+    LaneState& to = lanes_[transfer.to];
+    WORMSIM_DCHECK(to.incoming > 0);
+    --to.incoming;
+    to.queue.push_back(transfer.packet);
+  }
+}
+
+void StoreForwardEngine::process(const Event& event) {
+  WORMSIM_DCHECK(event.time >= now_);
+  now_ = event.time;
+  switch (event.kind) {
+    case Event::Kind::kArrivalGen: {
+      const auto node = static_cast<NodeId>(event.payload);
+      const std::uint64_t dst = traffic_->next_destination(node, rng_);
+      const std::uint32_t length = traffic_->next_length(node, rng_);
+      if (nodes_[node].queue.size() >= config_.queue_capacity) {
+        ++result_.dropped_messages;
+      } else {
+        const PacketId id = inject_message(node, dst, length, now_);
+        if (in_measure_window()) {
+          ++result_.generated_messages_in_window;
+          result_.generated_flits_in_window += packets_[id].length;
+          result_.max_source_queue = std::max<std::uint64_t>(
+              result_.max_source_queue, nodes_[node].queue.size());
+        }
+      }
+      const double gap = traffic_->next_gap(node, rng_);
+      schedule(now_ + static_cast<std::uint64_t>(
+                          std::llround(std::max(1.0, gap))),
+               Event::Kind::kArrivalGen, node);
+      break;
+    }
+    case Event::Kind::kTransferDone:
+      finish_transfer(transfers_[event.payload]);
+      break;
+    case Event::Kind::kInject: {
+      PacketState& pkt = packets_[event.payload];
+      pkt.measured = in_measure_window();
+      nodes_[pkt.src].queue.push_back(
+          static_cast<PacketId>(event.payload));
+      break;
+    }
+  }
+  pump();
+}
+
+bool StoreForwardEngine::idle() const {
+  if (in_flight_ != 0) return false;
+  for (const NodeState& node : nodes_) {
+    if (!node.queue.empty()) return false;
+  }
+  for (const LaneState& lane : lanes_) {
+    if (!lane.queue.empty()) return false;
+  }
+  return true;
+}
+
+bool StoreForwardEngine::run_until_idle(std::uint64_t max_time) {
+  while (!events_.empty() && events_.top().time <= max_time) {
+    const Event event = events_.top();
+    events_.pop();
+    process(event);
+    if (idle() && events_.empty()) return true;
+  }
+  return idle();
+}
+
+SimResult StoreForwardEngine::run() {
+  const std::uint64_t total = config_.warmup_cycles +
+                              config_.measure_cycles + config_.drain_cycles;
+  while (!events_.empty() && events_.top().time < total) {
+    const Event event = events_.top();
+    events_.pop();
+    process(event);
+  }
+  now_ = total;
+  for (const PacketState& pkt : packets_) {
+    if (pkt.measured && !pkt.delivered()) {
+      ++result_.measured_messages_unfinished;
+    }
+  }
+  return result_;
+}
+
+}  // namespace wormsim::sim

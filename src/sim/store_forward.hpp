@@ -1,0 +1,134 @@
+// Store-and-forward (packet-switching) reference engine.
+//
+// Section 1 of the paper contrasts wormhole switching with the
+// packet-switched MINs of the earlier literature (refs [4], [5], [6]):
+// under store-and-forward a packet is buffered *entirely* at every switch
+// before moving on, so zero-load latency is path_length x packet_length
+// cycles instead of wormhole's path_length + packet_length - 1 — latency
+// is distance-SENSITIVE.  This engine makes that contrast measurable on
+// the exact same Network/Router substrate.
+//
+// Model: event-driven at packet granularity.  Each virtual-channel lane
+// owns a FIFO buffer of `buffer_packets` whole packets at its downstream
+// end.  A transfer occupies the physical channel for `length` cycles and
+// reserves one downstream slot; the packet continues to occupy its
+// upstream slot until the transfer completes (classic store-and-forward).
+// Output selection uses the same Router candidates and uniform random
+// choice as the wormhole engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/metrics.hpp"
+#include "sim/packet.hpp"
+#include "sim/traffic_source.hpp"
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::sim {
+
+struct StoreForwardConfig {
+  std::uint64_t seed = 1;
+  /// Whole-packet buffers per lane.
+  std::uint32_t buffer_packets = 1;
+  std::uint64_t warmup_cycles = 40'000;
+  std::uint64_t measure_cycles = 160'000;
+  std::uint64_t drain_cycles = 80'000;
+  std::uint64_t sustainable_queue_limit = 100;
+  std::uint64_t queue_capacity = 1'500;
+  double flits_per_microsecond = 20.0;
+};
+
+class StoreForwardEngine {
+ public:
+  StoreForwardEngine(const topology::Network& network,
+                     const routing::Router& router, TrafficSource* traffic,
+                     StoreForwardConfig config);
+
+  /// Queues a message at its source at the given time (>= current time).
+  PacketId inject_message(topology::NodeId src, std::uint64_t dst,
+                          std::uint32_t length, std::uint64_t when = 0);
+
+  /// Runs warmup + measurement + drain (with traffic), collecting metrics.
+  SimResult run();
+
+  /// Processes events until nothing is queued or in flight; returns true
+  /// when fully drained before `max_time`.
+  bool run_until_idle(std::uint64_t max_time);
+
+  const PacketState& packet(PacketId id) const { return packets_.at(id); }
+  std::uint64_t now() const { return now_; }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    enum class Kind : std::uint8_t {
+      kArrivalGen,    ///< node draws its next message (payload = node)
+      kTransferDone,  ///< a channel transfer completes (payload = transfer)
+      kInject         ///< a manually injected packet enters its queue
+    } kind;
+    std::uint64_t payload;
+
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+
+  struct Transfer {
+    PacketId packet;
+    topology::LaneId from;  ///< kInvalidId when leaving the source node
+    topology::LaneId to;
+  };
+
+  struct LaneState {
+    std::deque<PacketId> queue;  ///< fully received packets, FIFO
+    std::uint32_t incoming = 0;  ///< slots reserved by in-flight transfers
+    bool transmitting = false;   ///< head packet is being forwarded
+  };
+
+  struct NodeState {
+    std::deque<PacketId> queue;
+    bool transmitting = false;
+    bool active = false;
+  };
+
+  bool in_measure_window() const {
+    return now_ >= config_.warmup_cycles &&
+           now_ < config_.warmup_cycles + config_.measure_cycles;
+  }
+
+  void schedule(std::uint64_t time, Event::Kind kind, std::uint64_t payload);
+  void process(const Event& event);
+  /// Tries to start transfers anywhere progress is possible.
+  void pump();
+  bool try_start_from_node(topology::NodeId node);
+  bool try_start_from_lane(topology::LaneId lane);
+  bool start_transfer(PacketId pkt, topology::LaneId from,
+                      topology::LaneId to);
+  void finish_transfer(const Transfer& transfer);
+  void deliver(PacketId pkt);
+  bool lane_has_space(topology::LaneId lane) const;
+  bool idle() const;
+
+  const topology::Network& network_;
+  const routing::Router& router_;
+  TrafficSource* traffic_;
+  StoreForwardConfig config_;
+  util::Rng rng_;
+
+  std::uint64_t now_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Transfer> transfers_;  // indexed by payload of kTransferDone
+
+  std::vector<PacketState> packets_;
+  std::vector<NodeState> nodes_;
+  std::vector<LaneState> lanes_;
+  std::vector<std::uint64_t> channel_free_at_;
+  std::int64_t in_flight_ = 0;
+
+  SimResult result_;
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,60 @@
+// Flit-level event tracing.
+//
+// An optional observer the engine reports to: message creation, header
+// routing decisions, per-channel flit transmissions, blocking retries,
+// and delivery.  Used by tests to validate micro-behavior (e.g. that a
+// worm's route is one of the enumerated static paths) and by the
+// trace_route example to print a packet's journey.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kCreated,    ///< entered the source queue
+    kRouted,     ///< header granted an output lane (lane = granted)
+    kFlitMoved,  ///< one flit crossed a channel (lane = traversed)
+    kDelivered,  ///< tail consumed at the destination
+  };
+  Kind kind{};
+  std::uint64_t cycle = 0;
+  PacketId packet = kNoPacket;
+  std::uint32_t flit_seq = 0;
+  topology::LaneId lane = topology::kInvalidId;
+};
+
+/// Receives engine events.  Implementations must be cheap; the engine
+/// calls into the sink from its hot loop when tracing is enabled.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Stores everything; fine for tests and short runs.
+class RecordingTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Channel ids a packet's flits traversed, in first-traversal order.
+  std::vector<topology::ChannelId> route_of(
+      PacketId packet, const topology::Network& network) const;
+
+  /// Events of one packet only.
+  std::vector<TraceEvent> packet_events(PacketId packet) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wormsim::sim

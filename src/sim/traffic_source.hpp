@@ -1,0 +1,35 @@
+// Abstract traffic generation interface consumed by the engine.
+//
+// Concrete patterns (uniform, hot spot, permutations, cluster ratios) live
+// in src/traffic; the engine only needs per-node arrival gaps, destination
+// draws, and message lengths.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::sim {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// False for nodes that generate no traffic (e.g. fixed points of a
+  /// permutation pattern, or clusters with a zero rate share).
+  virtual bool node_active(topology::NodeId node) const = 0;
+
+  /// Draws the gap, in cycles, until the node's next message arrival.
+  virtual double next_gap(topology::NodeId node, util::Rng& rng) = 0;
+
+  /// Draws a destination; must never return `node` itself.
+  virtual std::uint64_t next_destination(topology::NodeId node,
+                                         util::Rng& rng) = 0;
+
+  /// Draws a message length in flits (>= 1).
+  virtual std::uint32_t next_length(topology::NodeId node,
+                                    util::Rng& rng) = 0;
+};
+
+}  // namespace wormsim::sim

@@ -1,0 +1,118 @@
+#include "topology/digit_perm.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wormsim::topology {
+
+DigitPerm::DigitPerm(std::vector<unsigned> source_of)
+    : source_of_(std::move(source_of)) {
+  // Validate that source_of_ is a permutation of 0..n-1.
+  std::vector<bool> seen(source_of_.size(), false);
+  for (unsigned p : source_of_) {
+    WORMSIM_CHECK(p < source_of_.size());
+    WORMSIM_CHECK_MSG(!seen[p], "digit permutation has a repeated source");
+    seen[p] = true;
+  }
+}
+
+DigitPerm DigitPerm::identity(unsigned digits) {
+  std::vector<unsigned> src(digits);
+  std::iota(src.begin(), src.end(), 0u);
+  return DigitPerm(std::move(src));
+}
+
+DigitPerm DigitPerm::butterfly(unsigned digits, unsigned i) {
+  WORMSIM_CHECK(i < digits);
+  std::vector<unsigned> src(digits);
+  std::iota(src.begin(), src.end(), 0u);
+  std::swap(src[0], src[i]);
+  return DigitPerm(std::move(src));
+}
+
+DigitPerm DigitPerm::shuffle(unsigned digits) {
+  // New position p takes the digit from old position (p - 1) mod n: the
+  // whole digit string rotates left, so old position n-1 lands at 0.
+  std::vector<unsigned> src(digits);
+  for (unsigned p = 0; p < digits; ++p) {
+    src[p] = (p + digits - 1) % digits;
+  }
+  return DigitPerm(std::move(src));
+}
+
+DigitPerm DigitPerm::inverse_shuffle(unsigned digits) {
+  return shuffle(digits).inverse();
+}
+
+DigitPerm DigitPerm::subshuffle(unsigned digits, unsigned window) {
+  WORMSIM_CHECK(window >= 1 && window <= digits);
+  std::vector<unsigned> src(digits);
+  std::iota(src.begin(), src.end(), 0u);
+  for (unsigned p = 0; p < window; ++p) {
+    src[p] = (p + window - 1) % window;
+  }
+  return DigitPerm(std::move(src));
+}
+
+DigitPerm DigitPerm::inverse_subshuffle(unsigned digits, unsigned window) {
+  return subshuffle(digits, window).inverse();
+}
+
+unsigned DigitPerm::target_of(unsigned p) const {
+  for (unsigned q = 0; q < digits(); ++q) {
+    if (source_of_[q] == p) return q;
+  }
+  WORMSIM_CHECK_MSG(false, "not a permutation");
+}
+
+std::uint64_t DigitPerm::apply(const util::RadixSpec& spec,
+                               std::uint64_t addr) const {
+  WORMSIM_CHECK(spec.digits() == digits());
+  std::uint64_t out = 0;
+  std::uint64_t weight = 1;
+  for (unsigned p = 0; p < digits(); ++p) {
+    out += static_cast<std::uint64_t>(spec.digit(addr, source_of_[p])) * weight;
+    weight *= spec.radix();
+  }
+  return out;
+}
+
+DigitPerm DigitPerm::inverse() const {
+  std::vector<unsigned> src(digits());
+  for (unsigned p = 0; p < digits(); ++p) {
+    src[source_of_[p]] = p;
+  }
+  return DigitPerm(std::move(src));
+}
+
+DigitPerm DigitPerm::then(const DigitPerm& next) const {
+  WORMSIM_CHECK(digits() == next.digits());
+  // (this then next): new[p] = mid[next.source_of(p)] = old[source_of(next.source_of(p))].
+  std::vector<unsigned> src(digits());
+  for (unsigned p = 0; p < digits(); ++p) {
+    src[p] = source_of_[next.source_of_[p]];
+  }
+  return DigitPerm(std::move(src));
+}
+
+bool DigitPerm::is_identity() const {
+  for (unsigned p = 0; p < digits(); ++p) {
+    if (source_of_[p] != p) return false;
+  }
+  return true;
+}
+
+std::string DigitPerm::describe() const {
+  std::ostringstream os;
+  os << "(";
+  for (unsigned p = digits(); p-- > 0;) {
+    os << "x" << source_of_[p];
+    if (p > 0) os << " ";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace wormsim::topology

@@ -1,0 +1,86 @@
+// Digit-position permutations: the inter-stage connection patterns of MINs.
+//
+// All connection patterns used by the paper — the i-th k-ary butterfly
+// permutation beta_i (Definition 1), the perfect k-shuffle sigma
+// (Definition 2), their inverses, and sub-shuffles over a low-digit window
+// (for the baseline network) — permute the *positions* of an address's
+// radix-k digits without looking at digit values.  DigitPerm captures that:
+// it maps an n-digit address to another n-digit address by relocating
+// digits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/radix.hpp"
+
+namespace wormsim::topology {
+
+/// A permutation of digit positions applied to n-digit radix-k addresses.
+///
+/// Internally stores `source_of[p]` = the old position whose digit lands at
+/// new position p, i.e. new_digits[p] = old_digits[source_of[p]].
+class DigitPerm {
+ public:
+  /// Identity on n digits.
+  static DigitPerm identity(unsigned digits);
+
+  /// beta_i: interchange digit 0 and digit i (Definition 1).  beta_0 is the
+  /// identity.
+  static DigitPerm butterfly(unsigned digits, unsigned i);
+
+  /// sigma: perfect k-shuffle (Definition 2); the digit string rotates left,
+  /// so each digit moves from position p to position (p + 1) mod n.
+  static DigitPerm shuffle(unsigned digits);
+
+  /// sigma^-1: inverse perfect shuffle (digit string rotates right).
+  static DigitPerm inverse_shuffle(unsigned digits);
+
+  /// Inverse shuffle confined to the `window` least-significant digits;
+  /// positions >= window are fixed.  Used by the baseline network.
+  static DigitPerm inverse_subshuffle(unsigned digits, unsigned window);
+
+  /// Shuffle confined to the `window` least-significant digits.
+  static DigitPerm subshuffle(unsigned digits, unsigned window);
+
+  unsigned digits() const { return static_cast<unsigned>(source_of_.size()); }
+
+  /// Old position whose digit lands at new position p.
+  unsigned source_of(unsigned p) const { return source_of_[p]; }
+
+  /// New position where the digit at old position p lands.
+  unsigned target_of(unsigned p) const;
+
+  /// Applies the permutation to an address in the given radix.
+  std::uint64_t apply(const util::RadixSpec& spec, std::uint64_t addr) const;
+
+  /// Applies the permutation to a generic digit vector (index 0 = least
+  /// significant); the element type is arbitrary, enabling symbolic traces.
+  template <typename T>
+  std::vector<T> apply_digits(const std::vector<T>& digits) const {
+    std::vector<T> out(digits.size());
+    for (unsigned p = 0; p < digits.size(); ++p) {
+      out[p] = digits[source_of_[p]];
+    }
+    return out;
+  }
+
+  DigitPerm inverse() const;
+
+  /// Composition: (a.then(b)) applies a first, then b.
+  DigitPerm then(const DigitPerm& next) const;
+
+  bool is_identity() const;
+
+  bool operator==(const DigitPerm& other) const = default;
+
+  std::string describe() const;
+
+ private:
+  explicit DigitPerm(std::vector<unsigned> source_of);
+
+  std::vector<unsigned> source_of_;
+};
+
+}  // namespace wormsim::topology

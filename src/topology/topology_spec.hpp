@@ -1,0 +1,115 @@
+// Delta-network topology specifications and symbolic routing-tag derivation.
+//
+// Following Section 2 of the paper, an N-node unidirectional MIN built from
+// k x k switches (N = k^n) is
+//
+//     C_0(N) G_0(N/k) C_1(N) ... C_{n-1}(N) G_{n-1}(N/k) C_n(N)
+//
+// where each stage G_i holds N/k switches and each connection C_i is a
+// permutation of N channel addresses.  A TopologySpec stores the n+1
+// connection patterns as digit permutations.  For every Delta network the
+// routing tag T = t_0 t_1 ... t_{n-1} is a fixed rearrangement of the
+// destination digits; instead of hard-coding the paper's per-topology tag
+// formulas we *derive* the mapping by pushing a symbolic address through
+// the network (see SymbolicTrace), which doubles as a proof that the
+// supplied connection patterns really form a self-routing Delta network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/digit_perm.hpp"
+#include "util/radix.hpp"
+
+namespace wormsim::topology {
+
+/// A symbolic address digit: either a source digit s_i or a tag digit t_i.
+struct Symbol {
+  enum class Kind { kSource, kTag };
+  Kind kind;
+  unsigned index;
+
+  bool operator==(const Symbol&) const = default;
+  std::string describe() const;
+};
+
+/// The symbolic channel addresses at every point of a MIN: entry(i) is the
+/// address layout on the channels entering stage G_i (after C_i), and
+/// exit(i) the layout leaving G_i (before C_{i+1}).  final() is the layout
+/// delivered to the destination node (after C_n).
+struct SymbolicTrace {
+  std::vector<std::vector<Symbol>> entries;  // per stage
+  std::vector<std::vector<Symbol>> exits;    // per stage
+  std::vector<Symbol> final;
+
+  std::string describe(unsigned stages) const;
+};
+
+/// Connection patterns of an n-stage k-ary Delta MIN.
+class TopologySpec {
+ public:
+  /// `connections` must hold n+1 digit permutations C_0 .. C_n over n
+  /// digits.  The constructor derives the destination-tag mapping and
+  /// aborts if the patterns do not form a self-routing Delta network.
+  TopologySpec(std::string name, unsigned radix,
+               std::vector<DigitPerm> connections);
+
+  const std::string& name() const { return name_; }
+  unsigned radix() const { return spec_.radix(); }
+  unsigned stages() const { return static_cast<unsigned>(connections_.size()) - 1; }
+  std::uint64_t nodes() const { return spec_.size(); }
+  const util::RadixSpec& address_spec() const { return spec_; }
+
+  const DigitPerm& connection(unsigned i) const { return connections_.at(i); }
+
+  /// Destination digit that forms routing tag t_i: t_i = d_{tag_digit(i)}.
+  unsigned tag_digit(unsigned stage) const { return tag_digit_.at(stage); }
+
+  /// Output port a packet for destination `dst` takes at stage `stage`.
+  unsigned output_port(unsigned stage, std::uint64_t dst) const {
+    return spec_.digit(dst, tag_digit(stage));
+  }
+
+  /// The symbolic channel-address layouts (used by partition analysis and
+  /// by the Lemma 1 / Theorem 3 checkers).
+  const SymbolicTrace& trace() const { return trace_; }
+
+  /// The channel address entering stage `stage` for a (src, dst) pair —
+  /// the concrete counterpart of trace().entries[stage].
+  std::uint64_t entry_channel_address(unsigned stage, std::uint64_t src,
+                                      std::uint64_t dst) const;
+
+  /// The channel address leaving stage `stage` for a (src, dst) pair.
+  std::uint64_t exit_channel_address(unsigned stage, std::uint64_t src,
+                                     std::uint64_t dst) const;
+
+ private:
+  void derive_tags();
+
+  std::string name_;
+  util::RadixSpec spec_;
+  std::vector<DigitPerm> connections_;
+  std::vector<unsigned> tag_digit_;
+  SymbolicTrace trace_;
+};
+
+/// Cube MIN (indirect cube / multistage cube): C_0 = sigma,
+/// C_i = beta_{n-i} for 1 <= i <= n.  Tags come out as t_i = d_{n-i-1}.
+TopologySpec cube_topology(unsigned radix, unsigned stages);
+
+/// Butterfly MIN: C_0 = C_n = identity, C_i = beta_i for 1 <= i <= n-1.
+/// Tags come out as t_i = d_{i+1} (i <= n-2) and t_{n-1} = d_0.
+TopologySpec butterfly_topology(unsigned radix, unsigned stages);
+
+/// Omega network: C_i = sigma for 0 <= i <= n-1, C_n = identity.
+TopologySpec omega_topology(unsigned radix, unsigned stages);
+
+/// Baseline network: C_0 = C_n = identity and C_i the inverse shuffle over
+/// the low n-i+1 digits for 1 <= i <= n-1.
+TopologySpec baseline_topology(unsigned radix, unsigned stages);
+
+/// Flip network: the inverse omega (C_i = sigma^-1 for 0 <= i <= n-1).
+TopologySpec flip_topology(unsigned radix, unsigned stages);
+
+}  // namespace wormsim::topology

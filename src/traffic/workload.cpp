@@ -1,0 +1,236 @@
+#include "traffic/workload.hpp"
+
+#include <sstream>
+
+#include "topology/digit_perm.hpp"
+#include "util/check.hpp"
+
+namespace wormsim::traffic {
+
+using partition::Clustering;
+using topology::NodeId;
+
+LengthSpec LengthSpec::uniform(std::uint32_t min, std::uint32_t max) {
+  WORMSIM_CHECK(min >= 1 && min <= max);
+  LengthSpec spec;
+  spec.kind = Kind::kUniform;
+  spec.min = min;
+  spec.max = max;
+  return spec;
+}
+
+LengthSpec LengthSpec::fixed(std::uint32_t flits) {
+  WORMSIM_CHECK(flits >= 1);
+  LengthSpec spec;
+  spec.kind = Kind::kFixed;
+  spec.min = spec.max = flits;
+  return spec;
+}
+
+LengthSpec LengthSpec::bimodal(std::uint32_t short_min,
+                               std::uint32_t short_max,
+                               std::uint32_t long_min, std::uint32_t long_max,
+                               double short_fraction) {
+  WORMSIM_CHECK(short_min >= 1 && short_min <= short_max);
+  WORMSIM_CHECK(long_min >= 1 && long_min <= long_max);
+  WORMSIM_CHECK(short_fraction >= 0.0 && short_fraction <= 1.0);
+  LengthSpec spec;
+  spec.kind = Kind::kBimodal;
+  spec.min = short_min;
+  spec.max = short_max;
+  spec.long_min = long_min;
+  spec.long_max = long_max;
+  spec.short_fraction = short_fraction;
+  return spec;
+}
+
+std::uint32_t LengthSpec::sample(util::Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return min;
+    case Kind::kUniform:
+      return static_cast<std::uint32_t>(rng.between(min, max));
+    case Kind::kBimodal:
+      if (rng.chance(short_fraction)) {
+        return static_cast<std::uint32_t>(rng.between(min, max));
+      }
+      return static_cast<std::uint32_t>(rng.between(long_min, long_max));
+  }
+  return min;
+}
+
+double LengthSpec::mean() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return min;
+    case Kind::kUniform:
+      return (static_cast<double>(min) + max) / 2.0;
+    case Kind::kBimodal:
+      return short_fraction * (static_cast<double>(min) + max) / 2.0 +
+             (1.0 - short_fraction) *
+                 (static_cast<double>(long_min) + long_max) / 2.0;
+  }
+  return min;
+}
+
+std::string LengthSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kFixed:
+      os << "fixed(" << min << ")";
+      break;
+    case Kind::kUniform:
+      os << "uniform[" << min << "," << max << "]";
+      break;
+    case Kind::kBimodal:
+      os << "bimodal[" << min << "," << max << "]/[" << long_min << ","
+         << long_max << "]@" << short_fraction;
+      break;
+  }
+  return os.str();
+}
+
+std::string WorkloadSpec::describe() const {
+  std::ostringstream os;
+  switch (pattern) {
+    case Pattern::kUniform:
+      os << "uniform";
+      break;
+    case Pattern::kHotspot:
+      os << "hotspot(" << hotspot_extra * 100 << "%)";
+      break;
+    case Pattern::kShuffle:
+      os << "shuffle-perm";
+      break;
+    case Pattern::kButterfly:
+      os << "butterfly-perm(i=" << butterfly_index << ")";
+      break;
+  }
+  if (clustering.cluster_count() > 1) {
+    os << ",clusters=" << clustering.cluster_count();
+  }
+  if (!cluster_weights.empty()) {
+    os << ",ratio=";
+    for (std::size_t i = 0; i < cluster_weights.size(); ++i) {
+      if (i > 0) os << ":";
+      os << cluster_weights[i];
+    }
+  }
+  os << ",load=" << offered << ",len=" << length.describe();
+  return os.str();
+}
+
+StandardTraffic::StandardTraffic(const topology::Network& network,
+                                 WorkloadSpec spec)
+    : network_(network), spec_(std::move(spec)) {
+  const std::uint64_t N = network_.node_count();
+  WORMSIM_CHECK(spec_.offered > 0.0 && spec_.offered <= 1.0);
+
+  if (spec_.clustering.cluster_of.empty()) {
+    spec_.clustering = Clustering::global(N);
+  }
+  spec_.clustering.validate(N);
+  const std::size_t clusters = spec_.clustering.cluster_count();
+  std::vector<double> weights = spec_.cluster_weights;
+  if (weights.empty()) {
+    weights.assign(clusters, 1.0);
+  }
+  WORMSIM_CHECK_MSG(weights.size() == clusters,
+                    "one weight per cluster required");
+
+  const bool permutation = spec_.pattern == WorkloadSpec::Pattern::kShuffle ||
+                           spec_.pattern == WorkloadSpec::Pattern::kButterfly;
+  if (permutation) {
+    const auto& addr = network_.address_spec();
+    const topology::DigitPerm perm =
+        spec_.pattern == WorkloadSpec::Pattern::kShuffle
+            ? topology::DigitPerm::shuffle(addr.digits())
+            : topology::DigitPerm::butterfly(addr.digits(),
+                                             spec_.butterfly_index);
+    perm_target_.resize(N);
+    for (std::uint64_t node = 0; node < N; ++node) {
+      perm_target_[node] = perm.apply(addr, node);
+    }
+  }
+
+  // Normalize rates so the machine-wide mean injection rate is `offered`
+  // flits/node/cycle.  weighted_population counts every node by its
+  // cluster weight; permutation fixed points and single-node clusters
+  // cannot send and get weight zero.
+  std::vector<double> effective_weight(N, 0.0);
+  double weighted_population = 0.0;
+  for (std::uint64_t node = 0; node < N; ++node) {
+    const std::uint32_t cluster = spec_.clustering.cluster_of[node];
+    double w = weights[cluster];
+    if (permutation && perm_target_[node] == node) w = 0.0;
+    if (!permutation && spec_.clustering.clusters[cluster].size() < 2) {
+      w = 0.0;
+    }
+    effective_weight[node] = w;
+    weighted_population += w;
+  }
+  WORMSIM_CHECK_MSG(weighted_population > 0.0,
+                    "workload generates no traffic at all");
+
+  const double mean_len = spec_.length.mean();
+  node_mean_gap_.assign(N, 0.0);
+  for (std::uint64_t node = 0; node < N; ++node) {
+    if (effective_weight[node] <= 0.0) continue;
+    const double rate = spec_.offered * effective_weight[node] *
+                        static_cast<double>(N) / weighted_population;
+    node_mean_gap_[node] = mean_len / rate;
+  }
+}
+
+bool StandardTraffic::node_active(NodeId node) const {
+  return node_mean_gap_.at(node) > 0.0;
+}
+
+double StandardTraffic::mean_gap(NodeId node) const {
+  return node_mean_gap_.at(node);
+}
+
+double StandardTraffic::next_gap(NodeId node, util::Rng& rng) {
+  WORMSIM_DCHECK(node_active(node));
+  return rng.exponential(node_mean_gap_[node]);
+}
+
+std::uint64_t StandardTraffic::next_destination(NodeId node, util::Rng& rng) {
+  switch (spec_.pattern) {
+    case WorkloadSpec::Pattern::kShuffle:
+    case WorkloadSpec::Pattern::kButterfly:
+      return perm_target_[node];
+    case WorkloadSpec::Pattern::kUniform: {
+      const auto& members =
+          spec_.clustering.clusters[spec_.clustering.cluster_of[node]];
+      while (true) {
+        const NodeId pick = members[rng.below(members.size())];
+        if (pick != node) return pick;
+      }
+    }
+    case WorkloadSpec::Pattern::kHotspot: {
+      const auto& members =
+          spec_.clustering.clusters[spec_.clustering.cluster_of[node]];
+      const double cluster_n = static_cast<double>(members.size());
+      const double y = cluster_n * spec_.hotspot_extra;
+      const double p_hot = (1.0 + y) / (cluster_n + y);
+      while (true) {
+        NodeId pick;
+        if (rng.chance(p_hot)) {
+          pick = members.front();  // the cluster's hot node
+        } else {
+          // Remaining probability is uniform over the other members.
+          pick = members[1 + rng.below(members.size() - 1)];
+        }
+        if (pick != node) return pick;
+      }
+    }
+  }
+  WORMSIM_CHECK_MSG(false, "unreachable pattern");
+}
+
+std::uint32_t StandardTraffic::next_length(NodeId, util::Rng& rng) {
+  return spec_.length.sample(rng);
+}
+
+}  // namespace wormsim::traffic

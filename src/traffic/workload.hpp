@@ -1,0 +1,101 @@
+// Workload specification: the paper's network traffic patterns (Section 5.1).
+//
+// Four destination patterns are modeled: uniform, x% nonuniform (hot
+// spot), perfect k-shuffle permutation, and i-th butterfly permutation.
+// Uniform and hot-spot traffic respect the active Clustering (messages stay
+// inside the sender's cluster); clusters may carry unequal generation-rate
+// weights (the a:b:c:d ratios of Fig. 17).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/cluster.hpp"
+#include "sim/traffic_source.hpp"
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::traffic {
+
+/// Message length in flits.  The paper's default is uniform over
+/// [8, 1024] ("each message has an equal probability of being one packet
+/// between eight to 1,024 flits").
+struct LengthSpec {
+  enum class Kind { kUniform, kFixed, kBimodal };
+  Kind kind = Kind::kUniform;
+  std::uint32_t min = 8;
+  std::uint32_t max = 1024;
+  // Bimodal: with probability `short_fraction` draw from [min, max],
+  // otherwise from [long_min, long_max].
+  std::uint32_t long_min = 512;
+  std::uint32_t long_max = 1024;
+  double short_fraction = 0.5;
+
+  static LengthSpec uniform(std::uint32_t min, std::uint32_t max);
+  static LengthSpec fixed(std::uint32_t flits);
+  static LengthSpec bimodal(std::uint32_t short_min, std::uint32_t short_max,
+                            std::uint32_t long_min, std::uint32_t long_max,
+                            double short_fraction);
+
+  std::uint32_t sample(util::Rng& rng) const;
+  double mean() const;
+  std::string describe() const;
+};
+
+struct WorkloadSpec {
+  enum class Pattern { kUniform, kHotspot, kShuffle, kButterfly };
+  Pattern pattern = Pattern::kUniform;
+
+  /// Hot-spot excess x (e.g. 0.05 for "5% more traffic").  The first node
+  /// of each cluster is the hot node; with y = |cluster| * x it receives
+  /// probability (1 + y) / (|cluster| + y), everyone else 1 / (|cluster| + y).
+  double hotspot_extra = 0.05;
+
+  /// i for the i-th k-ary butterfly permutation pattern.
+  unsigned butterfly_index = 2;
+
+  /// Mean offered load averaged over all nodes, in flits per node per
+  /// cycle (fraction of the 1-flit/cycle injection capacity).
+  double offered = 0.5;
+
+  LengthSpec length;
+
+  /// Node partition; uniform/hot-spot destinations stay within the
+  /// sender's cluster.  Permutation patterns ignore clustering (they are
+  /// global permutations).  Empty clusters are allowed only via weights.
+  partition::Clustering clustering;
+
+  /// Per-cluster relative generation-rate weights (the paper's a:b:c:d);
+  /// empty means all clusters weigh 1.  Weights are normalized so that the
+  /// machine-wide mean injection rate equals `offered`.
+  std::vector<double> cluster_weights;
+
+  std::string describe() const;
+};
+
+/// Concrete TrafficSource implementing WorkloadSpec for a given network.
+class StandardTraffic final : public sim::TrafficSource {
+ public:
+  StandardTraffic(const topology::Network& network, WorkloadSpec spec);
+
+  bool node_active(topology::NodeId node) const override;
+  double next_gap(topology::NodeId node, util::Rng& rng) override;
+  std::uint64_t next_destination(topology::NodeId node,
+                                 util::Rng& rng) override;
+  std::uint32_t next_length(topology::NodeId node, util::Rng& rng) override;
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// The per-node mean interarrival gap in cycles (tests use this to
+  /// validate rate normalization).
+  double mean_gap(topology::NodeId node) const;
+
+ private:
+  const topology::Network& network_;
+  WorkloadSpec spec_;
+  std::vector<double> node_mean_gap_;         // cycles; 0 => inactive
+  std::vector<std::uint64_t> perm_target_;    // permutation patterns
+};
+
+}  // namespace wormsim::traffic

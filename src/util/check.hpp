@@ -1,0 +1,42 @@
+// Lightweight invariant checking for wormsim.
+//
+// WORMSIM_CHECK is always on (simulation correctness beats raw speed at the
+// scales this project targets); WORMSIM_DCHECK compiles away in release
+// builds and is meant for hot-loop invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormsim::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "wormsim: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace wormsim::util
+
+#define WORMSIM_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::wormsim::util::check_failed(#expr, __FILE__, __LINE__, "");  \
+    }                                                                \
+  } while (false)
+
+#define WORMSIM_CHECK_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::wormsim::util::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define WORMSIM_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define WORMSIM_DCHECK(expr) WORMSIM_CHECK(expr)
+#endif

@@ -1,0 +1,134 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace wormsim::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, std::string* target,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kString, target, help, *target});
+}
+
+void CliParser::add_flag(const std::string& name, std::int64_t* target,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kInt, target, help, std::to_string(*target)});
+}
+
+void CliParser::add_flag(const std::string& name, double* target,
+                         const std::string& help) {
+  flags_.push_back(
+      {name, Kind::kDouble, target, help, format_double(*target, 4)});
+}
+
+void CliParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_.push_back(
+      {name, Kind::kBool, target, help, *target ? "true" : "false"});
+}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool CliParser::assign(const Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    case Kind::kInt: {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value.empty()) return false;
+      *static_cast<std::int64_t*>(flag.target) = parsed;
+      return true;
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty()) return false;
+      *static_cast<double*>(flag.target) = parsed;
+      return true;
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CliParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+        return false;
+      }
+    }
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", arg.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nflags:\n";
+  for (const Flag& flag : flags_) {
+    os << "  --" << flag.name << "  " << flag.help << " (default "
+       << flag.default_repr << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace wormsim::util

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for example and bench binaries.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unrecognized flags abort with a usage message listing registered flags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wormsim::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers a flag; returned pointers stay owned by the caller and are
+  /// filled in by parse().
+  void add_flag(const std::string& name, std::string* target,
+                const std::string& help);
+  void add_flag(const std::string& name, std::int64_t* target,
+                const std::string& help);
+  void add_flag(const std::string& name, double* target,
+                const std::string& help);
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+
+  /// Parses argv; on --help or error, prints usage and returns false.
+  bool parse(int argc, char** argv);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* find(const std::string& name) const;
+  static bool assign(const Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace wormsim::util

@@ -1,0 +1,62 @@
+// Fixed-capacity vector with inline storage.
+//
+// Routing functions return small candidate sets (at most k * max(d, m)
+// lanes) on the simulator's hottest path; InlineVector avoids a heap
+// allocation per routed header.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "util/check.hpp"
+
+namespace wormsim::util {
+
+template <typename T, std::size_t Capacity>
+class InlineVector {
+ public:
+  InlineVector() = default;
+
+  InlineVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& value) {
+    WORMSIM_DCHECK(size_ < Capacity);
+    storage_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  static constexpr std::size_t capacity() { return Capacity; }
+
+  T& operator[](std::size_t i) {
+    WORMSIM_DCHECK(i < size_);
+    return storage_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    WORMSIM_DCHECK(i < size_);
+    return storage_[i];
+  }
+
+  T* begin() { return storage_.data(); }
+  T* end() { return storage_.data() + size_; }
+  const T* begin() const { return storage_.data(); }
+  const T* end() const { return storage_.data() + size_; }
+
+  bool contains(const T& value) const {
+    for (const T& v : *this) {
+      if (v == value) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::array<T, Capacity> storage_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace wormsim::util

@@ -1,0 +1,15 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace wormsim::util {
+
+double Rng::exponential(double mean) {
+  WORMSIM_DCHECK(mean > 0.0);
+  // uniform01() returns values in [0, 1); 1 - u is in (0, 1], so the log is
+  // finite.
+  const double u = uniform01();
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace wormsim::util

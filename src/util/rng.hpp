@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic decisions in wormsim (arrival times, destinations, message
+// lengths, adaptive lane choices, arbitration tie-breaks) draw from Rng so
+// that every experiment is reproducible from a single 64-bit seed.  The
+// generator is xoshiro256** seeded through splitmix64, following the
+// reference implementations by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace wormsim::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two seeds into one; used to derive independent per-node streams.
+constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    WORMSIM_DCHECK(bound > 0);
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    WORMSIM_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed real with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Fisher–Yates shuffle of a random-access range.
+  template <typename Range>
+  void shuffle(Range& range) {
+    const auto n = static_cast<std::uint64_t>(range.size());
+    for (std::uint64_t i = n; i > 1; --i) {
+      const std::uint64_t j = below(i);
+      using std::swap;
+      swap(range[i - 1], range[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace wormsim::util

@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace wormsim::util {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Histogram::add(double x) {
+  std::size_t index;
+  if (x < 0.0) {
+    index = 0;
+  } else {
+    const auto raw = static_cast<std::size_t>(x / bin_width_);
+    index = raw >= bin_count() ? bin_count() : raw;
+  }
+  ++bins_[index];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  WORMSIM_CHECK(q > 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += bins_[i];
+    if (cumulative >= target) {
+      return bin_width_ * static_cast<double>(i + 1);
+    }
+  }
+  return bin_width_ * static_cast<double>(bins_.size());
+}
+
+}  // namespace wormsim::util

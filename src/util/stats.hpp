@@ -1,0 +1,73 @@
+// Online statistics accumulators used by the simulator's metric pipeline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wormsim::util {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const;
+
+  /// Merges another accumulator into this one (parallel-safe reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [0, bin_width * bin_count); samples beyond the
+/// top edge land in a dedicated overflow bin so percentiles stay defined.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t bin_count)
+      : bin_width_(bin_width), bins_(bin_count + 1, 0) {
+    WORMSIM_CHECK(bin_width > 0.0);
+    WORMSIM_CHECK(bin_count > 0);
+  }
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+
+  /// Returns the upper edge of the bin containing the q-quantile
+  /// (0 < q <= 1).  Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
+  std::size_t bin_count() const { return bins_.size() - 1; }
+  std::uint64_t bin(std::size_t i) const { return bins_[i]; }
+  std::uint64_t overflow() const { return bins_.back(); }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wormsim::util

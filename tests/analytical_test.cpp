@@ -1,0 +1,219 @@
+// Tests for the analytical models: traffic matrices, channel-load bounds,
+// and the Patel / Kruskal-Snir acceptance recursion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/analytical.hpp"
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "topology/digit_perm.hpp"
+#include "topology/network.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::analysis {
+namespace {
+
+using partition::Clustering;
+using topology::Network;
+using topology::NetworkConfig;
+using topology::NetworkKind;
+
+NetworkConfig make_config(NetworkKind kind, unsigned k = 4, unsigned n = 3,
+                          unsigned d = 2, unsigned m = 2) {
+  NetworkConfig config;
+  config.kind = kind;
+  config.topology = "cube";
+  config.radix = k;
+  config.stages = n;
+  config.dilation = kind == NetworkKind::kDMIN ? d : 1;
+  config.vcs = kind == NetworkKind::kVMIN ? m : 1;
+  return config;
+}
+
+std::vector<std::uint64_t> butterfly_targets(unsigned k, unsigned n,
+                                             unsigned index) {
+  const util::RadixSpec spec(k, n);
+  const topology::DigitPerm perm = topology::DigitPerm::butterfly(n, index);
+  std::vector<std::uint64_t> target(spec.size());
+  for (std::uint64_t s = 0; s < spec.size(); ++s) {
+    target[s] = perm.apply(spec, s);
+  }
+  return target;
+}
+
+TEST(TrafficMatrix, UniformGlobalRowsSumToOne) {
+  const TrafficMatrix matrix =
+      TrafficMatrix::uniform(Clustering::global(64));
+  for (std::size_t s = 0; s < 64; ++s) {
+    EXPECT_DOUBLE_EQ(matrix.rate[s], 1.0);
+    EXPECT_DOUBLE_EQ(matrix.dest[s][s], 0.0);
+    EXPECT_NEAR(matrix.dest[s][(s + 1) % 64], 1.0 / 63.0, 1e-12);
+  }
+}
+
+TEST(TrafficMatrix, WeightsScaleLikeTheSimulator) {
+  const util::RadixSpec spec(4, 3);
+  const TrafficMatrix matrix = TrafficMatrix::uniform(
+      Clustering::by_top_digits(spec, 1), {4, 1, 1, 1});
+  EXPECT_NEAR(matrix.rate[0], 4.0 * 64.0 / 112.0, 1e-12);
+  EXPECT_NEAR(matrix.rate[20], 1.0 * 64.0 / 112.0, 1e-12);
+}
+
+TEST(TrafficMatrix, HotspotMatchesFormula) {
+  const TrafficMatrix matrix =
+      TrafficMatrix::hotspot(Clustering::global(64), 0.05);
+  const double y = 64 * 0.05;
+  // Sender 5's probability of the hot node 0, renormalized for the
+  // excluded self term 1/(N+y).
+  const double expected = ((1.0 + y) / (64.0 + y)) / (1.0 - 1.0 / (64.0 + y));
+  EXPECT_NEAR(matrix.dest[5][0], expected, 1e-12);
+}
+
+TEST(TrafficMatrix, PermutationActivatesNonFixedPoints) {
+  const auto target = butterfly_targets(4, 3, 2);
+  const TrafficMatrix matrix = TrafficMatrix::permutation(target);
+  unsigned active = 0;
+  for (std::size_t s = 0; s < 64; ++s) {
+    if (matrix.rate[s] > 0) {
+      ++active;
+      EXPECT_DOUBLE_EQ(matrix.dest[s][target[s]], 1.0);
+    }
+  }
+  EXPECT_EQ(active, 48u);  // 16 fixed points of beta_2
+  // Mean rate over all nodes is 1.
+  double mean = 0;
+  for (double r : matrix.rate) mean += r;
+  EXPECT_NEAR(mean / 64.0, 1.0, 1e-12);
+}
+
+// ---- Channel-load bounds -----------------------------------------------------
+
+TEST(ChannelLoad, UniformGlobalTminIsPerfectlyBalanced) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN));
+  const auto router = routing::make_router(net);
+  const ChannelLoadBound bound = channel_load_bound(
+      net, *router, TrafficMatrix::uniform(Clustering::global(64)));
+  EXPECT_NEAR(bound.max_load, 1.0, 1e-9);
+  EXPECT_NEAR(bound.throughput_bound(), 1.0, 1e-9);
+  for (double load : bound.load) {
+    EXPECT_NEAR(load, 1.0, 1e-9);  // every channel equally loaded
+  }
+}
+
+TEST(ChannelLoad, DminHalvesInteriorLoad) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kDMIN));
+  const auto router = routing::make_router(net);
+  const ChannelLoadBound bound = channel_load_bound(
+      net, *router, TrafficMatrix::uniform(Clustering::global(64)));
+  for (const auto& ch : net.channels()) {
+    if (ch.role == topology::ChannelRole::kForward) {
+      EXPECT_NEAR(bound.load[ch.id], 0.5, 1e-9);
+    } else {
+      EXPECT_NEAR(bound.load[ch.id], 1.0, 1e-9);  // node links
+    }
+  }
+}
+
+TEST(ChannelLoad, ButterflyPermutationPredicts25PercentCeiling) {
+  // Section 5.3.3: "some channels have to be shared by four source and
+  // destination pairs" — the analytical bound is exactly 1/4.
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN));
+  const auto router = routing::make_router(net);
+  const ChannelLoadBound bound = channel_load_bound(
+      net, *router,
+      TrafficMatrix::permutation(butterfly_targets(4, 3, 2)));
+  EXPECT_NEAR(bound.throughput_bound(), 0.25, 1e-9);
+}
+
+TEST(ChannelLoad, HotspotCeilingMatchesClosedForm) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN));
+  const auto router = routing::make_router(net);
+  const ChannelLoadBound bound = channel_load_bound(
+      net, *router, TrafficMatrix::hotspot(Clustering::global(64), 0.05));
+  // Hot ejection channel load: 63 senders * renormalized hot probability.
+  const double y = 64 * 0.05;
+  const double expected =
+      63.0 * ((1.0 + y) / (64.0 + y)) / (1.0 - 1.0 / (64.0 + y));
+  EXPECT_NEAR(bound.max_load, expected, 1e-9);
+  EXPECT_EQ(net.channel(bound.hottest).role,
+            topology::ChannelRole::kEjection);
+  EXPECT_EQ(net.channel(bound.hottest).dst.id, 0u);  // the hot node
+}
+
+TEST(ChannelLoad, BminUniformIsEjectionBound) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kBMIN));
+  const auto router = routing::make_router(net);
+  const ChannelLoadBound bound = channel_load_bound(
+      net, *router, TrafficMatrix::uniform(Clustering::global(64)));
+  // Interior channels stay below 1; ejection links pin the bound at 1.
+  EXPECT_NEAR(bound.max_load, 1.0, 1e-9);
+  for (const auto& ch : net.channels()) {
+    if (ch.role == topology::ChannelRole::kForward ||
+        ch.role == topology::ChannelRole::kBackward) {
+      EXPECT_LT(bound.load[ch.id], 1.0);
+    }
+  }
+}
+
+TEST(ChannelLoad, SimulatedSaturationRespectsTheBound) {
+  // Push the TMIN far past the permutation ceiling; the accepted
+  // throughput must approach but never exceed the analytical bound.
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN));
+  const auto router = routing::make_router(net);
+  const double bound =
+      channel_load_bound(
+          net, *router,
+          TrafficMatrix::permutation(butterfly_targets(4, 3, 2)))
+          .throughput_bound();
+
+  traffic::WorkloadSpec workload;
+  workload.pattern = traffic::WorkloadSpec::Pattern::kButterfly;
+  workload.butterfly_index = 2;
+  workload.offered = 0.9;
+  workload.length = traffic::LengthSpec::uniform(8, 64);
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config;
+  config.seed = 31;
+  config.warmup_cycles = 10'000;
+  config.measure_cycles = 60'000;
+  config.drain_cycles = 0;
+  sim::Engine engine(net, *router, &traffic, config);
+  const sim::SimResult result = engine.run();
+  EXPECT_LE(result.throughput_fraction(), bound + 0.02);
+  EXPECT_GE(result.throughput_fraction(), bound * 0.8);
+}
+
+// ---- Kruskal-Snir recursion ---------------------------------------------------
+
+TEST(UnbufferedDelta, KnownValues) {
+  EXPECT_DOUBLE_EQ(unbuffered_delta_acceptance(2, 0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(unbuffered_delta_acceptance(2, 1, 1.0), 0.75);
+  EXPECT_NEAR(unbuffered_delta_acceptance(2, 2, 1.0),
+              1.0 - std::pow(1.0 - 0.75 / 2.0, 2), 1e-12);
+}
+
+TEST(UnbufferedDelta, MonotoneInStagesAndLoad) {
+  double previous = 1.0;
+  for (unsigned n = 1; n <= 10; ++n) {
+    const double p = unbuffered_delta_acceptance(4, n, 1.0);
+    EXPECT_LT(p, previous);
+    previous = p;
+  }
+  EXPECT_LT(unbuffered_delta_acceptance(4, 3, 0.5),
+            unbuffered_delta_acceptance(4, 3, 0.9));
+}
+
+TEST(UnbufferedDelta, LargerSwitchesAcceptMore) {
+  EXPECT_GT(unbuffered_delta_acceptance(8, 2, 1.0),
+            unbuffered_delta_acceptance(2, 6, 1.0));
+}
+
+}  // namespace
+}  // namespace wormsim::analysis

@@ -1,0 +1,112 @@
+// Tests for Theorem 4: butterfly BMINs partition into contention-free and
+// channel-balanced base k-ary cubes, and the fat-tree locality of Fig. 13.
+#include <gtest/gtest.h>
+
+#include "analysis/bmin_usage.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+namespace {
+
+using partition::Clustering;
+using topology::Network;
+using topology::NetworkConfig;
+using topology::NetworkKind;
+
+Network make_bmin(unsigned k, unsigned n) {
+  NetworkConfig config;
+  config.kind = NetworkKind::kBMIN;
+  config.radix = k;
+  config.stages = n;
+  config.vcs = 1;
+  return topology::build_network(config);
+}
+
+TEST(BminUsage, Theorem4BaseCubes8Nodes) {
+  const Network net = make_bmin(2, 3);
+  const auto router = routing::make_router(net);
+  // Base binary cubes 0XX / 1XX.
+  const Clustering clustering =
+      Clustering::by_top_digits(net.address_spec(), 1);
+  const BminUsageReport report =
+      analyze_bmin_usage(net, *router, clustering);
+  EXPECT_TRUE(report.contention_free);
+  for (const BminClusterUsage& usage : report.clusters) {
+    EXPECT_TRUE(usage.channel_balanced);
+    // A 4-node base cube keeps all its traffic below stage 2.
+    EXPECT_LE(usage.max_level_used, 1u);
+    EXPECT_EQ(usage.forward_per_level[0], 4u);   // injection links
+    EXPECT_EQ(usage.backward_per_level[0], 4u);  // ejection links
+    EXPECT_EQ(usage.forward_per_level[1], 4u);
+    EXPECT_EQ(usage.backward_per_level[1], 4u);
+    EXPECT_EQ(usage.forward_per_level[2], 0u);
+  }
+}
+
+TEST(BminUsage, Theorem4BaseCubes64Nodes) {
+  const Network net = make_bmin(4, 3);
+  const auto router = routing::make_router(net);
+  const Clustering clustering =
+      Clustering::by_top_digits(net.address_spec(), 1);
+  const BminUsageReport report =
+      analyze_bmin_usage(net, *router, clustering);
+  EXPECT_TRUE(report.contention_free);
+  for (const BminClusterUsage& usage : report.clusters) {
+    EXPECT_TRUE(usage.channel_balanced);
+    EXPECT_EQ(usage.forward_per_level[1], 16u);
+    EXPECT_EQ(usage.backward_per_level[1], 16u);
+    // A 16-node base cube (m = 2 free radix-4 digits) turns at stage <= 1
+    // and never touches the top connection level.
+    EXPECT_EQ(usage.forward_per_level[2], 0u);
+    EXPECT_LE(usage.max_level_used, 1u);
+  }
+}
+
+TEST(BminUsage, FatTreeLocality) {
+  // Fig. 13: a subtree rooted at stage m serves exactly the base cube of
+  // k^m leaves under it; traffic between leaves of the subtree never
+  // leaves it.  Check with the finest non-trivial base cubes (one switch).
+  const Network net = make_bmin(2, 4);
+  const auto router = routing::make_router(net);
+  const Clustering clustering =
+      Clustering::by_top_digits(net.address_spec(), 3);  // 8 pairs of nodes
+  const BminUsageReport report =
+      analyze_bmin_usage(net, *router, clustering);
+  EXPECT_TRUE(report.contention_free);
+  for (const BminClusterUsage& usage : report.clusters) {
+    EXPECT_EQ(usage.max_level_used, 0u);  // only node links touched
+    EXPECT_EQ(usage.forward_per_level[0], 2u);
+  }
+}
+
+TEST(BminUsage, NonBaseCubesShareChannels) {
+  // Theorem 4 requires *base* cubes; clusters fixing the LOW digit (XX0,
+  // XX1, ... as in the butterfly channel-shared clustering) interleave in
+  // every subtree and must share channels.
+  const Network net = make_bmin(2, 3);
+  const auto router = routing::make_router(net);
+  const Clustering clustering =
+      Clustering::by_low_digits(net.address_spec(), 1);
+  const BminUsageReport report =
+      analyze_bmin_usage(net, *router, clustering);
+  EXPECT_FALSE(report.contention_free);
+}
+
+TEST(BminUsage, GlobalClusterTouchesEverything) {
+  const Network net = make_bmin(2, 3);
+  const auto router = routing::make_router(net);
+  const BminUsageReport report = analyze_bmin_usage(
+      net, *router, Clustering::global(net.node_count()));
+  EXPECT_TRUE(report.contention_free);
+  const BminClusterUsage& usage = report.clusters[0];
+  // All 8 channels at every level, both directions.
+  for (unsigned level = 0; level < 3; ++level) {
+    EXPECT_EQ(usage.forward_per_level[level], 8u) << level;
+    EXPECT_EQ(usage.backward_per_level[level], 8u) << level;
+  }
+  EXPECT_TRUE(usage.channel_balanced);
+}
+
+}  // namespace
+}  // namespace wormsim::analysis

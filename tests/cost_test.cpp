@@ -1,0 +1,83 @@
+// Tests for the hardware cost model: the paper's complexity claims become
+// numeric comparisons.
+#include <gtest/gtest.h>
+
+#include "analysis/cost.hpp"
+#include "experiment/figures.hpp"
+
+namespace wormsim::analysis {
+namespace {
+
+TEST(Cost, TminBaseline) {
+  const NetworkCost cost = estimate_cost(experiment::tmin_config());
+  EXPECT_EQ(cost.per_switch.crosspoints(), 16u);  // 4x4
+  EXPECT_EQ(cost.per_switch.flit_buffers, 4u);
+  EXPECT_EQ(cost.switch_count, 48u);  // 3 stages x 16
+  EXPECT_EQ(cost.interstage_channels, 2u * 64u);
+  EXPECT_EQ(cost.node_channels, 128u);
+}
+
+TEST(Cost, DminAndBminHaveSimilarComplexity) {
+  // The paper: "Both DMINs (dilation two) and BMINs have a similar
+  // hardware complexity."  With k = 4, d = 2 both are 8x8 crossbars with
+  // 8 buffers per switch and the same inter-stage wire count.
+  const NetworkCost dmin = estimate_cost(experiment::dmin_config());
+  const NetworkCost bmin = estimate_cost(experiment::bmin_config());
+  EXPECT_EQ(dmin.per_switch.crosspoints(), bmin.per_switch.crosspoints());
+  EXPECT_EQ(dmin.per_switch.flit_buffers, bmin.per_switch.flit_buffers);
+  EXPECT_EQ(dmin.interstage_channels, bmin.interstage_channels);
+  EXPECT_NEAR(dmin.cost_units(), bmin.cost_units(),
+              0.05 * dmin.cost_units());
+}
+
+TEST(Cost, VminIsCheaperInWiresThanDmin) {
+  // Virtual channels replicate buffers, not wires (Section 2.2: "it is
+  // quite expensive to replicate each channel ... with its own unique set
+  // of physical wires").
+  const NetworkCost vmin = estimate_cost(experiment::vmin_config());
+  const NetworkCost dmin = estimate_cost(experiment::dmin_config());
+  EXPECT_LT(vmin.wire_count, dmin.wire_count);
+  EXPECT_EQ(vmin.per_switch.flit_buffers, dmin.per_switch.flit_buffers);
+  EXPECT_LT(vmin.per_switch.crosspoints(), dmin.per_switch.crosspoints());
+}
+
+TEST(Cost, TminIsTheCheapest) {
+  const double tmin = estimate_cost(experiment::tmin_config()).cost_units();
+  for (const auto& config : {experiment::dmin_config(),
+                             experiment::vmin_config(),
+                             experiment::bmin_config()}) {
+    EXPECT_LT(tmin, estimate_cost(config).cost_units())
+        << config.describe();
+  }
+}
+
+TEST(Cost, DelayGrowsWithFanIn) {
+  const NetworkCost tmin = estimate_cost(experiment::tmin_config());
+  const NetworkCost dmin = estimate_cost(experiment::dmin_config());
+  const NetworkCost vmin = estimate_cost(experiment::vmin_config());
+  EXPECT_LT(tmin.per_switch.relative_delay(),
+            dmin.per_switch.relative_delay());
+  // The paper notes VC switches pay a flit-processing (mux) penalty.
+  EXPECT_GT(vmin.per_switch.relative_delay(),
+            tmin.per_switch.relative_delay());
+}
+
+TEST(Cost, ExtraStagesAddProportionally) {
+  topology::NetworkConfig base = experiment::tmin_config();
+  topology::NetworkConfig extra = base;
+  extra.extra_stages = 1;
+  const NetworkCost c0 = estimate_cost(base);
+  const NetworkCost c1 = estimate_cost(extra);
+  EXPECT_EQ(c1.switch_count, c0.switch_count + 16);
+  EXPECT_EQ(c1.interstage_channels, c0.interstage_channels + 64);
+}
+
+TEST(Cost, WireWidthScalesWiring) {
+  const NetworkCost narrow = estimate_cost(experiment::tmin_config(), 8);
+  const NetworkCost wide = estimate_cost(experiment::tmin_config(), 32);
+  EXPECT_EQ(wide.wire_count, 4 * narrow.wire_count);
+  EXPECT_EQ(wide.total_crosspoints, narrow.total_crosspoints);
+}
+
+}  // namespace
+}  // namespace wormsim::analysis

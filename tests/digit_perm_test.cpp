@@ -1,0 +1,162 @@
+// Tests for digit-position permutations against Definitions 1 and 2 of the
+// paper.
+#include <gtest/gtest.h>
+
+#include "topology/digit_perm.hpp"
+#include "util/radix.hpp"
+
+namespace wormsim::topology {
+namespace {
+
+using util::RadixSpec;
+
+TEST(DigitPerm, IdentityFixesEverything) {
+  const RadixSpec spec(4, 3);
+  const DigitPerm id = DigitPerm::identity(3);
+  EXPECT_TRUE(id.is_identity());
+  for (std::uint64_t a = 0; a < spec.size(); ++a) {
+    EXPECT_EQ(id.apply(spec, a), a);
+  }
+}
+
+TEST(DigitPerm, ButterflyMatchesDefinition1) {
+  // beta_i swaps digit 0 and digit i:
+  // beta_i(x_{n-1} ... x_i ... x_0) = x_{n-1} ... x_0 ... x_i.
+  const RadixSpec spec(2, 4);
+  const DigitPerm b2 = DigitPerm::butterfly(4, 2);
+  // 0b1011 -> swap bit 0 and bit 2: 0b1110.
+  EXPECT_EQ(b2.apply(spec, 0b1011), 0b1110u);
+  // Radix-4 check as well.
+  const RadixSpec spec4(4, 3);
+  const DigitPerm b2r4 = DigitPerm::butterfly(3, 2);
+  // 213_4 -> 312_4.
+  EXPECT_EQ(b2r4.apply(spec4, 39), 54u);
+}
+
+TEST(DigitPerm, ButterflyZeroIsIdentity) {
+  EXPECT_TRUE(DigitPerm::butterfly(5, 0).is_identity());
+}
+
+TEST(DigitPerm, ButterflyIsInvolution) {
+  const RadixSpec spec(4, 4);
+  for (unsigned i = 0; i < 4; ++i) {
+    const DigitPerm b = DigitPerm::butterfly(4, i);
+    for (std::uint64_t a = 0; a < spec.size(); ++a) {
+      EXPECT_EQ(b.apply(spec, b.apply(spec, a)), a);
+    }
+    EXPECT_EQ(b.inverse(), b);
+  }
+}
+
+TEST(DigitPerm, ShuffleMatchesDefinition2) {
+  // sigma(x_{n-1} x_{n-2} ... x_1 x_0) = x_{n-2} ... x_1 x_0 x_{n-1}.
+  const RadixSpec spec(2, 3);
+  const DigitPerm s = DigitPerm::shuffle(3);
+  EXPECT_EQ(s.apply(spec, 0b100), 0b001u);
+  EXPECT_EQ(s.apply(spec, 0b011), 0b110u);
+  EXPECT_EQ(s.apply(spec, 0b101), 0b011u);
+
+  const RadixSpec spec4(4, 3);
+  // 213_4 -> 132_4 = 1*16 + 3*4 + 2 = 30.
+  EXPECT_EQ(s.apply(spec4, 39), 30u);
+}
+
+TEST(DigitPerm, ShuffleOrderIsN) {
+  // Applying sigma n times returns to the identity.
+  const DigitPerm s = DigitPerm::shuffle(5);
+  DigitPerm acc = DigitPerm::identity(5);
+  for (int i = 0; i < 5; ++i) acc = acc.then(s);
+  EXPECT_TRUE(acc.is_identity());
+}
+
+TEST(DigitPerm, InverseShuffleUndoesShuffle) {
+  const RadixSpec spec(8, 2);
+  const DigitPerm s = DigitPerm::shuffle(2);
+  const DigitPerm si = DigitPerm::inverse_shuffle(2);
+  for (std::uint64_t a = 0; a < spec.size(); ++a) {
+    EXPECT_EQ(si.apply(spec, s.apply(spec, a)), a);
+  }
+  EXPECT_TRUE(s.then(si).is_identity());
+}
+
+TEST(DigitPerm, SubshuffleFixesHighDigits) {
+  const RadixSpec spec(2, 4);
+  const DigitPerm sub = DigitPerm::subshuffle(4, 2);
+  // Low 2 bits rotate (swap for window 2), high bits fixed.
+  EXPECT_EQ(sub.apply(spec, 0b1001), 0b1010u);
+  EXPECT_EQ(sub.apply(spec, 0b0110), 0b0101u);
+  const DigitPerm inv = DigitPerm::inverse_subshuffle(4, 2);
+  EXPECT_TRUE(sub.then(inv).is_identity());
+}
+
+TEST(DigitPerm, SubshuffleFullWindowEqualsShuffle) {
+  EXPECT_EQ(DigitPerm::subshuffle(4, 4), DigitPerm::shuffle(4));
+}
+
+TEST(DigitPerm, ComposeAppliesLeftToRight) {
+  const RadixSpec spec(2, 3);
+  const DigitPerm s = DigitPerm::shuffle(3);
+  const DigitPerm b1 = DigitPerm::butterfly(3, 1);
+  const DigitPerm both = s.then(b1);
+  for (std::uint64_t a = 0; a < spec.size(); ++a) {
+    EXPECT_EQ(both.apply(spec, a), b1.apply(spec, s.apply(spec, a)));
+  }
+}
+
+TEST(DigitPerm, TargetOfInvertsSourceOf) {
+  const DigitPerm s = DigitPerm::shuffle(6);
+  for (unsigned p = 0; p < 6; ++p) {
+    EXPECT_EQ(s.source_of(s.target_of(p)), p);
+  }
+}
+
+TEST(DigitPerm, ApplyDigitsGeneric) {
+  const DigitPerm b1 = DigitPerm::butterfly(3, 1);
+  const std::vector<char> digits{'a', 'b', 'c'};  // index 0 = LSD
+  const auto out = b1.apply_digits(digits);
+  EXPECT_EQ(out[0], 'b');
+  EXPECT_EQ(out[1], 'a');
+  EXPECT_EQ(out[2], 'c');
+}
+
+TEST(DigitPerm, DescribeShowsLayout) {
+  EXPECT_EQ(DigitPerm::identity(3).describe(), "(x2 x1 x0)");
+  EXPECT_EQ(DigitPerm::butterfly(3, 2).describe(), "(x0 x1 x2)");
+}
+
+// Property sweep: every named permutation is a bijection on addresses.
+class DigitPermBijection
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(DigitPermBijection, AllNamedPermsAreBijections) {
+  const auto [radix, digits] = GetParam();
+  const RadixSpec spec(radix, digits);
+  std::vector<DigitPerm> perms{DigitPerm::identity(digits),
+                               DigitPerm::shuffle(digits),
+                               DigitPerm::inverse_shuffle(digits)};
+  for (unsigned i = 0; i < digits; ++i) {
+    perms.push_back(DigitPerm::butterfly(digits, i));
+  }
+  for (unsigned w = 1; w <= digits; ++w) {
+    perms.push_back(DigitPerm::subshuffle(digits, w));
+  }
+  for (const DigitPerm& perm : perms) {
+    std::vector<bool> hit(spec.size(), false);
+    for (std::uint64_t a = 0; a < spec.size(); ++a) {
+      const std::uint64_t image = perm.apply(spec, a);
+      ASSERT_LT(image, spec.size());
+      ASSERT_FALSE(hit[image]) << perm.describe();
+      hit[image] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DigitPermBijection,
+                         ::testing::Values(std::make_tuple(2u, 3u),
+                                           std::make_tuple(2u, 6u),
+                                           std::make_tuple(4u, 2u),
+                                           std::make_tuple(4u, 3u),
+                                           std::make_tuple(8u, 2u)));
+
+}  // namespace
+}  // namespace wormsim::topology

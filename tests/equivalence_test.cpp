@@ -1,0 +1,143 @@
+// Tests for topological equivalence of Delta MINs (Wu & Feng [12], cited
+// in Section 2), plus the Fig. 12 right-most-stage redundancy property.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/equivalence.hpp"
+#include "analysis/path_enum.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::analysis {
+namespace {
+
+using topology::TopologySpec;
+
+TEST(Equivalence, WiringMatrixShape) {
+  const LayeredWiring wiring =
+      layered_wiring(topology::cube_topology(2, 3));
+  EXPECT_EQ(wiring.stages, 3u);
+  EXPECT_EQ(wiring.switches_per_stage, 4u);
+  ASSERT_EQ(wiring.between.size(), 2u);
+  // Every stage boundary carries exactly N channels.
+  for (const auto& matrix : wiring.between) {
+    std::uint32_t total = 0;
+    for (std::uint32_t m : matrix) total += m;
+    EXPECT_EQ(total, 8u);
+  }
+}
+
+TEST(Equivalence, SelfEquivalence) {
+  const TopologySpec cube = topology::cube_topology(2, 3);
+  EXPECT_TRUE(topologically_equivalent(cube, cube));
+}
+
+TEST(Equivalence, DeltaNetworksAreEquivalent) {
+  // The Wu-Feng theorem for our five named topologies, two shapes.
+  struct Shape {
+    unsigned k, n;
+  };
+  for (const Shape shape : {Shape{2, 3}, Shape{4, 2}, Shape{2, 4}}) {
+    const std::vector<TopologySpec> topos = {
+        topology::cube_topology(shape.k, shape.n),
+        topology::butterfly_topology(shape.k, shape.n),
+        topology::omega_topology(shape.k, shape.n),
+        topology::baseline_topology(shape.k, shape.n),
+        topology::flip_topology(shape.k, shape.n)};
+    for (std::size_t i = 0; i < topos.size(); ++i) {
+      for (std::size_t j = i + 1; j < topos.size(); ++j) {
+        EXPECT_TRUE(topologically_equivalent(topos[i], topos[j]))
+            << topos[i].name() << " vs " << topos[j].name() << " k="
+            << shape.k << " n=" << shape.n;
+      }
+    }
+  }
+}
+
+TEST(Equivalence, SixtyFourNodeCubeVsButterfly) {
+  // The paper's evaluation size: 64 nodes, 16 switches per stage.
+  EXPECT_TRUE(topologically_equivalent(topology::cube_topology(4, 3),
+                                       topology::butterfly_topology(4, 3)));
+}
+
+TEST(Equivalence, MismatchedShapesAreNot) {
+  EXPECT_FALSE(topologically_equivalent(topology::cube_topology(2, 3),
+                                        topology::cube_topology(2, 4)));
+  EXPECT_FALSE(topologically_equivalent(topology::cube_topology(2, 4),
+                                        topology::cube_topology(4, 2)));
+}
+
+TEST(Equivalence, WitnessMappingIsConsistent) {
+  const LayeredWiring a = layered_wiring(topology::cube_topology(2, 3));
+  const LayeredWiring b =
+      layered_wiring(topology::butterfly_topology(2, 3));
+  const auto mapping = find_stage_isomorphism(a, b);
+  ASSERT_TRUE(mapping.has_value());
+  // Verify the witness really maps multiplicities.
+  for (unsigned i = 0; i + 1 < a.stages; ++i) {
+    for (std::uint32_t s = 0; s < a.switches_per_stage; ++s) {
+      for (std::uint32_t t = 0; t < a.switches_per_stage; ++t) {
+        const std::uint32_t ms = (*mapping)[i][s];
+        const std::uint32_t mt = (*mapping)[i + 1][t];
+        EXPECT_EQ(
+            a.between[i][s * a.switches_per_stage + t],
+            b.between[i][ms * b.switches_per_stage + mt]);
+      }
+    }
+  }
+}
+
+TEST(Equivalence, DetectsNonIsomorphicWiring) {
+  // A degenerate wiring where C_1 keeps traffic inside switch-aligned
+  // groups is not equivalent to the cube's spread-out wiring.
+  LayeredWiring a = layered_wiring(topology::cube_topology(2, 3));
+  LayeredWiring b = a;
+  // Rewire boundary 0 of b: all channels of switch s go to switch s
+  // (multiplicity 2), unlike any Delta network boundary.
+  std::fill(b.between[0].begin(), b.between[0].end(), 0);
+  for (std::uint32_t s = 0; s < b.switches_per_stage; ++s) {
+    b.between[0][s * b.switches_per_stage + s] = 2;
+  }
+  EXPECT_FALSE(find_stage_isomorphism(a, b).has_value());
+}
+
+TEST(Equivalence, Fig12RightmostStageRedundancy) {
+  // Fig. 12: in a k = 2 butterfly BMIN the right-most stage is redundant —
+  // the k^t shortest paths with t = n-1 come in pairs that differ ONLY in
+  // the top-stage switch traversed (the up/down channel pair into it).
+  topology::NetworkConfig config;
+  config.kind = topology::NetworkKind::kBMIN;
+  config.radix = 2;
+  config.stages = 3;
+  config.vcs = 1;
+  const topology::Network net = topology::build_network(config);
+  const auto router = routing::make_router(net);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::uint64_t d = 0; d < 8; ++d) {
+      if (s == d) continue;
+      const unsigned t = util::first_difference(net.address_spec(), s, d);
+      if (t != 2) continue;
+      const auto paths = enumerate_paths(net, *router, s, d);
+      ASSERT_EQ(paths.size(), 4u);
+      // Strip the channels into/out of the turn switch (indices t, t+1).
+      std::map<std::vector<topology::ChannelId>, int> stripped;
+      for (const Path& path : paths) {
+        std::vector<topology::ChannelId> rest;
+        for (std::size_t i = 0; i < path.channels.size(); ++i) {
+          if (i == t || i == t + 1) continue;
+          rest.push_back(path.channels[i]);
+        }
+        ++stripped[rest];
+      }
+      // Each residual route appears exactly twice: the top stage merely
+      // doubles paths without adding connectivity.
+      for (const auto& [rest, count] : stripped) {
+        EXPECT_EQ(count, 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::analysis

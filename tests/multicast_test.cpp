@@ -1,0 +1,145 @@
+// Tests for software multicast scheduling and its simulated makespan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/multicast.hpp"
+#include "sim/multicast_replay.hpp"
+#include "routing/router.hpp"
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+using topology::Network;
+using topology::NetworkConfig;
+using topology::NetworkKind;
+
+Network make_bmin(unsigned k, unsigned n) {
+  NetworkConfig config;
+  config.kind = NetworkKind::kBMIN;
+  config.radix = k;
+  config.stages = n;
+  config.vcs = 1;
+  return topology::build_network(config);
+}
+
+std::vector<topology::NodeId> all_but(std::uint64_t n,
+                                      topology::NodeId skip) {
+  std::vector<topology::NodeId> out;
+  for (topology::NodeId i = 0; i < n; ++i) {
+    if (i != skip) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(Multicast, MinRounds) {
+  EXPECT_EQ(min_rounds(0), 0u);
+  EXPECT_EQ(min_rounds(1), 1u);
+  EXPECT_EQ(min_rounds(2), 2u);
+  EXPECT_EQ(min_rounds(3), 2u);
+  EXPECT_EQ(min_rounds(4), 3u);
+  EXPECT_EQ(min_rounds(7), 3u);
+  EXPECT_EQ(min_rounds(63), 6u);
+}
+
+TEST(Multicast, BinomialIsRoundOptimalAndValid) {
+  for (std::size_t count : {1u, 2u, 5u, 17u, 63u}) {
+    std::vector<topology::NodeId> dests;
+    for (std::size_t i = 0; i < count; ++i) {
+      dests.push_back(static_cast<topology::NodeId>(i + 1));
+    }
+    const MulticastSchedule schedule = binomial_schedule(0, dests);
+    validate_schedule(0, dests, schedule);
+    EXPECT_EQ(schedule.round_count(), min_rounds(count)) << count;
+    EXPECT_EQ(schedule.message_count(), count);
+  }
+}
+
+TEST(Multicast, SubtreeIsRoundOptimalAndValid) {
+  const Network net = make_bmin(4, 3);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto source =
+        static_cast<topology::NodeId>(rng.below(net.node_count()));
+    std::vector<topology::NodeId> dests;
+    for (topology::NodeId node = 0; node < net.node_count(); ++node) {
+      if (node != source && rng.chance(0.4)) dests.push_back(node);
+    }
+    if (dests.empty()) continue;
+    const MulticastSchedule schedule = subtree_schedule(net, source, dests);
+    validate_schedule(source, dests, schedule);
+    EXPECT_EQ(schedule.round_count(), min_rounds(dests.size()));
+  }
+}
+
+TEST(Multicast, BroadcastMakespanBeatsSequential) {
+  const Network net = make_bmin(2, 3);
+  const auto router = make_router(net);
+  const auto dests = all_but(net.node_count(), 0);
+  const std::uint32_t len = 64;
+
+  const MulticastSchedule tree = subtree_schedule(net, 0, dests);
+  const std::uint64_t tree_time =
+      sim::simulate_makespan(net, *router, tree, len);
+
+  // Sequential unicast: one round per destination.
+  MulticastSchedule sequential;
+  for (topology::NodeId d : dests) {
+    sequential.rounds.push_back({{0, d}});
+  }
+  validate_schedule(0, dests, sequential);
+  const std::uint64_t seq_time =
+      sim::simulate_makespan(net, *router, sequential, len);
+  EXPECT_LT(tree_time, seq_time / 2);
+}
+
+TEST(Multicast, SubtreeLocalityAvoidsContention) {
+  // Broadcast on a 64-node BMIN: the subtree schedule's later rounds run
+  // inside disjoint subtrees, so its makespan stays close to
+  // rounds * (len + path); it should not lose to the oblivious binomial
+  // schedule.
+  const Network net = make_bmin(4, 3);
+  const auto router = make_router(net);
+  const auto dests = all_but(net.node_count(), 5);
+  const std::uint32_t len = 128;
+  const std::uint64_t subtree_time = sim::simulate_makespan(
+      net, *router, subtree_schedule(net, 5, dests), len);
+  const std::uint64_t binomial_time = sim::simulate_makespan(
+      net, *router, binomial_schedule(5, dests), len);
+  // The locality-aware schedule must not lose materially (tiny deltas can
+  // occur from adaptive lane choices at a given seed).
+  EXPECT_LE(subtree_time, binomial_time + binomial_time / 20);
+  // Round-count lower bound: 6 rounds of at least len cycles each.
+  EXPECT_GE(subtree_time, 6ull * len);
+}
+
+TEST(Multicast, WorksOnUnidirectionalMins) {
+  NetworkConfig config;
+  config.kind = NetworkKind::kTMIN;
+  config.topology = "cube";
+  config.radix = 2;
+  config.stages = 3;
+  config.dilation = 1;
+  config.vcs = 1;
+  const Network net = topology::build_network(config);
+  const auto router = make_router(net);
+  const auto dests = all_but(net.node_count(), 3);
+  const MulticastSchedule schedule = binomial_schedule(3, dests);
+  validate_schedule(3, dests, schedule);
+  EXPECT_GT(sim::simulate_makespan(net, *router, schedule, 16), 0u);
+}
+
+TEST(MulticastDeath, RejectsBrokenSchedules) {
+  MulticastSchedule bad;
+  bad.rounds.push_back({{2, 3}});  // node 2 never held the message
+  EXPECT_DEATH(validate_schedule(0, {3}, bad), "does not hold");
+
+  MulticastSchedule twice;
+  twice.rounds.push_back({{0, 1}, {0, 2}});  // one-port violation
+  EXPECT_DEATH(validate_schedule(0, {1, 2}, twice), "one-port");
+}
+
+}  // namespace
+}  // namespace wormsim::routing

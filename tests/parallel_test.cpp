@@ -1,0 +1,75 @@
+// Tests for the parallel sweep runner: identical results, any thread
+// count.
+#include <gtest/gtest.h>
+
+#include "experiment/figures.hpp"
+#include "experiment/parallel.hpp"
+#include "partition/cluster.hpp"
+
+namespace wormsim::experiment {
+namespace {
+
+std::vector<SeriesSpec> tiny_specs() {
+  std::vector<SeriesSpec> specs;
+  for (const auto& net : {tmin_config("cube", 2, 3),
+                          dmin_config("cube", 2, 3),
+                          bmin_config(2, 3)}) {
+    SeriesSpec spec;
+    spec.label = net.describe();
+    spec.net = net;
+    spec.workload = [](const topology::Network& network, double load) {
+      traffic::WorkloadSpec workload;
+      workload.offered = load;
+      workload.length = traffic::LengthSpec::uniform(4, 32);
+      workload.clustering =
+          partition::Clustering::global(network.node_count());
+      return workload;
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+SweepOptions tiny_options() {
+  SweepOptions options;
+  options.loads = {0.1, 0.3};
+  options.sim.seed = 3;
+  options.sim.warmup_cycles = 1'000;
+  options.sim.measure_cycles = 6'000;
+  options.sim.drain_cycles = 1'000;
+  return options;
+}
+
+TEST(Parallel, MatchesSequentialExactly) {
+  const auto specs = tiny_specs();
+  const auto options = tiny_options();
+  const auto sequential = run_all_series(specs, options, 1);
+  const auto parallel = run_all_series(specs, options, 3);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].label, parallel[i].label);
+    ASSERT_EQ(sequential[i].points.size(), parallel[i].points.size());
+    for (std::size_t p = 0; p < sequential[i].points.size(); ++p) {
+      EXPECT_DOUBLE_EQ(sequential[i].points[p].throughput,
+                       parallel[i].points[p].throughput);
+      EXPECT_DOUBLE_EQ(sequential[i].points[p].latency_us,
+                       parallel[i].points[p].latency_us);
+    }
+  }
+}
+
+TEST(Parallel, AutoThreadCountWorks) {
+  const auto results = run_all_series(tiny_specs(), tiny_options(), 0);
+  EXPECT_EQ(results.size(), 3u);
+  for (const Series& series : results) {
+    EXPECT_FALSE(series.points.empty());
+  }
+}
+
+TEST(Parallel, MoreThreadsThanSeries) {
+  const auto results = run_all_series(tiny_specs(), tiny_options(), 16);
+  EXPECT_EQ(results.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wormsim::experiment

@@ -1,0 +1,297 @@
+// Tests for cluster specifications and the partitioning theorems:
+// Lemma 1, Theorem 2 (cube MINs partition contention-free and
+// channel-balanced), Theorem 3 (butterfly MINs do not), and the
+// conclusion-section claims about omega and baseline networks.
+#include <gtest/gtest.h>
+
+#include "partition/channel_usage.hpp"
+#include "partition/cluster.hpp"
+#include "topology/topology_spec.hpp"
+#include "util/rng.hpp"
+
+namespace wormsim::partition {
+namespace {
+
+using topology::baseline_topology;
+using topology::butterfly_topology;
+using topology::cube_topology;
+using topology::omega_topology;
+using util::RadixSpec;
+
+// ---- Cluster specs ---------------------------------------------------------
+
+TEST(CubeCluster, PaperExample21StarStar) {
+  // Section 4: in N = 4^4, cluster (21**) has 16 nodes 2100..2133 and is a
+  // base 4-ary 2-cube.
+  const RadixSpec spec(4, 4);
+  const CubeCluster cluster = CubeCluster::parse(spec, "21**");
+  EXPECT_EQ(cluster.size(), 16u);
+  EXPECT_TRUE(cluster.is_base_cube());
+  const auto members = cluster.members();
+  ASSERT_EQ(members.size(), 16u);
+  EXPECT_EQ(spec.format(members.front()), "2100");
+  EXPECT_EQ(spec.format(members.back()), "2133");
+}
+
+TEST(CubeCluster, PaperExample3Star1Star) {
+  // Cluster (3*1*) has 16 nodes from 3010 to 3313 and is NOT a base cube.
+  const RadixSpec spec(4, 4);
+  const CubeCluster cluster = CubeCluster::parse(spec, "3*1*");
+  EXPECT_EQ(cluster.size(), 16u);
+  EXPECT_FALSE(cluster.is_base_cube());
+  const auto members = cluster.members();
+  ASSERT_EQ(members.size(), 16u);
+  EXPECT_EQ(spec.format(members.front()), "3010");
+  EXPECT_EQ(spec.format(members.back()), "3313");
+}
+
+TEST(CubeCluster, ContainsAndDisjoint) {
+  const RadixSpec spec(2, 3);
+  const CubeCluster a = CubeCluster::parse(spec, "0XX");
+  const CubeCluster b = CubeCluster::parse(spec, "1X0");
+  const CubeCluster c = CubeCluster::parse(spec, "1X1");
+  EXPECT_TRUE(a.contains(0b011));
+  EXPECT_FALSE(a.contains(0b100));
+  EXPECT_TRUE(a.disjoint_with(b));
+  EXPECT_TRUE(b.disjoint_with(c));
+  EXPECT_FALSE(a.disjoint_with(a));
+  EXPECT_EQ(a.describe(), "0XX");
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(BinaryCubeCluster, ParseAndMembers) {
+  const RadixSpec spec(4, 3);  // 64 nodes = 6 bits
+  const BinaryCubeCluster half = BinaryCubeCluster::parse(spec, "0XXXXX");
+  EXPECT_EQ(half.size(), 32u);
+  EXPECT_TRUE(half.contains(0));
+  EXPECT_TRUE(half.contains(31));
+  EXPECT_FALSE(half.contains(32));
+  EXPECT_EQ(half.describe(), "0XXXXX");
+  const BinaryCubeCluster other = BinaryCubeCluster::parse(spec, "1XXXXX");
+  EXPECT_TRUE(half.disjoint_with(other));
+  EXPECT_FALSE(half.disjoint_with(BinaryCubeCluster::parse(spec, "XXXXX0")));
+}
+
+TEST(Clustering, GlobalAndDigitBased) {
+  const RadixSpec spec(4, 3);
+  const Clustering global = Clustering::global(64);
+  EXPECT_EQ(global.cluster_count(), 1u);
+  global.validate(64);
+
+  const Clustering top = Clustering::by_top_digits(spec, 1);
+  EXPECT_EQ(top.cluster_count(), 4u);
+  top.validate(64);
+  EXPECT_EQ(top.cluster_of[0], 0u);
+  EXPECT_EQ(top.cluster_of[63], 3u);
+  EXPECT_EQ(top.clusters[1].front(), 16u);
+
+  const Clustering low = Clustering::by_low_digits(spec, 1);
+  low.validate(64);
+  EXPECT_EQ(low.cluster_of[0], 0u);
+  EXPECT_EQ(low.cluster_of[1], 1u);
+  EXPECT_EQ(low.cluster_of[63], 3u);
+
+  const Clustering halves = Clustering::contiguous(64, 2);
+  halves.validate(64);
+  EXPECT_EQ(halves.clusters[0].size(), 32u);
+}
+
+TEST(Clustering, FromCubesRejectsOverlap) {
+  const RadixSpec spec(2, 3);
+  EXPECT_DEATH(Clustering::from_cubes({CubeCluster::parse(spec, "0XX"),
+                                       CubeCluster::parse(spec, "XX0")}),
+               "overlap");
+}
+
+// ---- Theorem 2: cube MINs partition cleanly --------------------------------
+
+TEST(ChannelUsage, Fig14CubePartitionIsContentionFreeAndBalanced) {
+  // Fig. 14: the 8-node cube MIN splits into binary cubes 0XX, 1X0, 1X1.
+  const RadixSpec spec(2, 3);
+  const Clustering clustering =
+      Clustering::from_cubes({CubeCluster::parse(spec, "0XX"),
+                              CubeCluster::parse(spec, "1X0"),
+                              CubeCluster::parse(spec, "1X1")});
+  const UsageReport report =
+      analyze_channel_usage(cube_topology(2, 3), clustering);
+  EXPECT_TRUE(report.contention_free);
+  EXPECT_TRUE(report.all_channel_balanced);
+  // The 4-node cluster uses 4 channels at every inter-stage level.
+  EXPECT_EQ(report.clusters[0].channels_per_level[1], 4u);
+  EXPECT_EQ(report.clusters[0].channels_per_level[2], 4u);
+  // The 2-node clusters use 2.
+  EXPECT_EQ(report.clusters[1].channels_per_level[1], 2u);
+  EXPECT_EQ(report.clusters[2].channels_per_level[2], 2u);
+}
+
+TEST(ChannelUsage, Theorem2KAryCubes64Nodes) {
+  // The paper's cluster-16 partition of the 64-node cube MIN: 0XX..3XX.
+  const RadixSpec spec(4, 3);
+  const Clustering clustering = Clustering::by_top_digits(spec, 1);
+  const UsageReport report =
+      analyze_channel_usage(cube_topology(4, 3), clustering);
+  EXPECT_TRUE(report.contention_free);
+  EXPECT_TRUE(report.all_channel_balanced);
+  for (const ClusterUsage& usage : report.clusters) {
+    EXPECT_EQ(usage.channels_per_level[1], 16u);
+    EXPECT_EQ(usage.channels_per_level[2], 16u);
+  }
+}
+
+TEST(ChannelUsage, Theorem2BinaryCubes) {
+  // With k = 2^j the clusters may be *binary* cubes: split the 64-node
+  // (k = 4) cube MIN into two 32-node halves on the top address bit.
+  const RadixSpec spec(4, 3);
+  const Clustering clustering = Clustering::contiguous(64, 2);
+  const UsageReport report =
+      analyze_channel_usage(cube_topology(4, 3), clustering);
+  EXPECT_TRUE(report.contention_free);
+  EXPECT_TRUE(report.all_channel_balanced);
+  for (const ClusterUsage& usage : report.clusters) {
+    EXPECT_EQ(usage.channels_per_level[1], 32u);
+  }
+}
+
+TEST(ChannelUsage, Theorem2RandomBinaryCubeTilings) {
+  // Property test: random tilings of the 16-node (k=2, n=4) cube MIN into
+  // binary cubes are always contention-free and channel-balanced.
+  const RadixSpec spec(2, 4);
+  const topology::TopologySpec topo = cube_topology(2, 4);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Build a random tiling by recursive splitting.
+    std::vector<std::string> patterns{std::string(4, 'X')};
+    for (int split = 0; split < 3; ++split) {
+      const std::size_t pick = rng.below(patterns.size());
+      std::string pattern = patterns[pick];
+      std::vector<unsigned> free_positions;
+      for (unsigned i = 0; i < pattern.size(); ++i) {
+        if (pattern[i] == 'X') free_positions.push_back(i);
+      }
+      if (free_positions.empty()) continue;
+      const unsigned pos =
+          free_positions[rng.below(free_positions.size())];
+      std::string zero = pattern, one = pattern;
+      zero[pos] = '0';
+      one[pos] = '1';
+      patterns.erase(patterns.begin() + static_cast<long>(pick));
+      patterns.push_back(zero);
+      patterns.push_back(one);
+    }
+    std::vector<CubeCluster> cubes;
+    cubes.reserve(patterns.size());
+    for (const std::string& pattern : patterns) {
+      cubes.push_back(CubeCluster::parse(spec, pattern));
+    }
+    const UsageReport report =
+        analyze_channel_usage(topo, Clustering::from_cubes(cubes));
+    EXPECT_TRUE(report.contention_free) << "trial " << trial;
+    EXPECT_TRUE(report.all_channel_balanced) << "trial " << trial;
+  }
+}
+
+TEST(ChannelUsage, OmegaPartitionsLikeCube) {
+  // Conclusion: "the Omega network and the cube network have the same
+  // network partitionability."
+  const RadixSpec spec(4, 3);
+  const Clustering clustering = Clustering::by_top_digits(spec, 1);
+  const UsageReport report =
+      analyze_channel_usage(omega_topology(4, 3), clustering);
+  EXPECT_TRUE(report.contention_free);
+  EXPECT_TRUE(report.all_channel_balanced);
+}
+
+// ---- Theorem 3: butterfly MINs do not --------------------------------------
+
+TEST(ChannelUsage, Fig15aButterflyChannelReduced) {
+  // Fig. 15a: clusters 0XX, 10X, 11X of the butterfly MIN are
+  // contention-free but channel-REDUCED (fewer channels than nodes at some
+  // stage).
+  const RadixSpec spec(2, 3);
+  const Clustering clustering =
+      Clustering::from_cubes({CubeCluster::parse(spec, "0XX"),
+                              CubeCluster::parse(spec, "10X"),
+                              CubeCluster::parse(spec, "11X")});
+  const UsageReport report =
+      analyze_channel_usage(butterfly_topology(2, 3), clustering);
+  EXPECT_TRUE(report.contention_free);
+  EXPECT_FALSE(report.all_channel_balanced);
+  // "In all three clusters the number of channels is reduced to half in
+  // some stages": the 4-node cluster 0XX drops to 2 channels somewhere.
+  bool reduced = false;
+  for (unsigned level = 1; level < 3; ++level) {
+    if (report.clusters[0].channels_per_level[level] == 2) reduced = true;
+  }
+  EXPECT_TRUE(reduced);
+}
+
+TEST(ChannelUsage, Fig15bButterflyChannelShared) {
+  // Fig. 15b: clusters XX0 and XX1 share channels (8 of them).
+  const RadixSpec spec(2, 3);
+  const Clustering clustering = Clustering::by_low_digits(spec, 1);
+  const UsageReport report =
+      analyze_channel_usage(butterfly_topology(2, 3), clustering);
+  EXPECT_FALSE(report.contention_free);
+  EXPECT_FALSE(report.shared.empty());
+  // Both 4-node clusters expand to 8 channels at some level.
+  bool shared_level = false;
+  for (unsigned level = 1; level < 3; ++level) {
+    if (report.clusters[0].channels_per_level[level] == 8) shared_level = true;
+  }
+  EXPECT_TRUE(shared_level);
+}
+
+TEST(ChannelUsage, Theorem3Butterfly64Nodes) {
+  const RadixSpec spec(4, 3);
+  // Channel-reduced clustering.
+  {
+    const UsageReport report = analyze_channel_usage(
+        butterfly_topology(4, 3), Clustering::by_top_digits(spec, 1));
+    EXPECT_FALSE(report.all_channel_balanced);
+    // "the number of channels is reduced from 16 to four".
+    bool reduced_to_4 = false;
+    for (const ClusterUsage& usage : report.clusters) {
+      for (unsigned level = 1; level < 3; ++level) {
+        if (usage.channels_per_level[level] == 4) reduced_to_4 = true;
+      }
+    }
+    EXPECT_TRUE(reduced_to_4);
+  }
+  // Channel-shared clustering.
+  {
+    const UsageReport report = analyze_channel_usage(
+        butterfly_topology(4, 3), Clustering::by_low_digits(spec, 1));
+    EXPECT_FALSE(report.contention_free);
+    // "the number of channels is increased from 16 to 64".
+    bool grew_to_64 = false;
+    for (const ClusterUsage& usage : report.clusters) {
+      for (unsigned level = 1; level < 3; ++level) {
+        if (usage.channels_per_level[level] == 64) grew_to_64 = true;
+      }
+    }
+    EXPECT_TRUE(grew_to_64);
+  }
+}
+
+TEST(ChannelUsage, BaselinePartitionsLikeButterfly) {
+  // Conclusion: "the baseline network and the butterfly network have a
+  // similar network partitionability" — i.e. base-cube clustering is not
+  // channel-balanced either.
+  const RadixSpec spec(4, 3);
+  const UsageReport report = analyze_channel_usage(
+      baseline_topology(4, 3), Clustering::by_top_digits(spec, 1));
+  EXPECT_FALSE(report.all_channel_balanced);
+}
+
+TEST(ChannelUsage, GlobalClusterUsesEverythingOnce) {
+  const RadixSpec spec(2, 3);
+  const UsageReport report = analyze_channel_usage(
+      cube_topology(2, 3), Clustering::global(spec.size()));
+  EXPECT_TRUE(report.contention_free);  // only one cluster
+  for (unsigned level = 0; level <= 3; ++level) {
+    EXPECT_EQ(report.clusters[0].channels_per_level[level], 8u);
+  }
+}
+
+}  // namespace
+}  // namespace wormsim::partition

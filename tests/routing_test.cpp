@@ -1,0 +1,243 @@
+// Tests for destination-tag and turnaround routing, including the worked
+// examples of Figs. 4, 7 and 8 of the paper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/destination_tag.hpp"
+#include "routing/router.hpp"
+#include "routing/turnaround.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::routing {
+namespace {
+
+using topology::ChannelRole;
+using topology::LaneId;
+using topology::Network;
+using topology::NetworkConfig;
+using topology::NetworkKind;
+
+NetworkConfig make_config(NetworkKind kind, const std::string& topo,
+                          unsigned k, unsigned n, unsigned d = 1,
+                          unsigned m = 1) {
+  NetworkConfig config;
+  config.kind = kind;
+  config.topology = topo;
+  config.radix = k;
+  config.stages = n;
+  config.dilation = d;
+  config.vcs = m;
+  return config;
+}
+
+/// Follows the unique destination-tag path one hop at a time and returns
+/// the node the worm lands on.
+std::uint64_t trace_unidirectional(const Network& net, const Router& router,
+                                   std::uint64_t src, std::uint64_t dst) {
+  const RouteQuery query = make_query(net, src, dst);
+  LaneId lane = net.channel(net.injection_channel(
+                                static_cast<topology::NodeId>(src)))
+                    .first_lane;
+  for (unsigned hop = 0; hop < net.stages(); ++hop) {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    EXPECT_FALSE(candidates.empty());
+    lane = candidates[0];
+  }
+  const topology::PhysChannel& last = net.lane_channel(lane);
+  EXPECT_TRUE(last.dst.is_node());
+  return last.dst.id;
+}
+
+TEST(DestinationTag, DeliversEveryPairCube) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN, "cube", 2, 3));
+  const DestinationTagRouter router(net);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::uint64_t d = 0; d < 8; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(trace_unidirectional(net, router, s, d), d);
+    }
+  }
+}
+
+TEST(DestinationTag, DeliversEveryPairAllTopologies) {
+  for (const char* topo : {"cube", "butterfly", "omega", "baseline", "flip"}) {
+    const Network net =
+        topology::build_network(make_config(NetworkKind::kTMIN, topo, 4, 2));
+    const DestinationTagRouter router(net);
+    for (std::uint64_t s = 0; s < net.node_count(); ++s) {
+      for (std::uint64_t d = 0; d < net.node_count(); ++d) {
+        if (s == d) continue;
+        EXPECT_EQ(trace_unidirectional(net, router, s, d), d) << topo;
+      }
+    }
+  }
+}
+
+TEST(DestinationTag, SingleCandidatePerHopInTmin) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN, "cube", 4, 3));
+  const DestinationTagRouter router(net);
+  const RouteQuery query = make_query(net, 0, 63);
+  LaneId lane = net.channel(net.injection_channel(0)).first_lane;
+  for (unsigned hop = 0; hop < 3; ++hop) {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    EXPECT_EQ(candidates.size(), 1u);
+    lane = candidates[0];
+  }
+}
+
+TEST(DestinationTag, DminOffersDilatedChoices) {
+  const Network net = topology::build_network(
+      make_config(NetworkKind::kDMIN, "cube", 4, 3, /*d=*/2));
+  const DestinationTagRouter router(net);
+  const RouteQuery query = make_query(net, 0, 63);
+  const LaneId inj = net.channel(net.injection_channel(0)).first_lane;
+  CandidateList candidates;
+  router.candidates(query, inj, candidates);
+  // Two dilated channels on the selected output port, and both lead to the
+  // same downstream switch port.
+  ASSERT_EQ(candidates.size(), 2u);
+  const auto& ch0 = net.lane_channel(candidates[0]);
+  const auto& ch1 = net.lane_channel(candidates[1]);
+  EXPECT_NE(ch0.id, ch1.id);
+  EXPECT_EQ(ch0.dst.id, ch1.dst.id);
+  EXPECT_EQ(ch0.dst.port, ch1.dst.port);
+}
+
+TEST(DestinationTag, VminOffersVirtualLanes) {
+  const Network net = topology::build_network(
+      make_config(NetworkKind::kVMIN, "cube", 4, 3, 1, /*m=*/2));
+  const DestinationTagRouter router(net);
+  const RouteQuery query = make_query(net, 0, 63);
+  const LaneId inj = net.channel(net.injection_channel(0)).first_lane;
+  CandidateList candidates;
+  router.candidates(query, inj, candidates);
+  ASSERT_EQ(candidates.size(), 2u);
+  // Both lanes belong to the same physical channel.
+  EXPECT_EQ(net.lane(candidates[0]).channel, net.lane(candidates[1]).channel);
+}
+
+TEST(DestinationTag, PathLengthIsStagesPlusOne) {
+  const Network net =
+      topology::build_network(make_config(NetworkKind::kTMIN, "cube", 4, 3));
+  const DestinationTagRouter router(net);
+  EXPECT_EQ(router.path_length(make_query(net, 0, 63)), 4u);
+  EXPECT_EQ(router.path_length(make_query(net, 1, 2)), 4u);
+}
+
+TEST(Turnaround, Fig8ExampleBackwardPath) {
+  // Fig. 8: S = 001, D = 101 in the 8-node butterfly BMIN of 2x2 switches.
+  // FirstDifference = 2; after the turn the worm exits left port d_j at
+  // stage j: port 1 at G_2, port 0 at G_1, port 1 at G_0.
+  const Network net = topology::build_network(
+      make_config(NetworkKind::kBMIN, "butterfly", 2, 3));
+  const TurnaroundRouter router(net);
+  const RouteQuery query = make_query(net, 0b001, 0b101);
+  EXPECT_EQ(query.turn_stage, 2u);
+
+  // Walk one forward choice to a G_2 switch, then follow the unique
+  // backward path.
+  LaneId lane = net.channel(net.injection_channel(0b001)).first_lane;
+  for (unsigned stage = 0; stage < 2; ++stage) {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    ASSERT_EQ(candidates.size(), 2u);  // k forward ports
+    lane = candidates[0];
+  }
+  // At the turn stage the candidate set is the single left port d_2 = 1.
+  {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    ASSERT_EQ(candidates.size(), 1u);
+    const auto& ch = net.lane_channel(candidates[0]);
+    EXPECT_EQ(ch.role, ChannelRole::kBackward);
+    EXPECT_EQ(ch.src.port, 1);  // l_{d_2}
+    lane = candidates[0];
+  }
+  // Backward through G_1 (port d_1 = 0) then G_0 (port d_0 = 1) to node D.
+  {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(net.lane_channel(candidates[0]).src.port, 0);
+    lane = candidates[0];
+  }
+  {
+    CandidateList candidates;
+    router.candidates(query, lane, candidates);
+    ASSERT_EQ(candidates.size(), 1u);
+    const auto& ch = net.lane_channel(candidates[0]);
+    EXPECT_EQ(ch.role, ChannelRole::kEjection);
+    EXPECT_EQ(ch.dst.id, 0b101u);
+  }
+}
+
+TEST(Turnaround, TurnAtStageZeroUsesNeighborSwitch) {
+  // S and D under the same switch: t = 0, the worm turns immediately.
+  const Network net = topology::build_network(
+      make_config(NetworkKind::kBMIN, "butterfly", 4, 3));
+  const TurnaroundRouter router(net);
+  const RouteQuery query = make_query(net, 1, 2);
+  EXPECT_EQ(query.turn_stage, 0u);
+  const LaneId inj = net.channel(net.injection_channel(1)).first_lane;
+  CandidateList candidates;
+  router.candidates(query, inj, candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  const auto& ch = net.lane_channel(candidates[0]);
+  EXPECT_EQ(ch.role, ChannelRole::kEjection);
+  EXPECT_EQ(ch.dst.id, 2u);
+  EXPECT_EQ(router.path_length(query), 2u);
+}
+
+TEST(Turnaround, ForwardPhaseOffersAllPorts) {
+  const Network net = topology::build_network(
+      make_config(NetworkKind::kBMIN, "butterfly", 4, 3));
+  const TurnaroundRouter router(net);
+  const RouteQuery query = make_query(net, 0, 63);
+  EXPECT_EQ(query.turn_stage, 2u);
+  const LaneId inj = net.channel(net.injection_channel(0)).first_lane;
+  CandidateList candidates;
+  router.candidates(query, inj, candidates);
+  EXPECT_EQ(candidates.size(), 4u);  // any of the k forward ports
+  for (LaneId lane : candidates) {
+    EXPECT_EQ(net.lane_channel(lane).role, ChannelRole::kForward);
+  }
+}
+
+TEST(Turnaround, PathLengthIsTwiceTurnPlusOne) {
+  const Network net = topology::build_network(
+      make_config(NetworkKind::kBMIN, "butterfly", 2, 3));
+  const TurnaroundRouter router(net);
+  EXPECT_EQ(router.path_length(make_query(net, 0b001, 0b101)), 6u);
+  EXPECT_EQ(router.path_length(make_query(net, 0b000, 0b010)), 4u);
+  EXPECT_EQ(router.path_length(make_query(net, 0b000, 0b001)), 2u);
+}
+
+TEST(Router, FactoryPicksByKind) {
+  const Network uni =
+      topology::build_network(make_config(NetworkKind::kTMIN, "cube", 2, 3));
+  const Network bi = topology::build_network(
+      make_config(NetworkKind::kBMIN, "butterfly", 2, 3));
+  EXPECT_NE(dynamic_cast<DestinationTagRouter*>(make_router(uni).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TurnaroundRouter*>(make_router(bi).get()), nullptr);
+}
+
+TEST(Router, MakeQueryComputesTurnStage) {
+  const Network bi = topology::build_network(
+      make_config(NetworkKind::kBMIN, "butterfly", 4, 3));
+  EXPECT_EQ(make_query(bi, 0, 1).turn_stage, 0u);
+  EXPECT_EQ(make_query(bi, 0, 4).turn_stage, 1u);
+  EXPECT_EQ(make_query(bi, 0, 16).turn_stage, 2u);
+  // Unidirectional networks leave it zero.
+  const Network uni =
+      topology::build_network(make_config(NetworkKind::kTMIN, "cube", 4, 3));
+  EXPECT_EQ(make_query(uni, 0, 63).turn_stage, 0u);
+}
+
+}  // namespace
+}  // namespace wormsim::routing

@@ -1,0 +1,190 @@
+// Tests for Delta-network topology specs and the symbolic routing-tag
+// derivation (Section 2 of the paper).
+#include <gtest/gtest.h>
+
+#include "topology/topology_spec.hpp"
+
+namespace wormsim::topology {
+namespace {
+
+TEST(TopologySpec, CubeTagsMatchPaperFormula) {
+  // Cube MIN: t_i = d_{n-i-1}.
+  for (unsigned n : {2u, 3u, 4u}) {
+    const TopologySpec spec = cube_topology(4, n);
+    for (unsigned i = 0; i < n; ++i) {
+      EXPECT_EQ(spec.tag_digit(i), n - i - 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(TopologySpec, ButterflyTagsMatchPaperFormula) {
+  // Butterfly MIN: t_i = d_{i+1} for i <= n-2, t_{n-1} = d_0.
+  for (unsigned n : {2u, 3u, 4u}) {
+    const TopologySpec spec = butterfly_topology(2, n);
+    for (unsigned i = 0; i + 1 < n; ++i) {
+      EXPECT_EQ(spec.tag_digit(i), i + 1);
+    }
+    EXPECT_EQ(spec.tag_digit(n - 1), 0u);
+  }
+}
+
+TEST(TopologySpec, OmegaAndFlipAndBaselineAreSelfRouting) {
+  // Construction would abort if the symbolic derivation found a surviving
+  // source digit, so successful construction *is* the property.
+  for (unsigned n : {2u, 3u, 4u}) {
+    EXPECT_NO_FATAL_FAILURE(omega_topology(2, n));
+    EXPECT_NO_FATAL_FAILURE(flip_topology(2, n));
+    EXPECT_NO_FATAL_FAILURE(baseline_topology(2, n));
+    EXPECT_NO_FATAL_FAILURE(omega_topology(4, n));
+    EXPECT_NO_FATAL_FAILURE(baseline_topology(4, n));
+  }
+}
+
+TEST(TopologySpec, OmegaTagsEqualCubeTags) {
+  // The conclusion notes Omega and cube have the same partitionability;
+  // they share the destination-tag order t_i = d_{n-1-i}.
+  for (unsigned n : {2u, 3u}) {
+    const TopologySpec omega = omega_topology(4, n);
+    const TopologySpec cube = cube_topology(4, n);
+    for (unsigned i = 0; i < n; ++i) {
+      EXPECT_EQ(omega.tag_digit(i), cube.tag_digit(i));
+    }
+  }
+}
+
+TEST(TopologySpec, CubeEntryAddressesMatchLemma1Proof) {
+  // Lemma 1's proof gives exact channel addresses for the cube MIN:
+  //   entering G_0: s_{n-2} ... s_0 s_{n-1}
+  //   exiting  G_0: s_{n-2} ... s_0 d_{n-1}
+  //   entering G_i: d_{n-1} .. d_{n-i} s_{n-i-2} .. s_0 s_{n-i-1}
+  //   exiting  G_i: d_{n-1} .. d_{n-i} s_{n-i-2} .. s_0 d_{n-i-1}
+  const unsigned n = 3;
+  const TopologySpec spec = cube_topology(4, n);
+  const util::RadixSpec& addr = spec.address_spec();
+  for (std::uint64_t s = 0; s < addr.size(); s += 7) {
+    for (std::uint64_t d = 0; d < addr.size(); d += 5) {
+      // entering G_0 = shuffle(s): digits (s1 s0 s2) for n=3.
+      const std::uint64_t enter0 = spec.entry_channel_address(0, s, d);
+      EXPECT_EQ(addr.digit(enter0, 0), addr.digit(s, n - 1));
+      EXPECT_EQ(addr.digit(enter0, 1), addr.digit(s, 0));
+      EXPECT_EQ(addr.digit(enter0, 2), addr.digit(s, 1));
+      // exiting G_0: port digit replaced by d_{n-1}.
+      const std::uint64_t exit0 = spec.exit_channel_address(0, s, d);
+      EXPECT_EQ(addr.digit(exit0, 0), addr.digit(d, n - 1));
+      // entering G_1 (i=1): d2 s0 s1.
+      const std::uint64_t enter1 = spec.entry_channel_address(1, s, d);
+      EXPECT_EQ(addr.digit(enter1, 2), addr.digit(d, 2));
+      EXPECT_EQ(addr.digit(enter1, 1), addr.digit(s, 0));
+      EXPECT_EQ(addr.digit(enter1, 0), addr.digit(s, 1));
+      // entering G_2 (i=2): d2 d1 s0.
+      const std::uint64_t enter2 = spec.entry_channel_address(2, s, d);
+      EXPECT_EQ(addr.digit(enter2, 2), addr.digit(d, 2));
+      EXPECT_EQ(addr.digit(enter2, 1), addr.digit(d, 1));
+      EXPECT_EQ(addr.digit(enter2, 0), addr.digit(s, 0));
+    }
+  }
+}
+
+TEST(TopologySpec, ButterflyAddressEvolutionMatchesTheorem3Proof) {
+  // Theorem 3's proof: in a butterfly MIN s_j is replaced by d_{j+1} for
+  // 0 <= j <= n-2 and s_{n-1} by d_0.  Check the final exit address equals
+  // the destination after those substitutions — i.e. routing delivers.
+  const unsigned n = 3;
+  const TopologySpec spec = butterfly_topology(2, n);
+  const util::RadixSpec& addr = spec.address_spec();
+  for (std::uint64_t s = 0; s < addr.size(); ++s) {
+    for (std::uint64_t d = 0; d < addr.size(); ++d) {
+      const std::uint64_t exit_last =
+          spec.exit_channel_address(n - 1, s, d);
+      // C_n is the identity for the butterfly, so exit == destination.
+      EXPECT_EQ(spec.connection(n).apply(addr, exit_last), d);
+    }
+  }
+}
+
+TEST(TopologySpec, EntryAddressPortDigitIsPreviousTag) {
+  // For every Delta network: the port digit (digit 0) of the address
+  // entering stage i equals... for i >= 1 the address carries tag t_{i-1}
+  // moved by C_i; more useful invariant: the switch reached at stage i
+  // only depends on digits, and applying the remaining tags reaches d.
+  for (const TopologySpec& spec :
+       {cube_topology(2, 3), butterfly_topology(2, 3), omega_topology(2, 3),
+        baseline_topology(2, 3), flip_topology(2, 3)}) {
+    const util::RadixSpec& addr = spec.address_spec();
+    const unsigned n = spec.stages();
+    for (std::uint64_t s = 0; s < addr.size(); ++s) {
+      for (std::uint64_t d = 0; d < addr.size(); ++d) {
+        // Exit address of stage i must be the entry address with digit 0
+        // replaced by the tag for stage i.
+        for (unsigned i = 0; i < n; ++i) {
+          const std::uint64_t entry = spec.entry_channel_address(i, s, d);
+          const std::uint64_t exit = spec.exit_channel_address(i, s, d);
+          EXPECT_EQ(exit, addr.with_digit(entry, 0, spec.output_port(i, d)));
+        }
+        // And the final connection must land on d.
+        EXPECT_EQ(spec.connection(n).apply(
+                      addr, spec.exit_channel_address(n - 1, s, d)),
+                  d);
+      }
+    }
+  }
+}
+
+TEST(TopologySpec, TraceDescribesAllStages) {
+  const TopologySpec spec = cube_topology(2, 3);
+  const std::string text = spec.trace().describe(spec.stages());
+  EXPECT_NE(text.find("enter G0"), std::string::npos);
+  EXPECT_NE(text.find("final"), std::string::npos);
+  EXPECT_NE(text.find("t2"), std::string::npos);
+}
+
+TEST(TopologySpec, BasicAccessors) {
+  const TopologySpec spec = cube_topology(4, 3);
+  EXPECT_EQ(spec.name(), "cube");
+  EXPECT_EQ(spec.radix(), 4u);
+  EXPECT_EQ(spec.stages(), 3u);
+  EXPECT_EQ(spec.nodes(), 64u);
+}
+
+// A malformed network (repeating the same non-mixing connection) must be
+// rejected by the symbolic derivation.
+TEST(TopologySpecDeath, RejectsNonDeltaWiring) {
+  // All-identity connections never move the port digit away from position
+  // 0, so source digits survive at positions >= 1.
+  std::vector<DigitPerm> conns(4, DigitPerm::identity(3));
+  EXPECT_DEATH(TopologySpec("bogus", 2, std::move(conns)),
+               "self-routing");
+}
+
+// Property sweep: every named topology is self-routing across shapes.
+class TopologyShapes
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TopologyShapes, AllNamedTopologiesDeriveTags) {
+  const auto [radix, stages] = GetParam();
+  for (const TopologySpec& spec :
+       {cube_topology(radix, stages), butterfly_topology(radix, stages),
+        omega_topology(radix, stages), baseline_topology(radix, stages),
+        flip_topology(radix, stages)}) {
+    // Each tag digit must appear exactly once.
+    std::vector<bool> seen(stages, false);
+    for (unsigned i = 0; i < stages; ++i) {
+      const unsigned digit = spec.tag_digit(i);
+      ASSERT_LT(digit, stages);
+      ASSERT_FALSE(seen[digit]) << spec.name();
+      seen[digit] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologyShapes,
+                         ::testing::Values(std::make_tuple(2u, 2u),
+                                           std::make_tuple(2u, 3u),
+                                           std::make_tuple(2u, 5u),
+                                           std::make_tuple(4u, 2u),
+                                           std::make_tuple(4u, 3u),
+                                           std::make_tuple(8u, 2u),
+                                           std::make_tuple(8u, 3u)));
+
+}  // namespace
+}  // namespace wormsim::topology

@@ -1,0 +1,271 @@
+// Tests for workload specification and traffic generation (Section 5.1).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/digit_perm.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::traffic {
+namespace {
+
+using partition::Clustering;
+using topology::Network;
+using topology::NetworkConfig;
+
+Network make_net(unsigned k = 4, unsigned n = 3) {
+  NetworkConfig config;
+  config.kind = topology::NetworkKind::kTMIN;
+  config.topology = "cube";
+  config.radix = k;
+  config.stages = n;
+  config.dilation = 1;
+  config.vcs = 1;
+  return topology::build_network(config);
+}
+
+// ---- LengthSpec -------------------------------------------------------------
+
+TEST(LengthSpec, DefaultsMatchPaper) {
+  const LengthSpec spec;
+  EXPECT_EQ(spec.min, 8u);
+  EXPECT_EQ(spec.max, 1024u);
+  EXPECT_DOUBLE_EQ(spec.mean(), 516.0);
+}
+
+TEST(LengthSpec, SamplesStayInRange) {
+  util::Rng rng(1);
+  const LengthSpec spec = LengthSpec::uniform(8, 1024);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t len = spec.sample(rng);
+    EXPECT_GE(len, 8u);
+    EXPECT_LE(len, 1024u);
+  }
+}
+
+TEST(LengthSpec, EmpiricalMeanMatches) {
+  util::Rng rng(2);
+  const LengthSpec spec;
+  double sum = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += spec.sample(rng);
+  EXPECT_NEAR(sum / kSamples, spec.mean(), 5.0);
+}
+
+TEST(LengthSpec, FixedAlwaysSame) {
+  util::Rng rng(3);
+  const LengthSpec spec = LengthSpec::fixed(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(spec.sample(rng), 77u);
+  EXPECT_DOUBLE_EQ(spec.mean(), 77.0);
+}
+
+TEST(LengthSpec, BimodalHitsBothModes) {
+  util::Rng rng(4);
+  const LengthSpec spec = LengthSpec::bimodal(8, 32, 512, 1024, 0.5);
+  int shorts = 0, longs = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t len = spec.sample(rng);
+    if (len <= 32) {
+      ++shorts;
+    } else {
+      EXPECT_GE(len, 512u);
+      ++longs;
+    }
+  }
+  EXPECT_NEAR(shorts, 5000, 300);
+  EXPECT_NEAR(longs, 5000, 300);
+  EXPECT_DOUBLE_EQ(spec.mean(), 0.5 * 20.0 + 0.5 * 768.0);
+}
+
+TEST(LengthSpec, Describe) {
+  EXPECT_EQ(LengthSpec::fixed(8).describe(), "fixed(8)");
+  EXPECT_EQ(LengthSpec::uniform(8, 1024).describe(), "uniform[8,1024]");
+}
+
+// ---- Destination patterns ----------------------------------------------------
+
+TEST(StandardTraffic, UniformNeverSelfAndCoversCluster) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.offered = 0.5;
+  StandardTraffic traffic(net, spec);
+  util::Rng rng(5);
+  std::map<std::uint64_t, int> hits;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t dst = traffic.next_destination(7, rng);
+    EXPECT_NE(dst, 7u);
+    EXPECT_LT(dst, 64u);
+    ++hits[dst];
+  }
+  EXPECT_EQ(hits.size(), 63u);  // all other nodes reachable
+}
+
+TEST(StandardTraffic, UniformStaysInsideCluster) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.offered = 0.5;
+  spec.clustering = Clustering::by_top_digits(net.address_spec(), 1);
+  StandardTraffic traffic(net, spec);
+  util::Rng rng(6);
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t dst = traffic.next_destination(20, rng);  // cluster 1
+    EXPECT_GE(dst, 16u);
+    EXPECT_LT(dst, 32u);
+  }
+}
+
+TEST(StandardTraffic, HotspotProbabilityMatchesFormula) {
+  // P(hot) = (1 + y) / (N + y) with y = N * x.
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.pattern = WorkloadSpec::Pattern::kHotspot;
+  spec.hotspot_extra = 0.05;
+  spec.offered = 0.5;
+  StandardTraffic traffic(net, spec);
+  util::Rng rng(7);
+  constexpr int kSamples = 200'000;
+  int hot = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (traffic.next_destination(30, rng) == 0) ++hot;
+  }
+  const double y = 64 * 0.05;
+  const double expected = (1 + y) / (64 + y);
+  EXPECT_NEAR(static_cast<double>(hot) / kSamples, expected,
+              expected * 0.06);
+}
+
+TEST(StandardTraffic, HotspotPerClusterHotNodes) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.pattern = WorkloadSpec::Pattern::kHotspot;
+  spec.hotspot_extra = 0.10;
+  spec.offered = 0.5;
+  spec.clustering = Clustering::by_top_digits(net.address_spec(), 1);
+  StandardTraffic traffic(net, spec);
+  util::Rng rng(8);
+  // Sender 40 lives in cluster 2 (nodes 32..47); its hot node is 32.
+  std::map<std::uint64_t, int> hits;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t dst = traffic.next_destination(40, rng);
+    EXPECT_GE(dst, 32u);
+    EXPECT_LT(dst, 48u);
+    ++hits[dst];
+  }
+  // The hot node receives (1 + y) = 2.6 times the share of a regular
+  // node (y = 16 * 0.10); allow sampling slack.
+  EXPECT_GT(hits[32], 2 * hits[33]);
+  EXPECT_LT(hits[32], 4 * hits[33]);
+}
+
+TEST(StandardTraffic, ShufflePermutationTargets) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.pattern = WorkloadSpec::Pattern::kShuffle;
+  spec.offered = 0.5;
+  StandardTraffic traffic(net, spec);
+  const topology::DigitPerm sigma = topology::DigitPerm::shuffle(3);
+  util::Rng rng(9);
+  for (std::uint64_t node = 0; node < 64; ++node) {
+    const std::uint64_t target = sigma.apply(net.address_spec(), node);
+    if (target == node) {
+      EXPECT_FALSE(traffic.node_active(static_cast<topology::NodeId>(node)));
+    } else {
+      EXPECT_TRUE(traffic.node_active(static_cast<topology::NodeId>(node)));
+      EXPECT_EQ(traffic.next_destination(
+                    static_cast<topology::NodeId>(node), rng),
+                target);
+    }
+  }
+}
+
+TEST(StandardTraffic, ButterflyPermutationFixedPointsInactive) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.pattern = WorkloadSpec::Pattern::kButterfly;
+  spec.butterfly_index = 2;
+  spec.offered = 0.5;
+  StandardTraffic traffic(net, spec);
+  // Fixed points of beta_2 are addresses with digit0 == digit2: 16 nodes.
+  unsigned inactive = 0;
+  for (std::uint64_t node = 0; node < 64; ++node) {
+    if (!traffic.node_active(static_cast<topology::NodeId>(node))) ++inactive;
+  }
+  EXPECT_EQ(inactive, 16u);
+}
+
+// ---- Rate normalization -------------------------------------------------------
+
+TEST(StandardTraffic, UniformRateNormalization) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.offered = 0.4;
+  StandardTraffic traffic(net, spec);
+  // rate per node = offered; gap = mean_len / rate.
+  const double expected_gap = 516.0 / 0.4;
+  for (topology::NodeId node = 0; node < 64; ++node) {
+    EXPECT_NEAR(traffic.mean_gap(node), expected_gap, 1e-9);
+  }
+}
+
+TEST(StandardTraffic, ClusterWeightsScaleRates) {
+  // 4:1:1:1 over four 16-node clusters with machine mean = offered:
+  // cluster-0 nodes generate at 16/7 * offered, others at 4/7 * offered.
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.offered = 0.35;
+  spec.clustering = Clustering::by_top_digits(net.address_spec(), 1);
+  spec.cluster_weights = {4, 1, 1, 1};
+  StandardTraffic traffic(net, spec);
+  const double rate_hotcluster = 0.35 * 4 * 64.0 / (16 * 7);
+  const double rate_other = 0.35 * 1 * 64.0 / (16 * 7);
+  EXPECT_NEAR(traffic.mean_gap(0), 516.0 / rate_hotcluster, 1e-9);
+  EXPECT_NEAR(traffic.mean_gap(20), 516.0 / rate_other, 1e-9);
+  // Machine-wide mean rate equals offered.
+  double total_rate = 0;
+  for (topology::NodeId node = 0; node < 64; ++node) {
+    total_rate += 516.0 / traffic.mean_gap(node);
+  }
+  EXPECT_NEAR(total_rate / 64.0, 0.35, 1e-9);
+}
+
+TEST(StandardTraffic, ZeroWeightClustersAreInactive) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.offered = 0.2;
+  spec.clustering = Clustering::by_top_digits(net.address_spec(), 1);
+  spec.cluster_weights = {1, 0, 0, 0};
+  StandardTraffic traffic(net, spec);
+  for (topology::NodeId node = 0; node < 16; ++node) {
+    EXPECT_TRUE(traffic.node_active(node));
+    // All offered load concentrates on 16 nodes: rate = 0.2 * 4.
+    EXPECT_NEAR(traffic.mean_gap(node), 516.0 / 0.8, 1e-9);
+  }
+  for (topology::NodeId node = 16; node < 64; ++node) {
+    EXPECT_FALSE(traffic.node_active(node));
+  }
+}
+
+TEST(StandardTraffic, GapsAreExponentialWithConfiguredMean) {
+  const Network net = make_net();
+  WorkloadSpec spec;
+  spec.offered = 0.5;
+  StandardTraffic traffic(net, spec);
+  util::Rng rng(10);
+  double sum = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += traffic.next_gap(0, rng);
+  EXPECT_NEAR(sum / kSamples, 516.0 / 0.5, 1032.0 * 0.02);
+}
+
+TEST(WorkloadSpec, DescribeMentionsEverything) {
+  WorkloadSpec spec;
+  spec.pattern = WorkloadSpec::Pattern::kHotspot;
+  spec.hotspot_extra = 0.05;
+  spec.offered = 0.25;
+  const std::string text = spec.describe();
+  EXPECT_NE(text.find("hotspot"), std::string::npos);
+  EXPECT_NE(text.find("load=0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormsim::traffic

@@ -1,0 +1,339 @@
+// Unit tests for src/util: rng, radix arithmetic, statistics, containers,
+// table rendering, and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/inline_vector.hpp"
+#include "util/radix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace wormsim::util {
+namespace {
+
+// ---- Rng -----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.08);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  const double mean = 250.0;
+  double sum = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(mean);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, mean, mean * 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, MixSeedSpreads) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(0, 0), mix_seed(0, 1));
+}
+
+// ---- Radix ---------------------------------------------------------------
+
+TEST(Radix, PowersOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(8), 3u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+}
+
+TEST(Radix, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(4, 3), 64u);
+  EXPECT_EQ(ipow(8, 2), 64u);
+}
+
+TEST(Radix, DigitExtraction) {
+  const RadixSpec spec(4, 3);  // 64 addresses
+  EXPECT_EQ(spec.size(), 64u);
+  // 39 = 213 base 4.
+  EXPECT_EQ(spec.digit(39, 0), 3u);
+  EXPECT_EQ(spec.digit(39, 1), 1u);
+  EXPECT_EQ(spec.digit(39, 2), 2u);
+}
+
+TEST(Radix, WithDigitAndSwap) {
+  const RadixSpec spec(4, 3);
+  EXPECT_EQ(spec.with_digit(39, 0, 0), 36u);  // 213 -> 210
+  EXPECT_EQ(spec.with_digit(39, 2, 0), 7u);   // 213 -> 013
+  EXPECT_EQ(spec.swap_digits(39, 0, 2), 39u - 2 * 16 - 3 + 3 * 16 + 2);
+  // swap digits of 213 -> 312 = 3*16+1*4+2 = 54
+  EXPECT_EQ(spec.swap_digits(39, 0, 2), 54u);
+}
+
+TEST(Radix, RoundTripDigits) {
+  const RadixSpec spec(8, 2);
+  for (std::uint64_t v = 0; v < spec.size(); ++v) {
+    EXPECT_EQ(spec.from_digits(spec.to_digits(v)), v);
+  }
+}
+
+TEST(Radix, Format) {
+  const RadixSpec spec(4, 3);
+  EXPECT_EQ(spec.format(39), "213");
+  EXPECT_EQ(spec.format(0), "000");
+  const RadixSpec hex(16, 2);
+  EXPECT_EQ(hex.format(0xAB), "[10][11]");
+}
+
+TEST(Radix, FirstDifferenceMatchesPaperExample) {
+  // Section 3.1: FirstDifference(001, 101) = 2 (binary, n = 3).
+  const RadixSpec spec(2, 3);
+  EXPECT_EQ(first_difference(spec, 0b001, 0b101), 2u);
+  // Fig. 9b: FirstDifference = 1 example, e.g. 000 vs 010.
+  EXPECT_EQ(first_difference(spec, 0b000, 0b010), 1u);
+  EXPECT_EQ(first_difference(spec, 0b000, 0b001), 0u);
+}
+
+TEST(Radix, FirstDifferenceRadix4) {
+  const RadixSpec spec(4, 3);
+  EXPECT_EQ(first_difference(spec, 0, 63), 2u);
+  EXPECT_EQ(first_difference(spec, 16, 20), 1u);  // 100 vs 110 base 4
+  EXPECT_EQ(first_difference(spec, 5, 6), 0u);    // 011 vs 012
+}
+
+// ---- Stats ---------------------------------------------------------------
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  const OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all, left, right;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats b;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, QuantilesAndOverflow) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i < 90 ? 0.5 : 100.0);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_GT(h.quantile(0.95), 10.0);  // in overflow bin
+  EXPECT_EQ(h.overflow(), 10u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin) {
+  Histogram h(2.0, 4);
+  h.add(-5.0);
+  EXPECT_EQ(h.bin(0), 1u);
+}
+
+// ---- InlineVector ----------------------------------------------------------
+
+TEST(InlineVector, PushAndIterate) {
+  InlineVector<int, 8> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 5; ++i) v.push_back(i * i);
+  EXPECT_EQ(v.size(), 5u);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 0 + 1 + 4 + 9 + 16);
+  EXPECT_TRUE(v.contains(9));
+  EXPECT_FALSE(v.contains(3));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVector, InitializerList) {
+  const InlineVector<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+// ---- Table ---------------------------------------------------------------
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.row().cell(std::string("alpha")).cell(std::int64_t{42});
+  t.row().cell(std::string("b")).cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.row().cell(std::uint64_t{1}).cell(std::uint64_t{2});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+// ---- CliParser --------------------------------------------------------------
+
+TEST(CliParser, ParsesAllKinds) {
+  std::string name = "default";
+  std::int64_t count = 1;
+  double rate = 0.5;
+  bool flag = false;
+  CliParser cli("test");
+  cli.add_flag("name", &name, "a string");
+  cli.add_flag("count", &count, "an int");
+  cli.add_flag("rate", &rate, "a double");
+  cli.add_flag("flag", &flag, "a bool");
+
+  const char* argv[] = {"prog", "--name=xyz", "--count", "7",
+                        "--rate=0.25", "--flag"};
+  EXPECT_TRUE(cli.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(name, "xyz");
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_TRUE(flag);
+}
+
+TEST(CliParser, RejectsUnknownFlag) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(CliParser, RejectsBadValue) {
+  std::int64_t count = 0;
+  CliParser cli("test");
+  cli.add_flag("count", &count, "an int");
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(CliParser, UsageListsFlags) {
+  std::int64_t count = 3;
+  CliParser cli("my tool");
+  cli.add_flag("count", &count, "how many");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormsim::util
