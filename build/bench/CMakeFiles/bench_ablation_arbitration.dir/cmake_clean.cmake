@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arbitration.dir/bench_ablation_arbitration.cpp.o"
+  "CMakeFiles/bench_ablation_arbitration.dir/bench_ablation_arbitration.cpp.o.d"
+  "bench_ablation_arbitration"
+  "bench_ablation_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

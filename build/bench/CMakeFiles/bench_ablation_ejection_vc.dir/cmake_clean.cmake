@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ejection_vc.dir/bench_ablation_ejection_vc.cpp.o"
+  "CMakeFiles/bench_ablation_ejection_vc.dir/bench_ablation_ejection_vc.cpp.o.d"
+  "bench_ablation_ejection_vc"
+  "bench_ablation_ejection_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ejection_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_extra_stage.cpp" "bench/CMakeFiles/bench_ablation_extra_stage.dir/bench_ablation_extra_stage.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_extra_stage.dir/bench_ablation_extra_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/worm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiment/CMakeFiles/worm_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/worm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/worm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/worm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/worm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/worm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/worm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/worm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

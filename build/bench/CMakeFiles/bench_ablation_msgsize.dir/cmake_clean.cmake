@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_msgsize.dir/bench_ablation_msgsize.cpp.o"
+  "CMakeFiles/bench_ablation_msgsize.dir/bench_ablation_msgsize.cpp.o.d"
+  "bench_ablation_msgsize"
+  "bench_ablation_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multibutterfly.dir/bench_ablation_multibutterfly.cpp.o"
+  "CMakeFiles/bench_ablation_multibutterfly.dir/bench_ablation_multibutterfly.cpp.o.d"
+  "bench_ablation_multibutterfly"
+  "bench_ablation_multibutterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multibutterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

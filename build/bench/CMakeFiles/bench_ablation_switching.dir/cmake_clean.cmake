@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_switching.dir/bench_ablation_switching.cpp.o"
+  "CMakeFiles/bench_ablation_switching.dir/bench_ablation_switching.cpp.o.d"
+  "bench_ablation_switching"
+  "bench_ablation_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

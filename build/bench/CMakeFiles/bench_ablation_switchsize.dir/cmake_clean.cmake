@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_switchsize.dir/bench_ablation_switchsize.cpp.o"
+  "CMakeFiles/bench_ablation_switchsize.dir/bench_ablation_switchsize.cpp.o.d"
+  "bench_ablation_switchsize"
+  "bench_ablation_switchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_switchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

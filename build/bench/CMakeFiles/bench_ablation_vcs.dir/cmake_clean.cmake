@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vcs.dir/bench_ablation_vcs.cpp.o"
+  "CMakeFiles/bench_ablation_vcs.dir/bench_ablation_vcs.cpp.o.d"
+  "bench_ablation_vcs"
+  "bench_ablation_vcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

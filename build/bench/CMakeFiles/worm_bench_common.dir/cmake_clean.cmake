@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/worm_bench_common.dir/bench_common.cpp.o.d"
+  "libworm_bench_common.a"
+  "libworm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libworm_bench_common.a"
+)

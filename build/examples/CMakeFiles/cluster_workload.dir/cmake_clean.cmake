@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_workload.dir/cluster_workload.cpp.o"
+  "CMakeFiles/cluster_workload.dir/cluster_workload.cpp.o.d"
+  "cluster_workload"
+  "cluster_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

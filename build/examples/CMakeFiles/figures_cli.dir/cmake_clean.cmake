@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_cli.dir/figures_cli.cpp.o"
+  "CMakeFiles/figures_cli.dir/figures_cli.cpp.o.d"
+  "figures_cli"
+  "figures_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

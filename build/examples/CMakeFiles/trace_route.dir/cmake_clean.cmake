@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_route.dir/trace_route.cpp.o"
+  "CMakeFiles/trace_route.dir/trace_route.cpp.o.d"
+  "trace_route"
+  "trace_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

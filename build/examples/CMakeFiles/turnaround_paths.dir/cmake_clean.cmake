@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnaround_paths.dir/turnaround_paths.cpp.o"
+  "CMakeFiles/turnaround_paths.dir/turnaround_paths.cpp.o.d"
+  "turnaround_paths"
+  "turnaround_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnaround_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analytical.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/analytical.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/analytical.cpp.o.d"
+  "/root/repo/src/analysis/bmin_usage.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/bmin_usage.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/bmin_usage.cpp.o.d"
+  "/root/repo/src/analysis/cost.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/cost.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/cost.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/deadlock.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/equivalence.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/equivalence.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/equivalence.cpp.o.d"
+  "/root/repo/src/analysis/fault.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/fault.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/fault.cpp.o.d"
+  "/root/repo/src/analysis/path_enum.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/path_enum.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/path_enum.cpp.o.d"
+  "/root/repo/src/analysis/utilization.cpp" "src/analysis/CMakeFiles/worm_analysis.dir/utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/worm_analysis.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/worm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/worm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/worm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/worm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_analysis.dir/analytical.cpp.o"
+  "CMakeFiles/worm_analysis.dir/analytical.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/bmin_usage.cpp.o"
+  "CMakeFiles/worm_analysis.dir/bmin_usage.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/cost.cpp.o"
+  "CMakeFiles/worm_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/deadlock.cpp.o"
+  "CMakeFiles/worm_analysis.dir/deadlock.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/equivalence.cpp.o"
+  "CMakeFiles/worm_analysis.dir/equivalence.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/fault.cpp.o"
+  "CMakeFiles/worm_analysis.dir/fault.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/path_enum.cpp.o"
+  "CMakeFiles/worm_analysis.dir/path_enum.cpp.o.d"
+  "CMakeFiles/worm_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/worm_analysis.dir/utilization.cpp.o.d"
+  "libworm_analysis.a"
+  "libworm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

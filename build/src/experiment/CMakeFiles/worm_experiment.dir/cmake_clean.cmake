@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_experiment.dir/figures.cpp.o"
+  "CMakeFiles/worm_experiment.dir/figures.cpp.o.d"
+  "CMakeFiles/worm_experiment.dir/parallel.cpp.o"
+  "CMakeFiles/worm_experiment.dir/parallel.cpp.o.d"
+  "CMakeFiles/worm_experiment.dir/sweep.cpp.o"
+  "CMakeFiles/worm_experiment.dir/sweep.cpp.o.d"
+  "libworm_experiment.a"
+  "libworm_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

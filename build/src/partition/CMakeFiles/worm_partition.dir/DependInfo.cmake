@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/channel_usage.cpp" "src/partition/CMakeFiles/worm_partition.dir/channel_usage.cpp.o" "gcc" "src/partition/CMakeFiles/worm_partition.dir/channel_usage.cpp.o.d"
+  "/root/repo/src/partition/cluster.cpp" "src/partition/CMakeFiles/worm_partition.dir/cluster.cpp.o" "gcc" "src/partition/CMakeFiles/worm_partition.dir/cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/worm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/worm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_partition.dir/channel_usage.cpp.o"
+  "CMakeFiles/worm_partition.dir/channel_usage.cpp.o.d"
+  "CMakeFiles/worm_partition.dir/cluster.cpp.o"
+  "CMakeFiles/worm_partition.dir/cluster.cpp.o.d"
+  "libworm_partition.a"
+  "libworm_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/destination_tag.cpp" "src/routing/CMakeFiles/worm_routing.dir/destination_tag.cpp.o" "gcc" "src/routing/CMakeFiles/worm_routing.dir/destination_tag.cpp.o.d"
+  "/root/repo/src/routing/multicast.cpp" "src/routing/CMakeFiles/worm_routing.dir/multicast.cpp.o" "gcc" "src/routing/CMakeFiles/worm_routing.dir/multicast.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/routing/CMakeFiles/worm_routing.dir/router.cpp.o" "gcc" "src/routing/CMakeFiles/worm_routing.dir/router.cpp.o.d"
+  "/root/repo/src/routing/turnaround.cpp" "src/routing/CMakeFiles/worm_routing.dir/turnaround.cpp.o" "gcc" "src/routing/CMakeFiles/worm_routing.dir/turnaround.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/worm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/worm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_routing.dir/destination_tag.cpp.o"
+  "CMakeFiles/worm_routing.dir/destination_tag.cpp.o.d"
+  "CMakeFiles/worm_routing.dir/multicast.cpp.o"
+  "CMakeFiles/worm_routing.dir/multicast.cpp.o.d"
+  "CMakeFiles/worm_routing.dir/router.cpp.o"
+  "CMakeFiles/worm_routing.dir/router.cpp.o.d"
+  "CMakeFiles/worm_routing.dir/turnaround.cpp.o"
+  "CMakeFiles/worm_routing.dir/turnaround.cpp.o.d"
+  "libworm_routing.a"
+  "libworm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/worm_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/worm_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/multicast_replay.cpp" "src/sim/CMakeFiles/worm_sim.dir/multicast_replay.cpp.o" "gcc" "src/sim/CMakeFiles/worm_sim.dir/multicast_replay.cpp.o.d"
+  "/root/repo/src/sim/store_forward.cpp" "src/sim/CMakeFiles/worm_sim.dir/store_forward.cpp.o" "gcc" "src/sim/CMakeFiles/worm_sim.dir/store_forward.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/worm_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/worm_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/worm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/worm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/worm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_sim.dir/engine.cpp.o"
+  "CMakeFiles/worm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/worm_sim.dir/multicast_replay.cpp.o"
+  "CMakeFiles/worm_sim.dir/multicast_replay.cpp.o.d"
+  "CMakeFiles/worm_sim.dir/store_forward.cpp.o"
+  "CMakeFiles/worm_sim.dir/store_forward.cpp.o.d"
+  "CMakeFiles/worm_sim.dir/trace.cpp.o"
+  "CMakeFiles/worm_sim.dir/trace.cpp.o.d"
+  "libworm_sim.a"
+  "libworm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_topology.dir/digit_perm.cpp.o"
+  "CMakeFiles/worm_topology.dir/digit_perm.cpp.o.d"
+  "CMakeFiles/worm_topology.dir/network.cpp.o"
+  "CMakeFiles/worm_topology.dir/network.cpp.o.d"
+  "CMakeFiles/worm_topology.dir/topology_spec.cpp.o"
+  "CMakeFiles/worm_topology.dir/topology_spec.cpp.o.d"
+  "libworm_topology.a"
+  "libworm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_traffic.dir/workload.cpp.o"
+  "CMakeFiles/worm_traffic.dir/workload.cpp.o.d"
+  "libworm_traffic.a"
+  "libworm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_util.dir/cli.cpp.o"
+  "CMakeFiles/worm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/worm_util.dir/radix.cpp.o"
+  "CMakeFiles/worm_util.dir/radix.cpp.o.d"
+  "CMakeFiles/worm_util.dir/rng.cpp.o"
+  "CMakeFiles/worm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/worm_util.dir/stats.cpp.o"
+  "CMakeFiles/worm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/worm_util.dir/table.cpp.o"
+  "CMakeFiles/worm_util.dir/table.cpp.o.d"
+  "libworm_util.a"
+  "libworm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

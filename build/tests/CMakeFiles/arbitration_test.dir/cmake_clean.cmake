@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitration_test.dir/arbitration_test.cpp.o"
+  "CMakeFiles/arbitration_test.dir/arbitration_test.cpp.o.d"
+  "arbitration_test"
+  "arbitration_test.pdb"
+  "arbitration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

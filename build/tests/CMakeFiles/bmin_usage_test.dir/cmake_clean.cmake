@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmin_usage_test.dir/bmin_usage_test.cpp.o"
+  "CMakeFiles/bmin_usage_test.dir/bmin_usage_test.cpp.o.d"
+  "bmin_usage_test"
+  "bmin_usage_test.pdb"
+  "bmin_usage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmin_usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

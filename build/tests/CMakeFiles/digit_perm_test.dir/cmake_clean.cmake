@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_perm_test.dir/digit_perm_test.cpp.o"
+  "CMakeFiles/digit_perm_test.dir/digit_perm_test.cpp.o.d"
+  "digit_perm_test"
+  "digit_perm_test.pdb"
+  "digit_perm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_perm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_stage_test.dir/extra_stage_test.cpp.o"
+  "CMakeFiles/extra_stage_test.dir/extra_stage_test.cpp.o.d"
+  "extra_stage_test"
+  "extra_stage_test.pdb"
+  "extra_stage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

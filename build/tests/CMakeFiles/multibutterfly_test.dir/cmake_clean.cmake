@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibutterfly_test.dir/multibutterfly_test.cpp.o"
+  "CMakeFiles/multibutterfly_test.dir/multibutterfly_test.cpp.o.d"
+  "multibutterfly_test"
+  "multibutterfly_test.pdb"
+  "multibutterfly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibutterfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_forward_test.dir/store_forward_test.cpp.o"
+  "CMakeFiles/store_forward_test.dir/store_forward_test.cpp.o.d"
+  "store_forward_test"
+  "store_forward_test.pdb"
+  "store_forward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
