@@ -13,7 +13,10 @@
 //                 100-message limit
 //
 // Environment knobs: WORMSIM_QUICK=1 shrinks the simulations for smoke
-// runs; WORMSIM_SEED=<n> changes the seed.
+// runs; WORMSIM_SEED=<n> changes the seed; WORMSIM_JSON_DIR=<dir> (or the
+// --json[=dir] flag, default results/json) writes one schema-versioned
+// JSON result per figure with seed/git-revision/cycles-per-second
+// provenance (see src/telemetry/result_writer.hpp).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -30,7 +33,8 @@ namespace wormsim::bench {
 
 inline void run_point_benchmark(benchmark::State& state,
                                 const experiment::SeriesSpec& spec,
-                                double load, const sim::SimConfig& sim) {
+                                double load, const sim::SimConfig& sim,
+                                experiment::SweepPoint* out = nullptr) {
   experiment::SweepPoint point;
   for (auto _ : state) {
     point = experiment::run_point(spec, load, sim);
@@ -40,10 +44,12 @@ inline void run_point_benchmark(benchmark::State& state,
   state.counters["latency_us"] = point.latency_us;
   state.counters["netlat_us"] = point.network_latency_us;
   state.counters["sustainable"] = point.sustainable ? 1.0 : 0.0;
+  if (out != nullptr) *out = point;
 }
 
 /// Registers all points of the given figures and runs the benchmark
-/// driver.  Call from each bench binary's main().
+/// driver.  Call from each bench binary's main().  Strips a leading
+/// --json[=dir] flag before handing argv to google-benchmark.
 int run_figures(const std::vector<std::string>& figure_ids, int argc,
                 char** argv);
 

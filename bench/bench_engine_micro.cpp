@@ -1,12 +1,26 @@
 // Micro-benchmarks of the simulator itself: network construction, static
 // analyses, and engine cycle throughput.  These guard the tool's own
 // performance rather than reproduce a paper figure.
+//
+// BM_EngineCycles runs with telemetry off (arg2 = 0) and fully on
+// (arg2 = 1) so the telemetry-off hook overhead stays visible and
+// bounded (budget: <= 2%).  With WORMSIM_JSON_DIR set (or --json[=dir]),
+// main() also measures baseline cycles/sec per network kind and writes
+// them as a schema-versioned BENCH_engine.json via telemetry::ResultWriter.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "analysis/deadlock.hpp"
 #include "analysis/path_enum.hpp"
 #include "routing/router.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/result_writer.hpp"
 #include "topology/network.hpp"
 #include "traffic/workload.hpp"
 
@@ -34,18 +48,27 @@ void BM_BuildNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildNetwork)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 
+sim::SimConfig engine_config(bool telemetry_on) {
+  sim::SimConfig config;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1u << 30;
+  config.drain_cycles = 0;
+  if (telemetry_on) {
+    config.telemetry.counters = true;
+    config.telemetry.sampling = true;
+  }
+  return config;
+}
+
 void BM_EngineCycles(benchmark::State& state) {
   const auto kind = static_cast<topology::NetworkKind>(state.range(0));
+  const bool telemetry_on = state.range(1) != 0;
   const topology::Network net = topology::build_network(config_for(kind));
   const auto router = routing::make_router(net);
   traffic::WorkloadSpec workload;
   workload.offered = 0.5;
   traffic::StandardTraffic traffic(net, workload);
-  sim::SimConfig config;
-  config.warmup_cycles = 0;
-  config.measure_cycles = 1u << 30;
-  config.drain_cycles = 0;
-  sim::Engine engine(net, *router, &traffic, config);
+  sim::Engine engine(net, *router, &traffic, engine_config(telemetry_on));
   for (auto _ : state) {
     engine.step();
   }
@@ -53,7 +76,9 @@ void BM_EngineCycles(benchmark::State& state) {
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_EngineCycles)->DenseRange(0, 3);
+BENCHMARK(BM_EngineCycles)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 3, 1), {0, 1}})
+    ->ArgNames({"kind", "telemetry"});
 
 void BM_PathEnumerationBmin(benchmark::State& state) {
   topology::NetworkConfig config;
@@ -84,6 +109,117 @@ void BM_DeadlockCdg(benchmark::State& state) {
 }
 BENCHMARK(BM_DeadlockCdg)->Unit(benchmark::kMillisecond);
 
+/// Times `cycles` engine steps and returns cycles/sec.
+double time_steps(sim::Engine& engine, std::uint64_t cycles) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    engine.step();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
+}
+
+/// Measures telemetry-off and telemetry-on cycles/sec for one network kind
+/// at 50% load.  The two engines run identical simulations (same seed and
+/// traffic); repetitions are interleaved off/on and the best rate per
+/// variant kept, so transient machine noise hits both variants alike
+/// instead of masquerading as telemetry overhead.
+void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
+                  double* off_cps, double* on_cps) {
+  const topology::Network net = topology::build_network(config_for(kind));
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.5;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::Engine off_engine(net, *router, &traffic, engine_config(false));
+  sim::Engine on_engine(net, *router, &traffic, engine_config(true));
+  for (std::uint64_t i = 0; i < cycles / 10; ++i) {
+    off_engine.step();
+    on_engine.step();
+  }
+  // Many short alternating slices: CPU-noise bursts outlast one slice,
+  // so the best-slice rate per variant reflects the same quiet-machine
+  // conditions for both.
+  const std::uint64_t slice = std::max<std::uint64_t>(cycles / 10, 1);
+  *off_cps = 0.0;
+  *on_cps = 0.0;
+  for (int rep = 0; rep < 30; ++rep) {
+    *off_cps = std::max(*off_cps, time_steps(off_engine, slice));
+    *on_cps = std::max(*on_cps, time_steps(on_engine, slice));
+  }
+}
+
+/// Writes BENCH_engine.json: baseline engine cycles/sec per network kind,
+/// telemetry off and on, with full run provenance.
+void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
+                           bool quick) {
+  telemetry::RunManifest manifest;
+  manifest.id = "BENCH_engine";
+  manifest.title = "engine cycle throughput baseline (offered load 0.5)";
+  manifest.seed = 1;  // SimConfig default; the workload is what matters
+  manifest.quick = quick;
+  manifest.simulated_cycles = cycles * 4 * 2;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  telemetry::JsonValue kinds = telemetry::JsonValue::array();
+  double baseline_sum = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    const auto kind = static_cast<topology::NetworkKind>(k);
+    double off = 0.0;
+    double on = 0.0;
+    measure_pair(kind, cycles, &off, &on);
+    baseline_sum += off;
+    telemetry::JsonValue entry = telemetry::JsonValue::object();
+    entry.set("kind", topology::to_string(kind));
+    entry.set("cycles_per_second_telemetry_off", off);
+    entry.set("cycles_per_second_telemetry_on", on);
+    entry.set("telemetry_on_overhead_pct",
+              off > 0.0 ? (off - on) / off * 100.0 : 0.0);
+    kinds.push_back(std::move(entry));
+  }
+  manifest.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  telemetry::JsonValue document = telemetry::manifest_to_json(manifest);
+  document.set("measured_cycles_per_kind", cycles);
+  document.set("baseline_cycles_per_second_mean", baseline_sum / 4.0);
+  document.set("kinds", std::move(kinds));
+  const telemetry::ResultWriter writer(dir);
+  const std::string path = writer.write("BENCH_engine", document);
+  std::printf("# json result: %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_dir;
+  if (auto env = telemetry::json_dir_from_env()) json_dir = *env;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_dir = "results/json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_dir = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_dir.empty()) {
+    const char* quick = std::getenv("WORMSIM_QUICK");
+    const bool is_quick = quick != nullptr && quick[0] != '\0' &&
+                          quick[0] != '0';
+    write_engine_baseline(json_dir, is_quick ? 50'000 : 400'000, is_quick);
+  }
+  return 0;
+}

@@ -1,0 +1,220 @@
+// Telemetry report: ASCII channel heatmaps, interval-sample timelines,
+// Chrome-trace export, and JSON results-directory summaries.
+//
+// Modes:
+//   telemetry_report --figure=fig18a --load=0.5 [--quick] [--seed=N]
+//       Runs every series of a figure at one offered load with telemetry
+//       counters + sampling enabled and prints, per series, the per-stage
+//       channel heatmap, arbitration totals, and a saturation timeline.
+//   telemetry_report --dir=results/json
+//       Summarizes a directory of schema-versioned JSON results (one row
+//       per file: id, seed, git revision, points, peak throughput).
+//   telemetry_report --chrome=trace.json [--messages=N]
+//       Replays a small manually injected DMIN run and writes a
+//       chrome://tracing / Perfetto JSON file of worm lane occupancy.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+
+#include "experiment/figures.hpp"
+#include "experiment/results_json.hpp"
+#include "experiment/sweep.hpp"
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/result_writer.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormsim;
+
+void print_samples(const std::vector<telemetry::Sample>& samples,
+                   std::ostream& os) {
+  if (samples.empty()) {
+    os << "  (no samples recorded)\n";
+    return;
+  }
+  // Thin the timeline to at most 12 rows; the full series is in the
+  // SimResult for programmatic use.
+  const std::size_t stride = samples.size() > 12 ? samples.size() / 12 : 1;
+  util::Table table({"cycle", "delivered_flits", "flits_in_flight",
+                     "worms_in_flight", "mean_queue"});
+  for (std::size_t i = 0; i < samples.size(); i += stride) {
+    const telemetry::Sample& sample = samples[i];
+    table.row()
+        .cell(sample.cycle)
+        .cell(sample.delivered_flits)
+        .cell(static_cast<std::int64_t>(sample.flits_in_flight))
+        .cell(static_cast<std::int64_t>(sample.worms_in_flight))
+        .cell(sample.mean_queue_depth, 2);
+  }
+  table.print(os);
+}
+
+int report_figure(const std::string& figure, double load,
+                  const experiment::RunOptions& options) {
+  if (!experiment::figure_exists(figure)) {
+    std::cerr << "unknown figure '" << figure << "'\n";
+    return 1;
+  }
+  const experiment::FigureSpec spec = experiment::figure_spec(figure);
+  std::cout << "== telemetry report: " << spec.title << " @ load "
+            << util::format_double(load * 100.0, 0) << "% ==\n";
+  for (const experiment::SeriesSpec& series : spec.series) {
+    experiment::SeriesSpec tweaked = series;
+    auto base_tweak = series.tweak_sim;
+    tweaked.tweak_sim = [base_tweak](sim::SimConfig& config) {
+      if (base_tweak) base_tweak(config);
+      config.telemetry.counters = true;
+      config.telemetry.sampling = true;
+    };
+    sim::SimResult result;
+    const experiment::SweepPoint point = experiment::run_point(
+        tweaked, load, options.sim_config(), &result);
+
+    std::cout << "\n-- " << series.label << " --\n";
+    std::cout << "accepted "
+              << util::format_double(point.throughput * 100.0, 1)
+              << "%  latency " << util::format_double(point.latency_us, 1)
+              << " us  " << (point.sustainable ? "sustainable" : "SATURATED")
+              << "\n";
+    const topology::Network network = topology::build_network(series.net);
+    const telemetry::ChannelHeatmap heatmap = telemetry::build_heatmap(
+        network, result.telemetry_counters, result.measure_cycles);
+    telemetry::print_heatmap(heatmap, std::cout);
+    std::cout << "  arbitration: "
+              << result.telemetry_counters.total_grants() << " grants, "
+              << result.telemetry_counters.total_denials()
+              << " denials; blocked header-cycles "
+              << result.telemetry_counters.total_blocked_cycles() << "\n";
+    print_samples(result.telemetry_samples, std::cout);
+  }
+  return 0;
+}
+
+int report_directory(const std::string& dir) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "cannot read directory '" << dir << "'\n";
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "no .json results in '" << dir << "'\n";
+    return 1;
+  }
+  util::Table table({"id", "schema", "seed", "git", "series", "points",
+                     "peak_accepted%", "cycles/s"});
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    std::string error;
+    const telemetry::JsonValue doc = telemetry::JsonValue::parse(text, &error);
+    if (!error.empty()) {
+      std::cerr << "skipping '" << path.string() << "': " << error << "\n";
+      continue;
+    }
+    std::size_t points = 0;
+    double peak = 0.0;
+    for (const telemetry::JsonValue& series : doc.at("series").items()) {
+      for (const telemetry::JsonValue& p : series.at("points").items()) {
+        ++points;
+        peak = std::max(peak, p.at("throughput").as_number());
+      }
+    }
+    table.row()
+        .cell(doc.at("id").as_string())
+        .cell(doc.at("schema_version").as_uint())
+        .cell(doc.at("seed").as_uint())
+        .cell(doc.at("git_revision").as_string())
+        .cell(static_cast<std::uint64_t>(doc.at("series").items().size()))
+        .cell(static_cast<std::uint64_t>(points))
+        .cell(peak * 100.0, 1)
+        .cell(doc.at("cycles_per_second").as_number(), 0);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int export_chrome(const std::string& path, std::int64_t messages,
+                  std::uint64_t seed) {
+  const topology::Network network =
+      topology::build_network(experiment::dmin_config());
+  const auto router = routing::make_router(network);
+  sim::SimConfig config;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1u << 30;
+  config.drain_cycles = 0;
+  sim::Engine engine(network, *router, nullptr, config);
+  sim::RecordingTraceSink sink;
+  engine.set_trace_sink(&sink);
+  util::Rng rng(seed);
+  for (std::int64_t i = 0; i < messages; ++i) {
+    const auto src = static_cast<topology::NodeId>(
+        rng.below(network.node_count()));
+    std::uint64_t dst = rng.below(network.node_count());
+    while (dst == src) dst = rng.below(network.node_count());
+    engine.inject_message(src, dst, 16 + 8 * static_cast<std::uint32_t>(
+                                                i % 4));
+  }
+  if (!engine.run_until_idle(1'000'000)) {
+    std::cerr << "run did not drain\n";
+    return 1;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::cerr << "cannot write '" << path << "'\n";
+    return 1;
+  }
+  const std::size_t slices = telemetry::write_chrome_trace(
+      sink.events(), network, out);
+  std::cout << "wrote " << slices << " occupancy slices for " << messages
+            << " worms to " << path
+            << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string figure = "fig18a";
+  std::string dir;
+  std::string chrome;
+  double load = 0.5;
+  std::int64_t messages = 8;
+  bool quick = false;
+  std::int64_t seed = 20250707;
+  util::CliParser cli(
+      "telemetry_report: channel heatmaps, trace export, results summary");
+  cli.add_flag("figure", &figure, "figure id to run with telemetry on");
+  cli.add_flag("load", &load, "offered load fraction for --figure");
+  cli.add_flag("dir", &dir, "summarize a directory of JSON results");
+  cli.add_flag("chrome", &chrome, "write a Chrome-trace JSON to this path");
+  cli.add_flag("messages", &messages, "worms to record for --chrome");
+  cli.add_flag("quick", &quick, "smoke-test simulation sizes");
+  cli.add_flag("seed", &seed, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (!dir.empty()) return report_directory(dir);
+  if (!chrome.empty()) {
+    return export_chrome(chrome, messages,
+                         static_cast<std::uint64_t>(seed));
+  }
+  experiment::RunOptions options = experiment::RunOptions::from_env();
+  options.quick = options.quick || quick;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.json_dir.clear();  // reporting only; never writes results
+  return report_figure(figure, load, options);
+}

@@ -1,10 +1,12 @@
 #include "experiment/figures.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <ostream>
 
 #include "experiment/parallel.hpp"
+#include "experiment/results_json.hpp"
 
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -52,6 +54,9 @@ RunOptions RunOptions::from_env() {
   }
   if (const char* seed = std::getenv("WORMSIM_SEED")) {
     options.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (auto dir = telemetry::json_dir_from_env()) {
+    options.json_dir = *dir;
   }
   return options;
 }
@@ -517,7 +522,25 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
   if (const char* env = std::getenv("WORMSIM_THREADS")) {
     threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   result.series = run_all_series(def.series, options.sweep_options(), threads);
+  if (!options.json_dir.empty()) {
+    telemetry::RunManifest manifest;
+    manifest.id = id;
+    manifest.title = def.title;
+    manifest.seed = options.seed;
+    manifest.quick = options.quick;
+    manifest.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    std::size_t points = 0;
+    for (const Series& series : result.series) points += series.points.size();
+    manifest.simulated_cycles =
+        static_cast<std::uint64_t>(points) *
+        options.sim_config().total_cycles();
+    write_figure_json(result, manifest, options.json_dir);
+  }
   return result;
 }
 

@@ -15,13 +15,17 @@ namespace wormsim::experiment {
 struct RunOptions {
   bool quick = false;          ///< smoke-test mode: tiny sims, few loads
   std::uint64_t seed = 20250707;
+  /// When non-empty, run_figure also writes a schema-versioned JSON
+  /// result (seed, git revision, wall time, cycles/sec, all points) as
+  /// `<json_dir>/<figure_id>.json`; see experiment/results_json.hpp.
+  std::string json_dir;
 
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
   SweepOptions sweep_options() const;
 
-  /// Honors WORMSIM_QUICK=1 and WORMSIM_SEED=<n>.
+  /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, and WORMSIM_JSON_DIR=<dir>.
   static RunOptions from_env();
 };
 

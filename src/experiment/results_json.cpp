@@ -1,0 +1,76 @@
+#include "experiment/results_json.hpp"
+
+#include "util/check.hpp"
+
+namespace wormsim::experiment {
+
+using telemetry::JsonValue;
+
+JsonValue figure_to_json(const FigureResult& result,
+                         const telemetry::RunManifest& manifest) {
+  JsonValue document = manifest_to_json(manifest);
+  JsonValue series_array = JsonValue::array();
+  for (const Series& series : result.series) {
+    JsonValue series_json = JsonValue::object();
+    series_json.set("label", series.label);
+    JsonValue points = JsonValue::array();
+    for (const SweepPoint& point : series.points) {
+      JsonValue p = JsonValue::object();
+      p.set("offered", point.offered_requested);
+      p.set("offered_measured", point.offered_measured);
+      p.set("throughput", point.throughput);
+      p.set("latency_us", point.latency_us);
+      p.set("latency_p95_us", point.latency_p95_us);
+      p.set("network_latency_us", point.network_latency_us);
+      p.set("queueing_us", point.queueing_us);
+      p.set("sustainable", point.sustainable);
+      p.set("max_source_queue", point.max_source_queue);
+      p.set("delivered_messages", point.delivered_messages);
+      points.push_back(std::move(p));
+    }
+    series_json.set("points", std::move(points));
+    series_array.push_back(std::move(series_json));
+  }
+  document.set("series", std::move(series_array));
+  return document;
+}
+
+FigureResult figure_from_json(const JsonValue& document) {
+  WORMSIM_CHECK_MSG(document.is_object(), "result document is not an object");
+  WORMSIM_CHECK_MSG(
+      document.at("schema_version").as_number() ==
+          telemetry::kResultSchemaVersion,
+      "unsupported result schema version");
+  FigureResult result;
+  result.id = document.at("id").as_string();
+  result.title = document.at("title").as_string();
+  for (const JsonValue& series_json : document.at("series").items()) {
+    Series series;
+    series.label = series_json.at("label").as_string();
+    for (const JsonValue& p : series_json.at("points").items()) {
+      SweepPoint point;
+      point.offered_requested = p.at("offered").as_number();
+      point.offered_measured = p.at("offered_measured").as_number();
+      point.throughput = p.at("throughput").as_number();
+      point.latency_us = p.at("latency_us").as_number();
+      point.latency_p95_us = p.at("latency_p95_us").as_number();
+      point.network_latency_us = p.at("network_latency_us").as_number();
+      point.queueing_us = p.at("queueing_us").as_number();
+      point.sustainable = p.at("sustainable").as_bool();
+      point.max_source_queue = p.at("max_source_queue").as_uint();
+      point.delivered_messages = p.at("delivered_messages").as_uint();
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+std::string write_figure_json(const FigureResult& result,
+                              const telemetry::RunManifest& manifest,
+                              const std::string& dir) {
+  const telemetry::ResultWriter writer(dir);
+  return writer.write(result.id, figure_to_json(result, manifest));
+}
+
+}  // namespace wormsim::experiment

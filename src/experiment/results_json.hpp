@@ -1,0 +1,33 @@
+// Versioned JSON emission for figure/ablation results.
+//
+// Bridges the experiment layer to telemetry's ResultWriter: a FigureResult
+// plus a RunManifest becomes one schema-versioned JSON document with the
+// run's provenance (seed, git revision, wall time, cycles/sec) and every
+// (series, point) of the latency/throughput curves.  This is the producer
+// behind WORMSIM_JSON_DIR and the benches' --json flag.
+#pragma once
+
+#include <string>
+
+#include "experiment/figures.hpp"
+#include "telemetry/result_writer.hpp"
+
+namespace wormsim::experiment {
+
+/// Full document: manifest fields at the top level (schema_version, seed,
+/// git_revision, cycles_per_second, ...) plus a "series" array with one
+/// entry per curve and one "points" element per sweep point.
+telemetry::JsonValue figure_to_json(const FigureResult& result,
+                                    const telemetry::RunManifest& manifest);
+
+/// Parses a figure_to_json document back into a FigureResult (summary
+/// fields only).  Aborts on schema mismatch; used by telemetry_report and
+/// the round-trip tests.
+FigureResult figure_from_json(const telemetry::JsonValue& document);
+
+/// Writes `<dir>/<result.id>.json`; returns the path written.
+std::string write_figure_json(const FigureResult& result,
+                              const telemetry::RunManifest& manifest,
+                              const std::string& dir);
+
+}  // namespace wormsim::experiment

@@ -8,7 +8,11 @@
 namespace wormsim::experiment {
 
 SweepPoint run_point(const SeriesSpec& spec, double load,
-                     const sim::SimConfig& base_sim_config) {
+                     const sim::SimConfig& base_sim_config,
+                     sim::SimResult* full_result) {
+  // Base config first, per-series tweak last: a tweak_sim that enables
+  // telemetry (or changes the seed, arbitration, ...) must win over
+  // whatever SweepOptions::sim carries.
   sim::SimConfig sim_config = base_sim_config;
   if (spec.tweak_sim) spec.tweak_sim(sim_config);
   const topology::Network network = topology::build_network(spec.net);
@@ -46,6 +50,7 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
   point.sustainable = result.sustainable(sim_config.sustainable_queue_limit);
   point.max_source_queue = result.max_source_queue;
   point.delivered_messages = result.delivered_messages_total;
+  if (full_result != nullptr) *full_result = std::move(result);
   return point;
 }
 

@@ -50,7 +50,11 @@ struct SeriesSpec {
   Switching switching = Switching::kWormhole;
 
   /// Optional per-series simulator-config override (e.g. arbitration
-  /// policy ablations); applied after the sweep's base config.
+  /// policy ablations, or enabling SimConfig::telemetry for one series).
+  /// Ordering contract: run_point copies the sweep's base config FIRST
+  /// and applies this tweak LAST, so nothing a tweak sets can be
+  /// clobbered by SweepOptions::sim (regression-tested in
+  /// telemetry_test.cpp).
   std::function<void(sim::SimConfig&)> tweak_sim;
 };
 
@@ -62,8 +66,14 @@ struct SweepOptions {
   unsigned stop_after_unsustainable = 2;
 };
 
+/// Runs one (series, load) point.  `sim_config` is the base configuration;
+/// the series' tweak_sim (if any) is applied on top of it, last.  When
+/// `full_result` is non-null the complete SimResult — including telemetry
+/// counters and samples when the (possibly tweaked) config enables them —
+/// is copied out alongside the summary point.
 SweepPoint run_point(const SeriesSpec& spec, double load,
-                     const sim::SimConfig& sim_config);
+                     const sim::SimConfig& sim_config,
+                     sim::SimResult* full_result = nullptr);
 
 Series run_series(const SeriesSpec& spec, const SweepOptions& options);
 

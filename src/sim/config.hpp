@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "telemetry/config.hpp"
+
 namespace wormsim::sim {
 
 /// Order in which waiting headers are offered output lanes each cycle.
@@ -53,6 +55,11 @@ struct SimConfig {
   /// Collect per-physical-channel busy-cycle counters (used by the
   /// partitioning experiments; small overhead).
   bool record_channel_utilization = false;
+
+  /// Telemetry collection (per-lane counters, interval sampling); all off
+  /// by default and near-free when off.  Results land in
+  /// SimResult::telemetry_counters / telemetry_samples.
+  telemetry::TelemetryConfig telemetry;
 
   std::uint64_t total_cycles() const {
     return warmup_cycles + measure_cycles + drain_cycles;

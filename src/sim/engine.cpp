@@ -52,6 +52,15 @@ Engine::Engine(const topology::Network& network,
   if (config_.record_channel_utilization) {
     result_.channel_busy_cycles.assign(network_.channels().size(), 0);
   }
+  if (config_.telemetry.counters) {
+    result_.telemetry_counters.resize_for(network_.lane_count(),
+                                          network_.switches().size());
+    tel_ = &result_.telemetry_counters;
+  }
+  if (config_.telemetry.sampling) {
+    WORMSIM_CHECK(config_.telemetry.sample_interval_cycles > 0);
+    sampler_ = telemetry::IntervalSampler(config_.telemetry.sample_capacity);
+  }
 }
 
 PacketId Engine::inject_message(NodeId src, std::uint64_t dst,
@@ -142,7 +151,13 @@ void Engine::route_and_allocate() {
       if (channel_faulty_[network_.lane(lane).channel]) continue;
       free_lanes.push_back(lane);
     }
-    if (free_lanes.empty()) continue;  // blocked; retry next cycle
+    if (free_lanes.empty()) {  // blocked; retry next cycle
+      if (tel_ != nullptr && in_measure_window()) {
+        ++tel_->lane_blocked[u];
+        ++tel_->switch_denials[network_.lane_channel(u).dst.id];
+      }
+      continue;
+    }
     const LaneId chosen =
         config_.lane_selection == LaneSelection::kFirstFree
             ? free_lanes[0]
@@ -150,6 +165,9 @@ void Engine::route_and_allocate() {
                   rng_.below(free_lanes.size()))];
     route_out_[u] = chosen;
     alloc_owner_[chosen] = u;
+    if (tel_ != nullptr && in_measure_window()) {
+      ++tel_->switch_grants[network_.lane_channel(u).dst.id];
+    }
     trace(TraceEvent::Kind::kRouted, buf_packet_[u], 0, chosen);
   }
 }
@@ -202,6 +220,9 @@ bool Engine::try_channel(ChannelId ch_id) {
   if (config_.record_channel_utilization && in_measure_window()) {
     ++result_.channel_busy_cycles[ch_id];
   }
+  if (tel_ != nullptr && in_measure_window()) {
+    ++tel_->lane_flits[lane];
+  }
   last_move_cycle_ = cycle_;
   return true;
 }
@@ -216,6 +237,7 @@ void Engine::move_from_node(NodeId node_id, LaneId lane) {
   ++occupied_;
   if (node.tx_sent == 0) {
     pkt.inject_cycle = cycle_;
+    ++worms_in_flight_;
   }
   trace(TraceEvent::Kind::kFlitMoved, node.tx_packet, node.tx_sent, lane);
   ++node.tx_sent;
@@ -259,8 +281,10 @@ void Engine::deliver_flit(PacketId pkt_id, std::uint32_t seq) {
   if (in_measure_window()) {
     ++result_.delivered_flits_in_window;
   }
+  ++delivered_flits_total_;
   if (seq + 1 == pkt.length) {
     pkt.deliver_cycle = cycle_;
+    --worms_in_flight_;
     trace(TraceEvent::Kind::kDelivered, pkt_id, seq, topology::kInvalidId);
     ++result_.delivered_messages_total;
     if (pkt.measured) {
@@ -291,6 +315,19 @@ void Engine::advance_flits() {
   std::fill(arrived_.begin(), arrived_.end(), 0);
 }
 
+void Engine::record_sample() {
+  telemetry::Sample sample;
+  sample.cycle = cycle_;
+  sample.delivered_flits = delivered_flits_total_;
+  sample.flits_in_flight = occupied_;
+  sample.worms_in_flight = worms_in_flight_;
+  std::uint64_t queued = 0;
+  for (const NodeState& node : nodes_) queued += node.queue.size();
+  sample.mean_queue_depth =
+      static_cast<double>(queued) / static_cast<double>(nodes_.size());
+  sampler_.record(sample);
+}
+
 void Engine::step() {
   generate_arrivals();
   // One-port source: start transmitting the queue head when idle.
@@ -303,6 +340,11 @@ void Engine::step() {
   }
   route_and_allocate();
   advance_flits();
+
+  if (config_.telemetry.sampling &&
+      cycle_ % config_.telemetry.sample_interval_cycles == 0) {
+    record_sample();
+  }
 
   if (occupied_ > 0 &&
       cycle_ - last_move_cycle_ > config_.deadlock_watchdog_cycles) {
@@ -357,6 +399,7 @@ SimResult Engine::run() {
       ++result_.measured_messages_unfinished;
     }
   }
+  result_.telemetry_samples = sampler_.ordered();
   return result_;
 }
 

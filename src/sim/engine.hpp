@@ -35,6 +35,7 @@
 #include "sim/packet.hpp"
 #include "sim/trace.hpp"
 #include "sim/traffic_source.hpp"
+#include "telemetry/sampler.hpp"
 #include "topology/network.hpp"
 #include "util/rng.hpp"
 
@@ -88,6 +89,13 @@ class Engine {
   /// creations, routing grants, flit moves, and deliveries.
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
+  /// Telemetry state for step()-driven runs (run() also copies both into
+  /// the returned SimResult).  Counters cover the measurement window only.
+  const telemetry::Counters& telemetry_counters() const {
+    return result_.telemetry_counters;
+  }
+  const telemetry::IntervalSampler& sampler() const { return sampler_; }
+
   /// Marks a physical channel as failed: headers never route onto it and
   /// no flit crosses it.  Only adaptive networks (DMIN, VMIN with spare
   /// lanes, BMIN, extra-stage MINs) can route around interior faults; a
@@ -117,6 +125,7 @@ class Engine {
     return cycle_ >= config_.warmup_cycles &&
            cycle_ < config_.warmup_cycles + config_.measure_cycles;
   }
+  void record_sample();
   [[noreturn]] void report_deadlock() const;
 
   void trace(TraceEvent::Kind kind, PacketId packet, std::uint32_t seq,
@@ -132,9 +141,16 @@ class Engine {
   util::Rng rng_;
   TraceSink* trace_ = nullptr;
 
+  // Telemetry: null when counters are off, so the hot-loop hooks cost one
+  // predictable-taken branch.  Points into result_.telemetry_counters.
+  telemetry::Counters* tel_ = nullptr;
+  telemetry::IntervalSampler sampler_{0};
+
   std::uint64_t cycle_ = 0;
   std::uint64_t last_move_cycle_ = 0;
   std::int64_t occupied_ = 0;
+  std::int64_t worms_in_flight_ = 0;
+  std::uint64_t delivered_flits_total_ = 0;
 
   std::vector<PacketState> packets_;
   std::vector<NodeState> nodes_;

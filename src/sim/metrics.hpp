@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
 
 namespace wormsim::sim {
@@ -36,6 +38,13 @@ struct SimResult {
   /// Busy cycles per physical channel over the measurement window (empty
   /// unless SimConfig::record_channel_utilization).
   std::vector<std::uint64_t> channel_busy_cycles;
+
+  /// Measurement-window telemetry counters (empty unless
+  /// SimConfig::telemetry.counters); feed telemetry::build_heatmap.
+  telemetry::Counters telemetry_counters;
+  /// Interval snapshots in chronological order (empty unless
+  /// SimConfig::telemetry.sampling).
+  std::vector<telemetry::Sample> telemetry_samples;
 
   /// Accepted throughput as a fraction of the theoretical maximum of one
   /// flit per node per cycle (the one-port ejection bound).

@@ -1,0 +1,70 @@
+// Versioned JSON result files with run provenance.
+//
+// Every figure, ablation, and bench run can emit a machine-readable JSON
+// document next to its text output: schema version, the run's config
+// (seed, quick mode, simulated cycles), the builder's git revision, wall
+// time, and simulation speed (cycles/sec).  Consumers key on
+// `schema_version` — bump kResultSchemaVersion on any breaking layout
+// change and keep readers tolerant of additive fields.
+//
+// The output directory comes from --json flags or the WORMSIM_JSON_DIR
+// environment variable (documented alongside WORMSIM_QUICK/WORMSIM_SEED).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace wormsim::telemetry {
+
+/// Layout version of every JSON document this subsystem writes.
+inline constexpr int kResultSchemaVersion = 1;
+
+/// Git revision the binary was configured from (`git describe --always
+/// --dirty` at CMake configure time; "unknown" outside a git checkout).
+const char* git_revision();
+
+/// Provenance attached to every result document.
+struct RunManifest {
+  std::string id;     ///< figure/bench identifier, e.g. "fig18a"
+  std::string title;  ///< human-readable description
+  std::uint64_t seed = 0;
+  bool quick = false;
+  std::uint64_t simulated_cycles = 0;  ///< total engine cycles executed
+  double wall_seconds = 0.0;
+  double cycles_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(simulated_cycles) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Manifest -> JSON object including schema_version, tool name, and git
+/// revision; embed under the document's "manifest" key or splice at the
+/// top level.
+JsonValue manifest_to_json(const RunManifest& manifest);
+
+/// WORMSIM_JSON_DIR when set and non-empty.
+std::optional<std::string> json_dir_from_env();
+
+/// Writes JSON documents into a directory (created on first use).
+class ResultWriter {
+ public:
+  explicit ResultWriter(std::string directory);
+
+  /// Writes `<directory>/<name>.json` (pretty-printed, trailing newline)
+  /// and returns the path.  Aborts if the file cannot be written.
+  std::string write(const std::string& name, const JsonValue& document) const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string directory_;
+};
+
+/// Reads and parses one JSON result file; aborts on I/O or parse errors
+/// (results are machine-produced; a malformed file is a bug).
+JsonValue read_json_file(const std::string& path);
+
+}  // namespace wormsim::telemetry

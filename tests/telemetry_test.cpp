@@ -1,0 +1,548 @@
+// Tests for the telemetry subsystem: engine counters reconciling with
+// SimResult totals, heatmaps cross-checked against the partitioning
+// channel-usage analysis, Chrome-trace export, the JSON document model,
+// versioned result files, and the sweep tweak-ordering regression.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "experiment/figures.hpp"
+#include "experiment/results_json.hpp"
+#include "experiment/sweep.hpp"
+#include "partition/channel_usage.hpp"
+#include "partition/cluster.hpp"
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/result_writer.hpp"
+#include "traffic/workload.hpp"
+
+namespace wormsim::telemetry {
+namespace {
+
+topology::NetworkConfig small_tmin() {
+  topology::NetworkConfig config;
+  config.kind = topology::NetworkKind::kTMIN;
+  config.topology = "cube";
+  config.radix = 2;
+  config.stages = 3;
+  config.dilation = 1;
+  config.vcs = 1;
+  return config;
+}
+
+sim::SimConfig manual_config() {
+  sim::SimConfig config;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1u << 30;
+  config.drain_cycles = 0;
+  return config;
+}
+
+// ---- Counters -----------------------------------------------------------
+
+TEST(Counters, DisabledByDefaultAndCostsNothingToCarry) {
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  sim::Engine engine(net, *router, nullptr, manual_config());
+  engine.inject_message(0, 5, 4);
+  ASSERT_TRUE(engine.run_until_idle(1'000));
+  EXPECT_FALSE(engine.telemetry_counters().enabled());
+}
+
+TEST(Counters, EjectionCrossingsReconcileWithDeliveredFlits) {
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.3;
+  workload.length = traffic::LengthSpec::uniform(4, 32);
+  traffic::StandardTraffic traffic(net, workload);
+
+  sim::SimConfig config;
+  config.seed = 99;
+  config.warmup_cycles = 1'000;
+  config.measure_cycles = 8'000;
+  config.drain_cycles = 1'000;
+  config.telemetry.counters = true;
+  sim::Engine engine(net, *router, &traffic, config);
+  const sim::SimResult result = engine.run();
+
+  ASSERT_TRUE(result.telemetry_counters.enabled());
+  EXPECT_GT(result.delivered_flits_in_window, 0u);
+
+  // Counters cover the measurement window only, so ejection-channel
+  // crossings equal the windowed delivered-flit total exactly.
+  std::uint64_t ejection_crossings = 0;
+  for (topology::NodeId node = 0; node < net.node_count(); ++node) {
+    ejection_crossings += result.telemetry_counters.channel_flits(
+        net, net.ejection_channel(node));
+  }
+  EXPECT_EQ(ejection_crossings, result.delivered_flits_in_window);
+
+  // A denial and a blocked header-cycle are recorded together.
+  EXPECT_EQ(result.telemetry_counters.total_denials(),
+            result.telemetry_counters.total_blocked_cycles());
+  EXPECT_GT(result.telemetry_counters.total_grants(), 0u);
+}
+
+TEST(Counters, FullWindowRunCountsEveryCrossingExactly) {
+  // With no warmup the whole run is the measurement window, so every
+  // flit's full journey is counted: stages+1 channel crossings per flit
+  // on a TMIN, and one ejection crossing per delivered flit.
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  sim::SimConfig config = manual_config();
+  config.telemetry.counters = true;
+  sim::Engine engine(net, *router, nullptr, config);
+  std::uint64_t flits = 0;
+  for (topology::NodeId src = 0; src < net.node_count(); ++src) {
+    const std::uint64_t dst = (src + 3) % net.node_count();
+    const std::uint32_t length = 4 + src;
+    engine.inject_message(src, dst, length);
+    flits += length;
+  }
+  ASSERT_TRUE(engine.run_until_idle(10'000));
+
+  const Counters& counters = engine.telemetry_counters();
+  EXPECT_EQ(counters.total_flit_crossings(), flits * (net.stages() + 1));
+  std::uint64_t ejection_crossings = 0;
+  for (topology::NodeId node = 0; node < net.node_count(); ++node) {
+    ejection_crossings +=
+        counters.channel_flits(net, net.ejection_channel(node));
+  }
+  EXPECT_EQ(ejection_crossings, flits);
+}
+
+// ---- Heatmap ------------------------------------------------------------
+
+TEST(Heatmap, MatchesChannelUsageAnalysis) {
+  // Drive all intra-cluster pairs of one contiguous half of a 8-node TMIN
+  // and compare the channels the simulation actually touched, per
+  // connection level, against the static usage analysis (Section 4).
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  const partition::Clustering clustering =
+      partition::Clustering::contiguous(net.node_count(), 2);
+  const partition::UsageReport report =
+      partition::analyze_channel_usage(net.topology(), clustering);
+
+  sim::SimConfig config = manual_config();
+  config.telemetry.counters = true;
+  sim::Engine engine(net, *router, nullptr, config);
+  for (topology::NodeId s : clustering.clusters[0]) {
+    for (topology::NodeId d : clustering.clusters[0]) {
+      if (s != d) engine.inject_message(s, d, 4);
+    }
+  }
+  ASSERT_TRUE(engine.run_until_idle(100'000));
+
+  const ChannelHeatmap heatmap =
+      build_heatmap(net, engine.telemetry_counters(), engine.cycle());
+  ASSERT_FALSE(heatmap.stages.empty());
+  EXPECT_EQ(heatmap.cycles, engine.cycle());
+
+  // Channels with traffic per connection level C_0 .. C_n.
+  std::vector<std::uint64_t> used_per_level(net.stages() + 1, 0);
+  for (const StageRow& row : heatmap.stages) {
+    ASSERT_LT(row.conn_index, used_per_level.size());
+    for (const ChannelCell& cell : row.cells) {
+      if (cell.flits > 0) ++used_per_level[row.conn_index];
+    }
+  }
+  const std::vector<std::uint64_t>& expected =
+      report.clusters[0].channels_per_level;
+  ASSERT_EQ(used_per_level.size(), expected.size());
+  for (std::size_t level = 0; level < expected.size(); ++level) {
+    EXPECT_EQ(used_per_level[level], expected[level]) << "level " << level;
+  }
+}
+
+TEST(Heatmap, UtilizationBoundedAndHottestConsistent) {
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.4;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 4'000;
+  config.drain_cycles = 500;
+  config.telemetry.counters = true;
+  sim::Engine engine(net, *router, &traffic, config);
+  const sim::SimResult result = engine.run();
+
+  const ChannelHeatmap heatmap =
+      build_heatmap(net, result.telemetry_counters, result.measure_cycles);
+  EXPECT_GT(heatmap.total_flits, 0u);
+  double max_seen = 0.0;
+  std::uint64_t flit_sum = 0;
+  for (const StageRow& row : heatmap.stages) {
+    EXPECT_LE(row.min_utilization, row.mean_utilization);
+    EXPECT_LE(row.mean_utilization, row.max_utilization);
+    EXPECT_LE(row.max_utilization, 1.0);  // one flit per channel per cycle
+    flit_sum += row.total_flits;
+    for (const ChannelCell& cell : row.cells) {
+      max_seen = std::max(max_seen, cell.utilization);
+    }
+    EXPECT_FALSE(stage_label(row).empty());
+  }
+  EXPECT_EQ(flit_sum, heatmap.total_flits);
+  EXPECT_DOUBLE_EQ(heatmap.hottest_utilization, max_seen);
+  EXPECT_NE(heatmap.hottest_channel, topology::kInvalidId);
+
+  std::ostringstream os;
+  print_heatmap(heatmap, os);
+  EXPECT_NE(os.str().find("C_1"), std::string::npos);
+  EXPECT_NE(os.str().find("hottest"), std::string::npos);
+}
+
+// ---- Interval sampling --------------------------------------------------
+
+TEST(Sampler, RingBufferKeepsNewestInOrder) {
+  IntervalSampler sampler(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    Sample s;
+    s.cycle = i * 100;
+    s.delivered_flits = i;
+    sampler.record(s);
+  }
+  EXPECT_EQ(sampler.recorded(), 10u);
+  EXPECT_EQ(sampler.dropped(), 6u);
+  EXPECT_EQ(sampler.size(), 4u);
+  const std::vector<Sample> ordered = sampler.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ordered[i].cycle, (7 + i) * 100);
+    EXPECT_EQ(ordered[i].delivered_flits, 7 + i);
+  }
+}
+
+TEST(Sampler, ZeroCapacityDropsEverything) {
+  IntervalSampler sampler(0);
+  sampler.record(Sample{});
+  EXPECT_EQ(sampler.size(), 0u);
+}
+
+TEST(Sampler, EngineRecordsMonotonicSnapshots) {
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.3;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 4'000;
+  config.drain_cycles = 500;
+  config.telemetry.sampling = true;
+  config.telemetry.sample_interval_cycles = 256;
+  config.telemetry.sample_capacity = 8;  // force ring wraparound
+  sim::Engine engine(net, *router, &traffic, config);
+  const sim::SimResult result = engine.run();
+
+  ASSERT_EQ(result.telemetry_samples.size(), 8u);
+  EXPECT_GT(engine.sampler().dropped(), 0u);
+  for (std::size_t i = 1; i < result.telemetry_samples.size(); ++i) {
+    EXPECT_GT(result.telemetry_samples[i].cycle,
+              result.telemetry_samples[i - 1].cycle);
+    EXPECT_GE(result.telemetry_samples[i].delivered_flits,
+              result.telemetry_samples[i - 1].delivered_flits);
+    EXPECT_GE(result.telemetry_samples[i].flits_in_flight, 0);
+    EXPECT_GE(result.telemetry_samples[i].worms_in_flight, 0);
+  }
+}
+
+// ---- JSON document model ------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", "w\"orm\n");
+  doc.set("count", std::uint64_t{12345});
+  doc.set("fraction", 0.25);
+  doc.set("flag", true);
+  doc.set("nothing", JsonValue());
+  JsonValue list = JsonValue::array();
+  list.push_back(1);
+  list.push_back(2.5);
+  list.push_back("three");
+  doc.set("list", std::move(list));
+
+  for (int indent : {-1, 0, 2}) {
+    std::string error;
+    const JsonValue back = JsonValue::parse(doc.dump_string(indent), &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.at("name").as_string(), "w\"orm\n");
+    EXPECT_EQ(back.at("count").as_uint(), 12345u);
+    EXPECT_DOUBLE_EQ(back.at("fraction").as_number(), 0.25);
+    EXPECT_TRUE(back.at("flag").as_bool());
+    EXPECT_TRUE(back.at("nothing").is_null());
+    ASSERT_EQ(back.at("list").items().size(), 3u);
+    EXPECT_DOUBLE_EQ(back.at("list").items()[1].as_number(), 2.5);
+    EXPECT_EQ(back.at("list").items()[2].as_string(), "three");
+  }
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndSetReplaces) {
+  JsonValue doc = JsonValue::object();
+  doc.set("b", 1);
+  doc.set("a", 2);
+  doc.set("b", 3);  // replace in place, keep position
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_DOUBLE_EQ(doc.members()[0].second.as_number(), 3.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "{\"a\":1} trailing"}) {
+    std::string error;
+    const JsonValue value = JsonValue::parse(bad, &error);
+    EXPECT_TRUE(value.is_null()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Json, ParseFoldsUnicodeEscapes) {
+  std::string error;
+  const JsonValue value = JsonValue::parse("\"a\\u0041\\u00e9\"", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(value.as_string(), "aA\xc3\xa9");
+}
+
+// ---- Chrome trace export ------------------------------------------------
+
+TEST(ChromeTrace, TwoMessageRunProducesParsableSlices) {
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  sim::Engine engine(net, *router, nullptr, manual_config());
+  sim::RecordingTraceSink sink;
+  engine.set_trace_sink(&sink);
+  engine.inject_message(0, 6, 5);
+  engine.inject_message(3, 1, 7);
+  ASSERT_TRUE(engine.run_until_idle(1'000));
+
+  std::ostringstream os;
+  const std::size_t slices = write_chrome_trace(sink.events(), net, os);
+  // Each worm occupies stages+1 = 4 lanes exactly once on a TMIN.
+  EXPECT_EQ(slices, 8u);
+
+  std::string error;
+  const JsonValue doc = JsonValue::parse(os.str(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  std::size_t complete = 0, metadata = 0;
+  for (const JsonValue& event : events.items()) {
+    const std::string& phase = event.at("ph").as_string();
+    if (phase == "X") {
+      ++complete;
+      EXPECT_GT(event.at("dur").as_number(), 0.0);
+      EXPECT_FALSE(event.at("name").as_string().empty());
+    } else if (phase == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(complete, slices);
+  EXPECT_GT(metadata, 0u);  // process_name tracks for switches/nodes
+}
+
+TEST(ChromeTrace, EmptyEventStreamYieldsEmptyTrace) {
+  const topology::Network net = topology::build_network(small_tmin());
+  std::ostringstream os;
+  ChromeTraceOptions options;
+  options.metadata = false;
+  const std::size_t slices =
+      write_chrome_trace({}, net, os, options);
+  EXPECT_EQ(slices, 0u);
+  std::string error;
+  const JsonValue doc = JsonValue::parse(os.str(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(doc.at("traceEvents").items().empty());
+}
+
+// ---- Versioned results --------------------------------------------------
+
+TEST(ResultWriter, ManifestCarriesSchemaAndProvenance) {
+  RunManifest manifest;
+  manifest.id = "fig18a";
+  manifest.title = "cube clustering";
+  manifest.seed = 42;
+  manifest.quick = true;
+  manifest.simulated_cycles = 1'000'000;
+  manifest.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(manifest.cycles_per_second(), 500'000.0);
+
+  const JsonValue doc = manifest_to_json(manifest);
+  EXPECT_EQ(doc.at("schema_version").as_uint(),
+            static_cast<std::uint64_t>(kResultSchemaVersion));
+  EXPECT_EQ(doc.at("tool").as_string(), "wormsim");
+  EXPECT_EQ(doc.at("id").as_string(), "fig18a");
+  EXPECT_EQ(doc.at("seed").as_uint(), 42u);
+  EXPECT_TRUE(doc.at("quick").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("cycles_per_second").as_number(), 500'000.0);
+  // Baked in at configure time; never empty.
+  EXPECT_FALSE(doc.at("git_revision").as_string().empty());
+  EXPECT_STREQ(git_revision(), doc.at("git_revision").as_string().c_str());
+}
+
+TEST(ResultWriter, WritesAndReadsBackThroughTheFilesystem) {
+  const std::string dir = testing::TempDir() + "wormsim_result_writer";
+  const ResultWriter writer(dir);
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", kResultSchemaVersion);
+  doc.set("value", 7);
+  const std::string path = writer.write("probe", doc);
+  EXPECT_NE(path.find("probe.json"), std::string::npos);
+  const JsonValue back = read_json_file(path);
+  EXPECT_EQ(back.at("value").as_uint(), 7u);
+}
+
+TEST(ResultWriter, JsonDirComesFromEnvironment) {
+  unsetenv("WORMSIM_JSON_DIR");
+  EXPECT_FALSE(json_dir_from_env().has_value());
+  setenv("WORMSIM_JSON_DIR", "/tmp/worm-results", 1);
+  ASSERT_TRUE(json_dir_from_env().has_value());
+  EXPECT_EQ(*json_dir_from_env(), "/tmp/worm-results");
+  unsetenv("WORMSIM_JSON_DIR");
+}
+
+TEST(ResultsJson, FigureRoundTripsThroughText) {
+  experiment::FigureResult result;
+  result.id = "fig_test";
+  result.title = "round trip";
+  experiment::Series series;
+  series.label = "TMIN(cube)";
+  experiment::SweepPoint point;
+  point.offered_requested = 0.5;
+  point.offered_measured = 0.4375;
+  point.throughput = 0.375;
+  point.latency_us = 12.5;
+  point.latency_p95_us = 30.25;
+  point.network_latency_us = 8.125;
+  point.queueing_us = 4.375;
+  point.sustainable = true;
+  point.max_source_queue = 9;
+  point.delivered_messages = 1234;
+  series.points.push_back(point);
+  point.offered_requested = 0.75;
+  point.sustainable = false;
+  series.points.push_back(point);
+  result.series.push_back(series);
+
+  RunManifest manifest;
+  manifest.id = result.id;
+  manifest.title = result.title;
+  manifest.seed = 7;
+  manifest.simulated_cycles = 10'000;
+  manifest.wall_seconds = 0.5;
+
+  const JsonValue doc = experiment::figure_to_json(result, manifest);
+  std::string error;
+  const JsonValue reparsed = JsonValue::parse(doc.dump_string(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const experiment::FigureResult back = experiment::figure_from_json(reparsed);
+
+  EXPECT_EQ(back.id, "fig_test");
+  EXPECT_EQ(back.title, "round trip");
+  ASSERT_EQ(back.series.size(), 1u);
+  EXPECT_EQ(back.series[0].label, "TMIN(cube)");
+  ASSERT_EQ(back.series[0].points.size(), 2u);
+  const experiment::SweepPoint& p0 = back.series[0].points[0];
+  EXPECT_DOUBLE_EQ(p0.offered_requested, 0.5);
+  EXPECT_DOUBLE_EQ(p0.offered_measured, 0.4375);
+  EXPECT_DOUBLE_EQ(p0.throughput, 0.375);
+  EXPECT_DOUBLE_EQ(p0.latency_us, 12.5);
+  EXPECT_DOUBLE_EQ(p0.latency_p95_us, 30.25);
+  EXPECT_DOUBLE_EQ(p0.network_latency_us, 8.125);
+  EXPECT_DOUBLE_EQ(p0.queueing_us, 4.375);
+  EXPECT_TRUE(p0.sustainable);
+  EXPECT_EQ(p0.max_source_queue, 9u);
+  EXPECT_EQ(p0.delivered_messages, 1234u);
+  EXPECT_FALSE(back.series[0].points[1].sustainable);
+}
+
+TEST(ResultsJson, WriteFigureJsonCreatesFile) {
+  experiment::FigureResult result;
+  result.id = "fig_write_probe";
+  result.title = "writer";
+  RunManifest manifest;
+  manifest.id = result.id;
+  const std::string dir = testing::TempDir() + "wormsim_results_json";
+  const std::string path =
+      experiment::write_figure_json(result, manifest, dir);
+  const JsonValue doc = read_json_file(path);
+  EXPECT_EQ(doc.at("id").as_string(), "fig_write_probe");
+  EXPECT_EQ(doc.at("schema_version").as_uint(),
+            static_cast<std::uint64_t>(kResultSchemaVersion));
+}
+
+// ---- Sweep integration (satellite: tweak ordering regression) -----------
+
+experiment::SeriesSpec tiny_spec() {
+  experiment::SeriesSpec spec;
+  spec.label = "tiny";
+  spec.net = small_tmin();
+  spec.workload = [](const topology::Network& net, double load) {
+    traffic::WorkloadSpec workload;
+    workload.offered = load;
+    workload.length = traffic::LengthSpec::uniform(4, 16);
+    workload.clustering = partition::Clustering::global(net.node_count());
+    return workload;
+  };
+  return spec;
+}
+
+TEST(Sweep, TweakSimAppliesAfterBaseConfig) {
+  // Regression: run_point must copy the base config FIRST and apply the
+  // series tweak LAST, so a tweak enabling telemetry (or re-seeding)
+  // cannot be clobbered by SweepOptions::sim.
+  experiment::SeriesSpec spec = tiny_spec();
+  spec.tweak_sim = [](sim::SimConfig& config) {
+    config.telemetry.counters = true;
+    config.telemetry.sampling = true;
+    config.telemetry.sample_interval_cycles = 128;
+    config.seed = 4242;
+  };
+  sim::SimConfig base;
+  base.seed = 1;  // the tweak must win over this
+  base.warmup_cycles = 500;
+  base.measure_cycles = 4'000;
+  base.drain_cycles = 500;
+
+  sim::SimResult full;
+  const experiment::SweepPoint point =
+      experiment::run_point(spec, 0.2, base, &full);
+  EXPECT_GT(point.delivered_messages, 0u);
+  ASSERT_TRUE(full.telemetry_counters.enabled());
+  EXPECT_GT(full.telemetry_counters.total_flit_crossings(), 0u);
+  EXPECT_FALSE(full.telemetry_samples.empty());
+
+  // Re-seeding through the tweak changes the run: same base, different
+  // tweak seed, different delivered totals (overwhelmingly likely).
+  experiment::SeriesSpec reseeded = tiny_spec();
+  reseeded.tweak_sim = [](sim::SimConfig& config) { config.seed = 777; };
+  sim::SimResult a;
+  sim::SimResult b;
+  experiment::run_point(spec, 0.2, base, &a);
+  experiment::run_point(reseeded, 0.2, base, &b);
+  EXPECT_NE(a.delivered_flits_in_window, b.delivered_flits_in_window);
+}
+
+TEST(Sweep, FullResultMatchesSummaryPoint) {
+  experiment::SeriesSpec spec = tiny_spec();
+  sim::SimConfig base;
+  base.warmup_cycles = 500;
+  base.measure_cycles = 4'000;
+  base.drain_cycles = 500;
+  sim::SimResult full;
+  const experiment::SweepPoint point =
+      experiment::run_point(spec, 0.25, base, &full);
+  EXPECT_DOUBLE_EQ(point.throughput, full.throughput_fraction());
+  EXPECT_EQ(point.delivered_messages, full.delivered_messages_total);
+  EXPECT_EQ(point.max_source_queue, full.max_source_queue);
+}
+
+}  // namespace
+}  // namespace wormsim::telemetry
