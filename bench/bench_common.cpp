@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iostream>
 
 #include "experiment/results_json.hpp"
 #include "telemetry/result_writer.hpp"
@@ -45,6 +47,23 @@ std::string strip_json_flag(int& argc, char** argv) {
   return dir;
 }
 
+/// Consumes a --threads=<n> argument.  Returns 0 when absent (meaning:
+/// honor WORMSIM_THREADS, else run through google-benchmark).
+unsigned strip_threads_flag(int& argc, char** argv) {
+  unsigned threads = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(
+          std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return threads;
+}
+
 void write_json_results(const std::string& dir,
                         const experiment::RunOptions& options,
                         const sim::SimConfig& sim, double wall_seconds) {
@@ -85,8 +104,25 @@ void write_json_results(const std::string& dir,
 int run_figures(const std::vector<std::string>& figure_ids, int argc,
                 char** argv) {
   std::string json_dir = strip_json_flag(argc, argv);
-  const experiment::RunOptions options = experiment::RunOptions::from_env();
+  const unsigned threads_flag = strip_threads_flag(argc, argv);
+  experiment::RunOptions options = experiment::RunOptions::from_env();
   if (json_dir.empty()) json_dir = options.json_dir;  // WORMSIM_JSON_DIR
+  if (threads_flag > 0) options.threads = threads_flag;
+
+  // With a worker pool requested, per-point benchmark registration would
+  // serialize the sweep again; run each figure through run_figure, which
+  // fans the series out over run_all_series' pool and produces bitwise
+  // the same points and JSON results as the sequential path.
+  if (options.threads > 1) {
+    options.json_dir = json_dir;
+    for (const std::string& id : figure_ids) {
+      const experiment::FigureResult result =
+          experiment::run_figure(id, options);
+      experiment::print_figure(result, std::cout);
+    }
+    return 0;
+  }
+
   const sim::SimConfig sim = options.sim_config();
   const std::vector<double> loads = options.loads();
 

@@ -11,10 +11,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/deadlock.hpp"
 #include "analysis/path_enum.hpp"
@@ -28,14 +30,15 @@ namespace {
 
 using namespace wormsim;
 
-topology::NetworkConfig config_for(topology::NetworkKind kind) {
+topology::NetworkConfig config_for(topology::NetworkKind kind,
+                                   unsigned vcs = 2) {
   topology::NetworkConfig config;
   config.kind = kind;
   config.topology = "cube";
   config.radix = 4;
   config.stages = 3;
   config.dilation = 2;
-  config.vcs = 2;
+  config.vcs = vcs;
   return config;
 }
 
@@ -60,13 +63,13 @@ sim::SimConfig engine_config(bool telemetry_on) {
   return config;
 }
 
-void BM_EngineCycles(benchmark::State& state) {
-  const auto kind = static_cast<topology::NetworkKind>(state.range(0));
-  const bool telemetry_on = state.range(1) != 0;
-  const topology::Network net = topology::build_network(config_for(kind));
+void run_engine_cycles(benchmark::State& state, topology::NetworkKind kind,
+                       bool telemetry_on, double load, unsigned vcs) {
+  const topology::Network net =
+      topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
   traffic::WorkloadSpec workload;
-  workload.offered = 0.5;
+  workload.offered = load;
   traffic::StandardTraffic traffic(net, workload);
   sim::Engine engine(net, *router, &traffic, engine_config(telemetry_on));
   for (auto _ : state) {
@@ -76,9 +79,32 @@ void BM_EngineCycles(benchmark::State& state) {
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
+
+void BM_EngineCycles(benchmark::State& state) {
+  run_engine_cycles(state, static_cast<topology::NetworkKind>(state.range(0)),
+                    state.range(1) != 0, 0.5, 2);
+}
 BENCHMARK(BM_EngineCycles)
     ->ArgsProduct({benchmark::CreateDenseRange(0, 3, 1), {0, 1}})
     ->ArgNames({"kind", "telemetry"});
+
+// Saturated load: source queues stay full and worms block constantly, so
+// the active sets are at their largest — the worst case for worklist
+// bookkeeping relative to the old full scans.
+void BM_EngineCyclesSaturated(benchmark::State& state) {
+  run_engine_cycles(state, static_cast<topology::NetworkKind>(state.range(0)),
+                    false, 0.9, 2);
+}
+BENCHMARK(BM_EngineCyclesSaturated)
+    ->DenseRange(0, 3)
+    ->ArgNames({"kind"});
+
+// Four virtual channels per physical channel doubles the lane state the
+// round-robin multiplexer walks per try.
+void BM_EngineCyclesVmin4vc(benchmark::State& state) {
+  run_engine_cycles(state, topology::NetworkKind::kVMIN, false, 0.5, 4);
+}
+BENCHMARK(BM_EngineCyclesVmin4vc);
 
 void BM_PathEnumerationBmin(benchmark::State& state) {
   topology::NetworkConfig config;
@@ -122,16 +148,22 @@ double time_steps(sim::Engine& engine, std::uint64_t cycles) {
 }
 
 /// Measures telemetry-off and telemetry-on cycles/sec for one network kind
-/// at 50% load.  The two engines run identical simulations (same seed and
+/// and workload.  The two engines run identical simulations (same seed and
 /// traffic); repetitions are interleaved off/on and the best rate per
 /// variant kept, so transient machine noise hits both variants alike
-/// instead of masquerading as telemetry overhead.
+/// instead of masquerading as telemetry overhead.  The overhead estimate
+/// itself is the median of the per-rep paired ratios: adjacent slices see
+/// near-identical machine conditions, and the median rejects the one-sided
+/// slowdown bursts that make any single off/on comparison swing by several
+/// percent.
 void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
-                  double* off_cps, double* on_cps) {
-  const topology::Network net = topology::build_network(config_for(kind));
+                  double load, unsigned vcs, double* off_cps,
+                  double* on_cps, double* overhead_pct) {
+  const topology::Network net =
+      topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
   traffic::WorkloadSpec workload;
-  workload.offered = 0.5;
+  workload.offered = load;
   traffic::StandardTraffic traffic(net, workload);
   sim::Engine off_engine(net, *router, &traffic, engine_config(false));
   sim::Engine on_engine(net, *router, &traffic, engine_config(true));
@@ -145,38 +177,83 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   const std::uint64_t slice = std::max<std::uint64_t>(cycles / 10, 1);
   *off_cps = 0.0;
   *on_cps = 0.0;
+  std::vector<double> ratios;
   for (int rep = 0; rep < 30; ++rep) {
-    *off_cps = std::max(*off_cps, time_steps(off_engine, slice));
-    *on_cps = std::max(*on_cps, time_steps(on_engine, slice));
+    const double off = time_steps(off_engine, slice);
+    const double on = time_steps(on_engine, slice);
+    *off_cps = std::max(*off_cps, off);
+    *on_cps = std::max(*on_cps, on);
+    if (off > 0.0 && on > 0.0) ratios.push_back(on / off);
   }
+  double median_ratio = 1.0;
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    const std::size_t n = ratios.size();
+    median_ratio = n % 2 == 1
+                       ? ratios[n / 2]
+                       : (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0;
+  }
+  *overhead_pct = (1.0 - median_ratio) * 100.0;
 }
 
-/// Writes BENCH_engine.json: baseline engine cycles/sec per network kind,
-/// telemetry off and on, with full run provenance.
+/// One workload configuration the JSON entry records.
+struct JsonConfig {
+  topology::NetworkKind kind;
+  double load;
+  unsigned vcs;
+  bool in_geomean;  ///< the four load-0.5 base configs define the geomean
+};
+
+constexpr JsonConfig kJsonConfigs[] = {
+    {topology::NetworkKind::kTMIN, 0.5, 2, true},
+    {topology::NetworkKind::kDMIN, 0.5, 2, true},
+    {topology::NetworkKind::kVMIN, 0.5, 2, true},
+    {topology::NetworkKind::kBMIN, 0.5, 2, true},
+    {topology::NetworkKind::kTMIN, 0.9, 2, false},
+    {topology::NetworkKind::kDMIN, 0.9, 2, false},
+    {topology::NetworkKind::kVMIN, 0.9, 2, false},
+    {topology::NetworkKind::kBMIN, 0.9, 2, false},
+    {topology::NetworkKind::kVMIN, 0.5, 4, false},
+};
+
+/// Writes BENCH_engine.json: engine cycles/sec per network kind and
+/// workload, telemetry off and on, with full run provenance.  The
+/// document holds a `trajectory` array so successive optimization PRs can
+/// append an entry next to the committed baseline; this run contributes
+/// one entry.  The geomean over the four load-0.5 base kinds is the
+/// figure CI and the acceptance criteria compare across entries.
 void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
                            bool quick) {
   telemetry::RunManifest manifest;
   manifest.id = "BENCH_engine";
-  manifest.title = "engine cycle throughput baseline (offered load 0.5)";
+  manifest.title = "engine cycle throughput trajectory (cycles/sec)";
   manifest.seed = 1;  // SimConfig default; the workload is what matters
   manifest.quick = quick;
-  manifest.simulated_cycles = cycles * 4 * 2;
+  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 2;
 
   const auto wall_start = std::chrono::steady_clock::now();
   telemetry::JsonValue kinds = telemetry::JsonValue::array();
-  double baseline_sum = 0.0;
-  for (int k = 0; k < 4; ++k) {
-    const auto kind = static_cast<topology::NetworkKind>(k);
+  double geomean_log_sum = 0.0;
+  int geomean_count = 0;
+  for (const JsonConfig& jc : kJsonConfigs) {
     double off = 0.0;
     double on = 0.0;
-    measure_pair(kind, cycles, &off, &on);
-    baseline_sum += off;
+    double overhead = 0.0;
+    measure_pair(jc.kind, cycles, jc.load, jc.vcs, &off, &on, &overhead);
+    if (jc.in_geomean && off > 0.0) {
+      geomean_log_sum += std::log(off);
+      ++geomean_count;
+    }
     telemetry::JsonValue entry = telemetry::JsonValue::object();
-    entry.set("kind", topology::to_string(kind));
+    entry.set("kind", topology::to_string(jc.kind));
+    entry.set("offered_load", jc.load);
+    entry.set("vcs", static_cast<std::uint64_t>(jc.vcs));
+    entry.set("in_geomean", jc.in_geomean);
     entry.set("cycles_per_second_telemetry_off", off);
     entry.set("cycles_per_second_telemetry_on", on);
-    entry.set("telemetry_on_overhead_pct",
-              off > 0.0 ? (off - on) / off * 100.0 : 0.0);
+    // Median of paired interleaved-slice ratios (see measure_pair), not
+    // the quotient of the two best slices.
+    entry.set("telemetry_on_overhead_pct", overhead);
     kinds.push_back(std::move(entry));
   }
   manifest.wall_seconds =
@@ -184,10 +261,19 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
                                     wall_start)
           .count();
 
+  telemetry::JsonValue trajectory_entry = telemetry::JsonValue::object();
+  trajectory_entry.set("label", "active-set engine");
+  trajectory_entry.set(
+      "geomean_cycles_per_second_telemetry_off",
+      geomean_count > 0 ? std::exp(geomean_log_sum / geomean_count) : 0.0);
+  trajectory_entry.set("kinds", std::move(kinds));
+
+  telemetry::JsonValue trajectory = telemetry::JsonValue::array();
+  trajectory.push_back(std::move(trajectory_entry));
+
   telemetry::JsonValue document = telemetry::manifest_to_json(manifest);
   document.set("measured_cycles_per_kind", cycles);
-  document.set("baseline_cycles_per_second_mean", baseline_sum / 4.0);
-  document.set("kinds", std::move(kinds));
+  document.set("trajectory", std::move(trajectory));
   const telemetry::ResultWriter writer(dir);
   const std::string path = writer.write("BENCH_engine", document);
   std::printf("# json result: %s\n", path.c_str());

@@ -2,7 +2,7 @@
 // and prints it as a latency/throughput table — the exact rows/series the
 // paper's plots report.  This is the tool used to produce EXPERIMENTS.md.
 //
-// Usage: figures_cli --figure=fig18a [--quick] [--seed=N]
+// Usage: figures_cli --figure=fig18a [--quick] [--seed=N] [--threads=N]
 //        figures_cli --list
 
 #include <iostream>
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool csv = false;
   std::int64_t seed = 20250707;
+  std::int64_t threads = 0;
   util::CliParser cli("figures_cli: run a paper figure reproduction");
   cli.add_flag("figure", &figure, "figure id (see --list)");
   cli.add_flag("list", &list, "list registered figure ids");
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
   cli.add_flag("quick", &quick, "smoke-test mode (tiny simulations)");
   cli.add_flag("csv", &csv, "emit machine-readable CSV instead of tables");
   cli.add_flag("seed", &seed, "random seed");
+  cli.add_flag("threads", &threads,
+               "worker threads for the series sweep (0 = WORMSIM_THREADS "
+               "env or sequential); results match the sequential run "
+               "bitwise");
   if (!cli.parse(argc, argv)) return 1;
 
   if (list) {
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
   experiment::RunOptions options = experiment::RunOptions::from_env();
   options.quick = options.quick || quick;
   options.seed = static_cast<std::uint64_t>(seed);
+  if (threads > 0) options.threads = static_cast<unsigned>(threads);
 
   std::vector<std::string> to_run;
   if (all) {

@@ -55,6 +55,10 @@ RunOptions RunOptions::from_env() {
   if (const char* seed = std::getenv("WORMSIM_SEED")) {
     options.seed = std::strtoull(seed, nullptr, 10);
   }
+  if (const char* threads = std::getenv("WORMSIM_THREADS")) {
+    const unsigned long n = std::strtoul(threads, nullptr, 10);
+    if (n >= 1) options.threads = static_cast<unsigned>(n);
+  }
   if (auto dir = telemetry::json_dir_from_env()) {
     options.json_dir = *dir;
   }
@@ -516,14 +520,11 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
   FigureResult result;
   result.id = id;
   result.title = def.title;
-  // WORMSIM_THREADS > 1 fans series out over a worker pool (results are
+  // options.threads > 1 fans series out over a worker pool (results are
   // identical to the sequential run; see experiment/parallel.hpp).
-  unsigned threads = 1;
-  if (const char* env = std::getenv("WORMSIM_THREADS")) {
-    threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-  }
   const auto wall_start = std::chrono::steady_clock::now();
-  result.series = run_all_series(def.series, options.sweep_options(), threads);
+  result.series =
+      run_all_series(def.series, options.sweep_options(), options.threads);
   if (!options.json_dir.empty()) {
     telemetry::RunManifest manifest;
     manifest.id = id;

@@ -15,6 +15,10 @@ namespace wormsim::experiment {
 struct RunOptions {
   bool quick = false;          ///< smoke-test mode: tiny sims, few loads
   std::uint64_t seed = 20250707;
+  /// Worker threads for run_all_series; results are bitwise identical to
+  /// the sequential run (each series owns its RNG; see
+  /// experiment/parallel.hpp and tests/parallel_test.cpp).
+  unsigned threads = 1;
   /// When non-empty, run_figure also writes a schema-versioned JSON
   /// result (seed, git revision, wall time, cycles/sec, all points) as
   /// `<json_dir>/<figure_id>.json`; see experiment/results_json.hpp.
@@ -25,7 +29,8 @@ struct RunOptions {
   std::vector<double> loads() const;
   SweepOptions sweep_options() const;
 
-  /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, and WORMSIM_JSON_DIR=<dir>.
+  /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>, and
+  /// WORMSIM_JSON_DIR=<dir>.
   static RunOptions from_env();
 };
 

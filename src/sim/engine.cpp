@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/check.hpp"
@@ -13,6 +14,15 @@ using topology::LaneId;
 using topology::NodeId;
 using topology::PhysChannel;
 
+namespace {
+
+/// First integer cycle at which `next_arrival <= cycle` holds.
+std::uint64_t fire_cycle(double next_arrival) {
+  return static_cast<std::uint64_t>(std::ceil(next_arrival));
+}
+
+}  // namespace
+
 Engine::Engine(const topology::Network& network,
                const routing::Router& router, TrafficSource* traffic,
                SimConfig config)
@@ -22,27 +32,39 @@ Engine::Engine(const topology::Network& network,
       config_(config),
       rng_(config.seed) {
   const std::size_t lanes = network_.lane_count();
+  const std::size_t channels = network_.channels().size();
   buf_packet_.assign(lanes, kNoPacket);
   buf_seq_.assign(lanes, 0);
-  arrived_.assign(lanes, 0);
+  arrived_epoch_.assign(lanes, 0);
   route_out_.assign(lanes, kInvalidId);
   alloc_owner_.assign(lanes, kInvalidId);
-  channel_used_.assign(network_.channels().size(), 0);
-  vc_rr_.assign(network_.channels().size(), 0);
-  channel_faulty_.assign(network_.channels().size(), 0);
+  channel_used_epoch_.assign(channels, 0);
+  vc_rr_.assign(channels, 0);
+  channel_faulty_.assign(channels, 0);
+  channel_sources_.assign(channels, 0);
+  seed_stamp_.assign(channels, 0);
+  channel_pass_stamp_.assign(channels, 0);
 
   nodes_.resize(network_.node_count());
+  tx_pending_flag_.assign(network_.node_count(), 0);
   for (NodeId node = 0; node < network_.node_count(); ++node) {
     NodeState& state = nodes_[node];
     state.active = traffic_ != nullptr && traffic_->node_active(node);
     if (state.active) {
       state.next_arrival = traffic_->next_gap(node, rng_);
+      arrival_calendar_.emplace(fire_cycle(state.next_arrival), node);
     }
   }
 
+  lane_scan_pos_.assign(lanes, kInvalidId);
+  lane_dst_switch_.assign(lanes, 0);
   for (const topology::Lane& lane : network_.lanes()) {
     if (network_.channel(lane.channel).dst.is_switch()) {
+      lane_scan_pos_[lane.id] =
+          static_cast<std::uint32_t>(switch_input_lanes_.size());
       switch_input_lanes_.push_back(lane.id);
+      lane_dst_switch_[lane.id] = static_cast<std::uint32_t>(
+          network_.channel(lane.channel).dst.id);
     }
   }
 
@@ -89,6 +111,8 @@ void Engine::enqueue_packet(NodeId src, PacketId id) {
     return;
   }
   node.queue.push_back(id);
+  ++queued_messages_;
+  if (node.tx_packet == kNoPacket) mark_tx_pending(src);
   if (in_measure_window()) {
     result_.max_source_queue =
         std::max<std::uint64_t>(result_.max_source_queue, node.queue.size());
@@ -98,9 +122,18 @@ void Engine::enqueue_packet(NodeId src, PacketId id) {
 void Engine::generate_arrivals() {
   if (traffic_ == nullptr) return;
   const auto now = static_cast<double>(cycle_);
-  for (NodeId node = 0; node < nodes_.size(); ++node) {
+  // Drain every due calendar entry, then process the due nodes in id
+  // order: the RNG draw sequence must match the original all-nodes scan.
+  due_nodes_.clear();
+  while (!arrival_calendar_.empty() &&
+         arrival_calendar_.top().first <= cycle_) {
+    due_nodes_.push_back(arrival_calendar_.top().second);
+    arrival_calendar_.pop();
+  }
+  if (due_nodes_.empty()) return;
+  std::sort(due_nodes_.begin(), due_nodes_.end());
+  for (NodeId node : due_nodes_) {
     NodeState& state = nodes_[node];
-    if (!state.active) continue;
     while (state.next_arrival <= now) {
       const std::uint64_t dst = traffic_->next_destination(node, rng_);
       WORMSIM_DCHECK(dst != node);
@@ -112,7 +145,28 @@ void Engine::generate_arrivals() {
       }
       state.next_arrival += std::max(traffic_->next_gap(node, rng_), 1e-9);
     }
+    arrival_calendar_.emplace(fire_cycle(state.next_arrival), node);
   }
+}
+
+void Engine::start_transmissions() {
+  // One-port source: start transmitting the queue head when idle.  Only
+  // nodes marked pending (new queue head, or a transmission that just
+  // finished with more queued) can change state.
+  if (tx_pending_.empty()) return;
+  for (NodeId node_id : tx_pending_) {
+    tx_pending_flag_[node_id] = 0;
+    NodeState& node = nodes_[node_id];
+    if (node.tx_packet == kNoPacket && !node.queue.empty()) {
+      node.tx_packet = node.queue.front();
+      node.queue.pop_front();
+      --queued_messages_;
+      node.tx_sent = 0;
+      ++transmitting_nodes_;
+      activate_channel(network_.injection_channel(node_id));
+    }
+  }
+  tx_pending_.clear();
 }
 
 void Engine::route_and_allocate() {
@@ -126,18 +180,34 @@ void Engine::route_and_allocate() {
       offset = static_cast<std::size_t>(cycle_ % count);
       break;
     case ArbitrationOrder::kRandom:
+      // Drawn every cycle — even with no waiting header — to keep the RNG
+      // stream identical to the original full scan (golden tests).
       offset = static_cast<std::size_t>(rng_.below(count));
       break;
     case ArbitrationOrder::kFixed:
       break;
   }
+  if (header_lanes_.empty()) return;
+  // Visit exactly the lanes holding an unrouted header, in the same
+  // rotated scan order the full sweep over switch_input_lanes_ used.
+  std::sort(header_lanes_.begin(), header_lanes_.end(),
+            [&](LaneId a, LaneId b) {
+              const std::size_t pa = lane_scan_pos_[a];
+              const std::size_t pb = lane_scan_pos_[b];
+              const std::size_t ka =
+                  pa >= offset ? pa - offset : pa + count - offset;
+              const std::size_t kb =
+                  pb >= offset ? pb - offset : pb + count - offset;
+              return ka < kb;
+            });
+  header_scratch_.swap(header_lanes_);
+  header_lanes_.clear();
   routing::CandidateList candidates;
   routing::CandidateList free_lanes;
-  for (std::size_t i = 0; i < count; ++i) {
-    const LaneId u = switch_input_lanes_[(i + offset) % count];
-    if (buf_packet_[u] == kNoPacket) continue;
-    if (buf_seq_[u] != 0) continue;               // body flits follow routes
-    if (route_out_[u] != kInvalidId) continue;    // already routed
+  for (const LaneId u : header_scratch_) {
+    WORMSIM_DCHECK(buf_packet_[u] != kNoPacket);
+    WORMSIM_DCHECK(buf_seq_[u] == 0);
+    WORMSIM_DCHECK(route_out_[u] == kInvalidId);
     const PacketState& pkt = packets_[buf_packet_[u]];
     routing::RouteQuery query;
     query.src = pkt.src;
@@ -151,10 +221,11 @@ void Engine::route_and_allocate() {
       if (channel_faulty_[network_.lane(lane).channel]) continue;
       free_lanes.push_back(lane);
     }
-    if (free_lanes.empty()) {  // blocked; retry next cycle
-      if (tel_ != nullptr && in_measure_window()) {
-        ++tel_->lane_blocked[u];
-        ++tel_->switch_denials[network_.lane_channel(u).dst.id];
+    if (free_lanes.empty()) {  // blocked; stays in the set for next cycle
+      header_lanes_.push_back(u);
+      if (tel_window_ != nullptr) {
+        ++tel_window_->lane_blocked[u];
+        ++tel_window_->switch_denials[lane_dst_switch_[u]];
       }
       continue;
     }
@@ -165,8 +236,9 @@ void Engine::route_and_allocate() {
                   rng_.below(free_lanes.size()))];
     route_out_[u] = chosen;
     alloc_owner_[chosen] = u;
-    if (tel_ != nullptr && in_measure_window()) {
-      ++tel_->switch_grants[network_.lane_channel(u).dst.id];
+    activate_channel(network_.lane(chosen).channel);
+    if (tel_window_ != nullptr) {
+      ++tel_window_->switch_grants[lane_dst_switch_[u]];
     }
     trace(TraceEvent::Kind::kRouted, buf_packet_[u], 0, chosen);
   }
@@ -181,7 +253,9 @@ void Engine::fail_channel(ChannelId channel) {
 }
 
 bool Engine::try_channel(ChannelId ch_id) {
-  if (channel_used_[ch_id] || channel_faulty_[ch_id]) return false;
+  if (channel_used_epoch_[ch_id] == epoch_ || channel_faulty_[ch_id]) {
+    return false;
+  }
   const PhysChannel& ch = network_.channel(ch_id);
 
   // Gather the lanes of this physical channel that could transmit a flit
@@ -198,7 +272,9 @@ bool Engine::try_channel(ChannelId ch_id) {
     } else {
       const LaneId u = alloc_owner_[lane];
       if (u == kInvalidId) continue;
-      if (buf_packet_[u] == kNoPacket || arrived_[u]) continue;
+      if (buf_packet_[u] == kNoPacket || arrived_epoch_[u] == epoch_) {
+        continue;
+      }
       WORMSIM_DCHECK(route_out_[u] == lane);
       if (ch.dst.is_switch() && buf_packet_[lane] != kNoPacket) continue;
       ready_mask |= 1u << v;
@@ -216,12 +292,12 @@ bool Engine::try_channel(ChannelId ch_id) {
   } else {
     move_from_switch(alloc_owner_[lane], lane);
   }
-  channel_used_[ch_id] = 1;
-  if (config_.record_channel_utilization && in_measure_window()) {
+  channel_used_epoch_[ch_id] = epoch_;
+  if (util_window_) {
     ++result_.channel_busy_cycles[ch_id];
   }
-  if (tel_ != nullptr && in_measure_window()) {
-    ++tel_->lane_flits[lane];
+  if (tel_window_ != nullptr) {
+    ++tel_window_->lane_flits[lane];
   }
   last_move_cycle_ = cycle_;
   return true;
@@ -233,17 +309,25 @@ void Engine::move_from_node(NodeId node_id, LaneId lane) {
   WORMSIM_DCHECK(buf_packet_[lane] == kNoPacket);
   buf_packet_[lane] = node.tx_packet;
   buf_seq_[lane] = node.tx_sent;
-  arrived_[lane] = 1;
+  arrived_epoch_[lane] = epoch_;
   ++occupied_;
+  // The arrived flit can cross its (already routed) next hop next cycle.
+  if (route_out_[lane] != kInvalidId) {
+    schedule_channel(network_.lane(route_out_[lane]).channel);
+  }
   if (node.tx_sent == 0) {
     pkt.inject_cycle = cycle_;
     ++worms_in_flight_;
+    header_lanes_.push_back(lane);  // injection channels end at switches
   }
   trace(TraceEvent::Kind::kFlitMoved, node.tx_packet, node.tx_sent, lane);
   ++node.tx_sent;
   if (node.tx_sent == pkt.length) {
     node.tx_packet = kNoPacket;
     node.tx_sent = 0;
+    --transmitting_nodes_;
+    deactivate_channel(network_.lane(lane).channel);
+    if (!node.queue.empty()) mark_tx_pending(node_id);
   }
 }
 
@@ -256,6 +340,9 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
 
   buf_packet_[in_lane] = kNoPacket;
   --occupied_;
+  // The channel feeding in_lane's buffer may now transmit its next flit;
+  // the worklist re-tries it at the scan position this move sits at.
+  unblocked_ = network_.lane(in_lane).channel;
   trace(TraceEvent::Kind::kFlitMoved, pkt_id, seq, out_lane);
   if (out_ch.dst.is_node()) {
     deliver_flit(pkt_id, seq);
@@ -263,21 +350,29 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
     WORMSIM_DCHECK(buf_packet_[out_lane] == kNoPacket);
     buf_packet_[out_lane] = pkt_id;
     buf_seq_[out_lane] = seq;
-    arrived_[out_lane] = 1;
+    arrived_epoch_[out_lane] = epoch_;
     ++occupied_;
+    if (seq == 0) header_lanes_.push_back(out_lane);
+    // The arrived flit can cross its (already routed) next hop next cycle.
+    if (route_out_[out_lane] != kInvalidId) {
+      schedule_channel(network_.lane(route_out_[out_lane]).channel);
+    }
   }
   if (tail) {
     // The worm's tail has crossed this hop: release both the input unit's
     // route and the output lane for the next worm.
     route_out_[in_lane] = kInvalidId;
     alloc_owner_[out_lane] = kInvalidId;
+    deactivate_channel(out_ch.id);
   }
 }
 
 void Engine::deliver_flit(PacketId pkt_id, std::uint32_t seq) {
   PacketState& pkt = packets_[pkt_id];
-  WORMSIM_DCHECK(network_.channel(network_.ejection_channel(
-                     static_cast<NodeId>(pkt.dst))) .dst.id == pkt.dst);
+  WORMSIM_DCHECK(network_
+                     .channel(network_.ejection_channel(
+                         static_cast<NodeId>(pkt.dst)))
+                     .dst.id == pkt.dst);
   if (in_measure_window()) {
     ++result_.delivered_flits_in_window;
   }
@@ -301,18 +396,63 @@ void Engine::deliver_flit(PacketId pkt_id, std::uint32_t seq) {
 }
 
 void Engine::advance_flits() {
-  std::fill(channel_used_.begin(), channel_used_.end(), 0);
+  // Epoch-stamped channel_used_/arrived_ replace the two per-cycle
+  // std::fill passes: bumping the epoch invalidates every stamp at once.
+  ++epoch_;
+
+  // Consume the event frontier: every channel scheduled since the previous
+  // advance — by a grant, a transmission start, a flit arrival onto a
+  // routed lane, or its own move last cycle.  This is a superset of the
+  // channels that can move at pass one (see DESIGN.md for the induction),
+  // and sorted ascending it visits them exactly like pass one of the
+  // original full scan.
+  worklist_.swap(seed_);
+  seed_.clear();
+  std::sort(worklist_.begin(), worklist_.end());
+
   // Resolve movement to a fixpoint: a move can free a buffer that enables
   // another move in the same cycle, which is exactly how an unblocked worm
-  // slides forward one hop as a unit.
-  bool moved = true;
-  while (moved) {
-    moved = false;
-    for (ChannelId ch = 0; ch < network_.channels().size(); ++ch) {
-      if (try_channel(ch)) moved = true;
+  // slides forward one hop as a unit.  Invariant reproducing the original
+  // scan order: a move at channel c re-tries the channel u it unblocked in
+  // the *current* pass when u > c (the ascending scan has not reached it
+  // yet) and in the *next* pass otherwise.  Readiness only ever arises
+  // from such unblocks — every other state change during advance removes
+  // readiness — so skipping never-seeded channels drops no move.
+  std::uint64_t pass = ++pass_seq_;
+  for (ChannelId ch : worklist_) channel_pass_stamp_[ch] = pass;
+  while (!worklist_.empty()) {
+    next_pass_.clear();
+    for (std::size_t i = 0; i < worklist_.size(); ++i) {
+      const ChannelId ch = worklist_[i];
+      unblocked_ = kInvalidId;
+      if (!try_channel(ch)) continue;
+      // A multi-lane channel may still hold another ready lane, and a
+      // streaming channel wants its next flit: a mover is always a
+      // candidate again next cycle.
+      schedule_channel(ch);
+      const ChannelId u = unblocked_;
+      if (u == kInvalidId || channel_sources_[u] == 0 ||
+          channel_used_epoch_[u] == epoch_) {
+        // Nothing upstream, or it already transmitted this cycle (in
+        // which case its own move rescheduled it for the next one).
+        continue;
+      }
+      if (u > ch) {
+        if (channel_pass_stamp_[u] == pass) continue;  // scheduled ahead
+        channel_pass_stamp_[u] = pass;
+        worklist_.insert(
+            std::lower_bound(worklist_.begin() + i + 1, worklist_.end(), u),
+            u);
+      } else {
+        if (channel_pass_stamp_[u] == pass + 1) continue;
+        channel_pass_stamp_[u] = pass + 1;
+        next_pass_.push_back(u);
+      }
     }
+    std::sort(next_pass_.begin(), next_pass_.end());
+    worklist_.swap(next_pass_);
+    pass = ++pass_seq_;
   }
-  std::fill(arrived_.begin(), arrived_.end(), 0);
 }
 
 void Engine::record_sample() {
@@ -321,23 +461,17 @@ void Engine::record_sample() {
   sample.delivered_flits = delivered_flits_total_;
   sample.flits_in_flight = occupied_;
   sample.worms_in_flight = worms_in_flight_;
-  std::uint64_t queued = 0;
-  for (const NodeState& node : nodes_) queued += node.queue.size();
-  sample.mean_queue_depth =
-      static_cast<double>(queued) / static_cast<double>(nodes_.size());
+  sample.mean_queue_depth = static_cast<double>(queued_messages_) /
+                            static_cast<double>(nodes_.size());
   sampler_.record(sample);
 }
 
 void Engine::step() {
+  const bool measuring = in_measure_window();
+  tel_window_ = measuring ? tel_ : nullptr;
+  util_window_ = measuring && config_.record_channel_utilization;
   generate_arrivals();
-  // One-port source: start transmitting the queue head when idle.
-  for (NodeState& node : nodes_) {
-    if (node.tx_packet == kNoPacket && !node.queue.empty()) {
-      node.tx_packet = node.queue.front();
-      node.queue.pop_front();
-      node.tx_sent = 0;
-    }
-  }
+  start_transmissions();
   route_and_allocate();
   advance_flits();
 
@@ -359,6 +493,14 @@ void Engine::report_deadlock() const {
                "(%lld flits stuck)\n",
                static_cast<unsigned long long>(cycle_),
                static_cast<long long>(occupied_));
+  std::size_t sourced = 0;
+  for (std::uint32_t n : channel_sources_) sourced += n != 0 ? 1 : 0;
+  std::fprintf(stderr,
+               "  active sets: %zu channels with sources, %zu seeded for "
+               "next cycle, %zu unrouted headers, %zu tx-pending nodes, "
+               "%zu calendar entries\n",
+               sourced, seed_.size(), header_lanes_.size(),
+               tx_pending_.size(), arrival_calendar_.size());
   for (LaneId lane = 0; lane < buf_packet_.size(); ++lane) {
     if (buf_packet_[lane] == kNoPacket) continue;
     const PacketState& pkt = packets_[buf_packet_[lane]];
@@ -371,14 +513,6 @@ void Engine::report_deadlock() const {
                  static_cast<unsigned long long>(pkt.dst), pkt.length);
   }
   WORMSIM_CHECK_MSG(false, "deadlock detected (should be impossible)");
-}
-
-bool Engine::idle() const {
-  if (occupied_ != 0) return false;
-  for (const NodeState& node : nodes_) {
-    if (node.tx_packet != kNoPacket || !node.queue.empty()) return false;
-  }
-  return true;
 }
 
 bool Engine::run_until_idle(std::uint64_t max_cycles) {

@@ -22,11 +22,22 @@
 // Buffers hold exactly one flit (Section 5: "each input channel in a
 // switch has a buffer the size of a single flit").  A buffer lives at the
 // *downstream* end of its lane.
+//
+// The hot loop is event-driven (DESIGN.md "Engine hot loop"): each phase
+// visits only the entities that can make progress — the worklist of
+// channels with a potential transmit source, the set of switch input
+// lanes holding an unrouted header, the calendar of pending arrival
+// times — instead of scanning the whole network every cycle.  The
+// schedule is provably equivalent to the original full scans (same moves,
+// same round-robin picks, same RNG draw order), pinned bitwise by
+// tests/golden_test.cpp.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "routing/router.hpp"
@@ -62,8 +73,11 @@ class Engine {
                           std::uint32_t length);
 
   /// True when no flit is buffered anywhere and all source queues are
-  /// empty and idle.
-  bool idle() const;
+  /// empty and idle.  O(1): maintained from the occupancy counters.
+  bool idle() const {
+    return occupied_ == 0 && transmitting_nodes_ == 0 &&
+           queued_messages_ == 0;
+  }
 
   /// Steps until idle() or `max_cycles` elapse; returns true if idle.
   bool run_until_idle(std::uint64_t max_cycles);
@@ -114,6 +128,7 @@ class Engine {
   };
 
   void generate_arrivals();
+  void start_transmissions();
   void route_and_allocate();
   void advance_flits();
   bool try_channel(topology::ChannelId ch);
@@ -127,6 +142,40 @@ class Engine {
   }
   void record_sample();
   [[noreturn]] void report_deadlock() const;
+
+  /// Schedules a channel for pass one of the *next* advance_flits() (the
+  /// upcoming one when called from the arrival/routing phases, the next
+  /// cycle's when called mid-advance).  Every event that can newly make a
+  /// channel ready calls this: a grant, a transmission start, a flit
+  /// arriving onto a lane with a route, or a buffer freed behind a
+  /// channel that already transmitted this cycle.
+  void schedule_channel(topology::ChannelId ch) {
+    if (seed_stamp_[ch] == epoch_ + 1) return;
+    seed_stamp_[ch] = epoch_ + 1;
+    seed_.push_back(ch);
+  }
+
+  /// Registers one more potential transmit source for a channel (a node
+  /// that started transmitting, or an output-lane allocation).
+  void activate_channel(topology::ChannelId ch) {
+    ++channel_sources_[ch];
+    schedule_channel(ch);
+  }
+  /// Drops one potential source; a source-less channel is never scheduled
+  /// from unblock events.
+  void deactivate_channel(topology::ChannelId ch) {
+    WORMSIM_DCHECK(channel_sources_[ch] > 0);
+    --channel_sources_[ch];
+  }
+
+  /// Marks a node as possibly able to start transmitting (queue head
+  /// waiting while the port is idle); consumed by start_transmissions().
+  void mark_tx_pending(topology::NodeId node) {
+    if (!tx_pending_flag_[node]) {
+      tx_pending_flag_[node] = 1;
+      tx_pending_.push_back(node);
+    }
+  }
 
   void trace(TraceEvent::Kind kind, PacketId packet, std::uint32_t seq,
              topology::LaneId lane) {
@@ -143,7 +192,13 @@ class Engine {
 
   // Telemetry: null when counters are off, so the hot-loop hooks cost one
   // predictable-taken branch.  Points into result_.telemetry_counters.
+  // `tel_window_` is the same pointer gated by in_measure_window(),
+  // refreshed once per step() so the per-move hooks skip the window
+  // comparison; `util_window_` caches the channel-utilization gate the
+  // same way.
   telemetry::Counters* tel_ = nullptr;
+  telemetry::Counters* tel_window_ = nullptr;
+  bool util_window_ = false;
   telemetry::IntervalSampler sampler_{0};
 
   std::uint64_t cycle_ = 0;
@@ -151,6 +206,8 @@ class Engine {
   std::int64_t occupied_ = 0;
   std::int64_t worms_in_flight_ = 0;
   std::uint64_t delivered_flits_total_ = 0;
+  std::uint64_t transmitting_nodes_ = 0;  ///< nodes with tx_packet set
+  std::uint64_t queued_messages_ = 0;     ///< sum of source-queue lengths
 
   std::vector<PacketState> packets_;
   std::vector<NodeState> nodes_;
@@ -158,17 +215,67 @@ class Engine {
   // Per-lane state, indexed by LaneId.
   std::vector<PacketId> buf_packet_;
   std::vector<std::uint32_t> buf_seq_;
-  std::vector<std::uint8_t> arrived_;          // moved into buffer this cycle
+  std::vector<std::uint64_t> arrived_epoch_;   // epoch the buffer was filled
   std::vector<topology::LaneId> route_out_;    // input-unit worm route
   std::vector<topology::LaneId> alloc_owner_;  // output-lane allocation
 
   // Per-physical-channel state, indexed by ChannelId.
-  std::vector<std::uint8_t> channel_used_;    // transmitted a flit this cycle
-  std::vector<std::uint8_t> vc_rr_;           // round-robin lane pointer
-  std::vector<std::uint8_t> channel_faulty_;  // failed channels
+  std::vector<std::uint64_t> channel_used_epoch_;  // epoch of last transmit
+  std::vector<std::uint8_t> vc_rr_;                // round-robin lane pointer
+  std::vector<std::uint8_t> channel_faulty_;       // failed channels
 
-  // Lanes whose buffer sits at a switch, in scan order for routing.
+  // Lanes whose buffer sits at a switch, in scan order for routing, and
+  // the inverse map (lane -> scan position, kInvalidId for others).
   std::vector<topology::LaneId> switch_input_lanes_;
+  std::vector<std::uint32_t> lane_scan_pos_;
+
+  // lane -> id of the switch the lane feeds (undefined for ejection
+  // lanes); flattens the lane->channel->dst chase in the telemetry hooks.
+  std::vector<std::uint32_t> lane_dst_switch_;
+
+  // ---- Active sets (see DESIGN.md "Engine hot loop") -------------------
+  // Epoch counter bumped once per advance_flits(); comparing a stamp to it
+  // replaces the per-cycle std::fill over channel_used_ / arrived_.
+  std::uint64_t epoch_ = 0;
+
+  // Potential transmit sources per channel (allocated output lanes plus a
+  // transmitting node); unblock events on source-less channels are noise
+  // and are dropped.
+  std::vector<std::uint32_t> channel_sources_;
+
+  // Event frontier: channels scheduled for the next advance's first pass
+  // (sorted at consumption), with an epoch stamp for O(1) dedup.
+  std::vector<topology::ChannelId> seed_;
+  std::vector<std::uint64_t> seed_stamp_;
+
+  // Fixpoint worklist state: the current pass (kept sorted ascending so
+  // moves happen in the original scan order), the next pass, and a pass
+  // stamp per channel for O(1) dedup.  `unblocked_` carries the channel
+  // whose downstream buffer the current move freed.
+  std::vector<topology::ChannelId> worklist_;
+  std::vector<topology::ChannelId> next_pass_;
+  std::vector<std::uint64_t> channel_pass_stamp_;
+  std::uint64_t pass_seq_ = 0;
+  topology::ChannelId unblocked_ = topology::kInvalidId;
+
+  // Switch input lanes holding an unrouted header (exact set: a header
+  // enters on arrival and leaves on grant; blocked headers persist).
+  // Re-sorted by rotated scan position every routing cycle.
+  std::vector<topology::LaneId> header_lanes_;
+  std::vector<topology::LaneId> header_scratch_;
+
+  // Nodes whose idle port may start transmitting this cycle.
+  std::vector<topology::NodeId> tx_pending_;
+  std::vector<std::uint8_t> tx_pending_flag_;
+
+  // Arrival calendar: (first cycle the node's next_arrival is due, node).
+  // Due nodes are drained per cycle and processed in node-id order so the
+  // RNG draw sequence matches the original full scan.
+  std::priority_queue<std::pair<std::uint64_t, topology::NodeId>,
+                      std::vector<std::pair<std::uint64_t, topology::NodeId>>,
+                      std::greater<>>
+      arrival_calendar_;
+  std::vector<topology::NodeId> due_nodes_;
 
   SimResult result_;
 };

@@ -26,6 +26,15 @@ StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
   nodes_.resize(network_.node_count());
   lanes_.resize(network_.lane_count());
   channel_free_at_.assign(network_.channels().size(), 0);
+  node_pending_flag_.assign(network_.node_count(), 0);
+  lane_pending_flag_.assign(network_.lane_count(), 0);
+  switch_feed_lanes_.resize(network_.switches().size());
+  for (const topology::Lane& lane : network_.lanes()) {
+    const PhysChannel& ch = network_.channel(lane.channel);
+    if (ch.dst.is_switch()) {
+      switch_feed_lanes_[ch.dst.id].push_back(lane.id);
+    }
+  }
 
   result_.measure_cycles = config_.measure_cycles;
   result_.node_count = network_.node_count();
@@ -64,6 +73,8 @@ PacketId StoreForwardEngine::inject_message(NodeId src, std::uint64_t dst,
   if (when == now_) {
     packets_[id].measured = in_measure_window();
     nodes_[src].queue.push_back(id);
+    ++queued_packets_;
+    mark_node_pending(src);
     pump();
   } else {
     schedule(when, Event::Kind::kInject, id);
@@ -92,6 +103,7 @@ bool StoreForwardEngine::start_transfer(PacketId pkt, LaneId from,
   }
   const std::uint32_t length = packets_[pkt].length;
   channel_free_at_[ch.id] = now_ + length;
+  free_calendar_.emplace(now_ + length, ch.id);
   transfers_.push_back(Transfer{pkt, from, to});
   schedule(now_ + length, Event::Kind::kTransferDone, transfers_.size() - 1);
   ++in_flight_;
@@ -138,19 +150,36 @@ bool StoreForwardEngine::try_start_from_lane(LaneId lane) {
   return start_transfer(pkt, lane, chosen);
 }
 
+void StoreForwardEngine::mark_channel_users(ChannelId channel) {
+  const PhysChannel& ch = network_.channel(channel);
+  if (ch.src.is_node()) {
+    mark_node_pending(ch.src.id);
+  } else {
+    for (LaneId lane : switch_feed_lanes_[ch.src.id]) {
+      mark_lane_pending(lane);
+    }
+  }
+}
+
 void StoreForwardEngine::pump() {
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (NodeId node = 0; node < nodes_.size(); ++node) {
-      if (try_start_from_node(node)) progress = true;
+  // Failed tries have no side effects and draw no randomness, so trying a
+  // sorted superset of the startable entities reproduces the original
+  // full scan's start sequence (and hence its RNG draw order) exactly.
+  if (!pending_nodes_.empty()) {
+    std::sort(pending_nodes_.begin(), pending_nodes_.end());
+    for (NodeId node : pending_nodes_) {
+      node_pending_flag_[node] = 0;
+      try_start_from_node(node);
     }
-    for (LaneId lane = 0; lane < lanes_.size(); ++lane) {
-      if (network_.lane_channel(lane).dst.is_switch() &&
-          try_start_from_lane(lane)) {
-        progress = true;
-      }
+    pending_nodes_.clear();
+  }
+  if (!pending_lanes_.empty()) {
+    std::sort(pending_lanes_.begin(), pending_lanes_.end());
+    for (LaneId lane : pending_lanes_) {
+      lane_pending_flag_[lane] = 0;
+      try_start_from_lane(lane);
     }
+    pending_lanes_.clear();
   }
 }
 
@@ -179,13 +208,20 @@ void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
     WORMSIM_DCHECK(!node.queue.empty() &&
                    node.queue.front() == transfer.packet);
     node.queue.pop_front();
+    --queued_packets_;
     node.transmitting = false;
+    mark_node_pending(packets_[transfer.packet].src);
   } else {
     LaneState& from = lanes_[transfer.from];
     WORMSIM_DCHECK(!from.queue.empty() &&
                    from.queue.front() == transfer.packet);
     from.queue.pop_front();
+    --queued_packets_;
     from.transmitting = false;
+    // The next queued packet may leave, and the freed slot lets upstream
+    // senders transfer in.
+    mark_lane_pending(transfer.from);
+    mark_channel_users(network_.lane(transfer.from).channel);
   }
   const PhysChannel& ch = network_.lane_channel(transfer.to);
   if (ch.dst.is_node()) {
@@ -195,12 +231,18 @@ void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
     WORMSIM_DCHECK(to.incoming > 0);
     --to.incoming;
     to.queue.push_back(transfer.packet);
+    ++queued_packets_;
+    mark_lane_pending(transfer.to);
   }
 }
 
 void StoreForwardEngine::process(const Event& event) {
   WORMSIM_DCHECK(event.time >= now_);
   now_ = event.time;
+  while (!free_calendar_.empty() && free_calendar_.top().first <= now_) {
+    mark_channel_users(free_calendar_.top().second);
+    free_calendar_.pop();
+  }
   switch (event.kind) {
     case Event::Kind::kArrivalGen: {
       const auto node = static_cast<NodeId>(event.payload);
@@ -231,6 +273,8 @@ void StoreForwardEngine::process(const Event& event) {
       pkt.measured = in_measure_window();
       nodes_[pkt.src].queue.push_back(
           static_cast<PacketId>(event.payload));
+      ++queued_packets_;
+      mark_node_pending(static_cast<NodeId>(pkt.src));
       break;
     }
   }
@@ -238,14 +282,7 @@ void StoreForwardEngine::process(const Event& event) {
 }
 
 bool StoreForwardEngine::idle() const {
-  if (in_flight_ != 0) return false;
-  for (const NodeState& node : nodes_) {
-    if (!node.queue.empty()) return false;
-  }
-  for (const LaneState& lane : lanes_) {
-    if (!lane.queue.empty()) return false;
-  }
-  return true;
+  return in_flight_ == 0 && queued_packets_ == 0;
 }
 
 bool StoreForwardEngine::run_until_idle(std::uint64_t max_time) {

@@ -101,8 +101,30 @@ class StoreForwardEngine {
 
   void schedule(std::uint64_t time, Event::Kind kind, std::uint64_t payload);
   void process(const Event& event);
-  /// Tries to start transfers anywhere progress is possible.
+  /// Tries to start transfers everywhere marked pending.  Within one pump
+  /// a start only ever *disables* other starts (the channel becomes busy,
+  /// a downstream slot is reserved, the sender turns busy), so a single
+  /// pass over the pending sets — nodes ascending, then lanes ascending,
+  /// the original full-scan order — reaches the fixpoint.
   void pump();
+  /// Marks the entities a state change may have enabled; every gating
+  /// condition flip re-marks, so the pending sets stay a superset of the
+  /// startable entities (see DESIGN.md "Engine hot loop").
+  void mark_node_pending(topology::NodeId node) {
+    if (!node_pending_flag_[node]) {
+      node_pending_flag_[node] = 1;
+      pending_nodes_.push_back(node);
+    }
+  }
+  void mark_lane_pending(topology::LaneId lane) {
+    if (!lane_pending_flag_[lane]) {
+      lane_pending_flag_[lane] = 1;
+      pending_lanes_.push_back(lane);
+    }
+  }
+  /// Marks everything that may transfer across `channel` (called when the
+  /// channel frees up or its destination buffer gains a slot).
+  void mark_channel_users(topology::ChannelId channel);
   bool try_start_from_node(topology::NodeId node);
   bool try_start_from_lane(topology::LaneId lane);
   bool start_transfer(PacketId pkt, topology::LaneId from,
@@ -120,6 +142,17 @@ class StoreForwardEngine {
 
   std::uint64_t now_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // Channel-free marks ordered by time.  "Free" is the time comparison
+  // channel_free_at_ <= now_, so a channel becomes usable the moment now_
+  // reaches its free time — possibly while its kTransferDone event is
+  // still behind other same-timestamp events in the heap.  Draining this
+  // calendar at the top of process() makes the mark visible to the first
+  // pump at that timestamp, like the original every-event full scan.
+  std::priority_queue<std::pair<std::uint64_t, topology::ChannelId>,
+                      std::vector<std::pair<std::uint64_t,
+                                            topology::ChannelId>>,
+                      std::greater<>>
+      free_calendar_;
   std::vector<Transfer> transfers_;  // indexed by payload of kTransferDone
 
   std::vector<PacketState> packets_;
@@ -127,6 +160,16 @@ class StoreForwardEngine {
   std::vector<LaneState> lanes_;
   std::vector<std::uint64_t> channel_free_at_;
   std::int64_t in_flight_ = 0;
+  std::int64_t queued_packets_ = 0;  ///< packets in node + lane queues
+
+  // Active sets: entities whose gating conditions may have flipped since
+  // the last pump, plus the static feeder map (input lanes per switch)
+  // used to expand channel-freed / slot-freed events.
+  std::vector<std::vector<topology::LaneId>> switch_feed_lanes_;
+  std::vector<topology::NodeId> pending_nodes_;
+  std::vector<topology::LaneId> pending_lanes_;
+  std::vector<std::uint8_t> node_pending_flag_;
+  std::vector<std::uint8_t> lane_pending_flag_;
 
   SimResult result_;
 };

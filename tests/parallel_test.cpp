@@ -58,6 +58,46 @@ TEST(Parallel, MatchesSequentialExactly) {
   }
 }
 
+// A real registered figure, run through the same entry point figures_cli
+// and the bench harness use (--threads), must produce bitwise-identical
+// points in every field whether the series run sequentially or fanned out
+// over the worker pool.
+TEST(Parallel, FigureSubsetBitwiseEqual) {
+  for (const char* id : {"fig16a", "fig18a"}) {
+    SCOPED_TRACE(id);
+    RunOptions options;
+    options.quick = true;
+    options.seed = 99;
+    options.threads = 1;
+    const FigureResult sequential = run_figure(id, options);
+    options.threads = 3;
+    const FigureResult pooled = run_figure(id, options);
+    ASSERT_EQ(sequential.series.size(), pooled.series.size());
+    for (std::size_t s = 0; s < sequential.series.size(); ++s) {
+      SCOPED_TRACE(sequential.series[s].label);
+      EXPECT_EQ(sequential.series[s].label, pooled.series[s].label);
+      ASSERT_EQ(sequential.series[s].points.size(),
+                pooled.series[s].points.size());
+      for (std::size_t p = 0; p < sequential.series[s].points.size(); ++p) {
+        SCOPED_TRACE(p);
+        const SweepPoint& a = sequential.series[s].points[p];
+        const SweepPoint& b = pooled.series[s].points[p];
+        // EXPECT_EQ on doubles is exact equality, not a ULP tolerance.
+        EXPECT_EQ(a.offered_requested, b.offered_requested);
+        EXPECT_EQ(a.offered_measured, b.offered_measured);
+        EXPECT_EQ(a.throughput, b.throughput);
+        EXPECT_EQ(a.latency_us, b.latency_us);
+        EXPECT_EQ(a.latency_p95_us, b.latency_p95_us);
+        EXPECT_EQ(a.network_latency_us, b.network_latency_us);
+        EXPECT_EQ(a.queueing_us, b.queueing_us);
+        EXPECT_EQ(a.sustainable, b.sustainable);
+        EXPECT_EQ(a.max_source_queue, b.max_source_queue);
+        EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+      }
+    }
+  }
+}
+
 TEST(Parallel, AutoThreadCountWorks) {
   const auto results = run_all_series(tiny_specs(), tiny_options(), 0);
   EXPECT_EQ(results.size(), 3u);
