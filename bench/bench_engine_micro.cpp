@@ -106,6 +106,28 @@ void BM_EngineCyclesVmin4vc(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCyclesVmin4vc);
 
+// Runtime invariant checking on: a full O(lanes + channels) re-derivation
+// of the incremental state per cycle (src/sim/validate.hpp).  Budget:
+// <= 2x slowdown against the plain engine.
+void BM_EngineCyclesValidated(benchmark::State& state) {
+  const auto kind = static_cast<topology::NetworkKind>(state.range(0));
+  const topology::Network net = topology::build_network(config_for(kind, 2));
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.5;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config = engine_config(false);
+  config.validate = true;
+  sim::Engine engine(net, *router, &traffic, config);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineCyclesValidated)->DenseRange(0, 3)->ArgNames({"kind"});
+
 void BM_PathEnumerationBmin(benchmark::State& state) {
   topology::NetworkConfig config;
   config.kind = topology::NetworkKind::kBMIN;
@@ -156,9 +178,18 @@ double time_steps(sim::Engine& engine, std::uint64_t cycles) {
 /// near-identical machine conditions, and the median rejects the one-sided
 /// slowdown bursts that make any single off/on comparison swing by several
 /// percent.
+double median_of(std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
 void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
                   double load, unsigned vcs, double* off_cps,
-                  double* on_cps, double* overhead_pct) {
+                  double* on_cps, double* overhead_pct,
+                  double* validate_cps, double* validate_slowdown_x) {
   const topology::Network net =
       topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
@@ -167,9 +198,13 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   traffic::StandardTraffic traffic(net, workload);
   sim::Engine off_engine(net, *router, &traffic, engine_config(false));
   sim::Engine on_engine(net, *router, &traffic, engine_config(true));
+  sim::SimConfig validate_config = engine_config(false);
+  validate_config.validate = true;
+  sim::Engine validate_engine(net, *router, &traffic, validate_config);
   for (std::uint64_t i = 0; i < cycles / 10; ++i) {
     off_engine.step();
     on_engine.step();
+    validate_engine.step();
   }
   // Many short alternating slices: CPU-noise bursts outlast one slice,
   // so the best-slice rate per variant reflects the same quiet-machine
@@ -177,23 +212,24 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   const std::uint64_t slice = std::max<std::uint64_t>(cycles / 10, 1);
   *off_cps = 0.0;
   *on_cps = 0.0;
-  std::vector<double> ratios;
+  *validate_cps = 0.0;
+  std::vector<double> tel_ratios;
+  std::vector<double> val_ratios;
   for (int rep = 0; rep < 30; ++rep) {
     const double off = time_steps(off_engine, slice);
     const double on = time_steps(on_engine, slice);
+    const double val = time_steps(validate_engine, slice);
     *off_cps = std::max(*off_cps, off);
     *on_cps = std::max(*on_cps, on);
-    if (off > 0.0 && on > 0.0) ratios.push_back(on / off);
+    *validate_cps = std::max(*validate_cps, val);
+    if (off > 0.0 && on > 0.0) tel_ratios.push_back(on / off);
+    if (off > 0.0 && val > 0.0) val_ratios.push_back(val / off);
   }
-  double median_ratio = 1.0;
-  if (!ratios.empty()) {
-    std::sort(ratios.begin(), ratios.end());
-    const std::size_t n = ratios.size();
-    median_ratio = n % 2 == 1
-                       ? ratios[n / 2]
-                       : (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0;
-  }
-  *overhead_pct = (1.0 - median_ratio) * 100.0;
+  *overhead_pct = (1.0 - median_of(tel_ratios)) * 100.0;
+  // Slowdown factor of WORMSIM_VALIDATE=1, same paired-median estimate;
+  // the acceptance budget is <= 2x on the base configs.
+  const double val_ratio = median_of(val_ratios);
+  *validate_slowdown_x = val_ratio > 0.0 ? 1.0 / val_ratio : 0.0;
 }
 
 /// One workload configuration the JSON entry records.
@@ -239,7 +275,10 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     double off = 0.0;
     double on = 0.0;
     double overhead = 0.0;
-    measure_pair(jc.kind, cycles, jc.load, jc.vcs, &off, &on, &overhead);
+    double validate = 0.0;
+    double validate_slowdown = 0.0;
+    measure_pair(jc.kind, cycles, jc.load, jc.vcs, &off, &on, &overhead,
+                 &validate, &validate_slowdown);
     if (jc.in_geomean && off > 0.0) {
       geomean_log_sum += std::log(off);
       ++geomean_count;
@@ -254,6 +293,8 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     // Median of paired interleaved-slice ratios (see measure_pair), not
     // the quotient of the two best slices.
     entry.set("telemetry_on_overhead_pct", overhead);
+    entry.set("cycles_per_second_validate_on", validate);
+    entry.set("validate_on_slowdown_x", validate_slowdown);
     kinds.push_back(std::move(entry));
   }
   manifest.wall_seconds =
@@ -262,7 +303,7 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
           .count();
 
   telemetry::JsonValue trajectory_entry = telemetry::JsonValue::object();
-  trajectory_entry.set("label", "active-set engine");
+  trajectory_entry.set("label", "active-set engine + validation layer");
   trajectory_entry.set(
       "geomean_cycles_per_second_telemetry_off",
       geomean_count > 0 ? std::exp(geomean_log_sum / geomean_count) : 0.0);

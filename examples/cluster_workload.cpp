@@ -85,7 +85,11 @@ int main(int argc, char** argv) {
   cli.add_flag("load", &load, "machine-wide offered load fraction");
   cli.add_flag("ratio", &ratio, "per-cluster rate ratio a:b:c:d");
   cli.add_flag("seed", &seed, "random seed");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   const std::vector<double> weights = parse_ratio(ratio);
   if (weights.size() != 4) {

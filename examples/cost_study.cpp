@@ -24,7 +24,11 @@ int main(int argc, char** argv) {
   util::CliParser cli("cost_study: hardware cost vs delivered performance");
   cli.add_flag("quick", &quick, "smoke mode (short simulations)");
   cli.add_flag("seed", &seed, "random seed");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   experiment::RunOptions options = experiment::RunOptions::from_env();
   options.quick = options.quick || quick;

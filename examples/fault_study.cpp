@@ -31,7 +31,11 @@ int main(int argc, char** argv) {
   cli.add_flag("max-faults", &max_faults, "largest fault count to test");
   cli.add_flag("trials", &trials, "random fault sets per count");
   cli.add_flag("seed", &seed, "random seed");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   auto make = [&](topology::NetworkKind kind, unsigned extra, unsigned d,
                   unsigned m) {

@@ -31,7 +31,11 @@ int main(int argc, char** argv) {
                "worker threads for the series sweep (0 = WORMSIM_THREADS "
                "env or sequential); results match the sequential run "
                "bitwise");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   if (list) {
     for (const std::string& id : experiment::figure_ids()) {

@@ -36,7 +36,11 @@ int main(int argc, char** argv) {
   cli.add_flag("destinations", &count,
                "destination count (-1 = broadcast to all other nodes)");
   cli.add_flag("seed", &seed, "seed for random destination subsets");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   topology::NetworkConfig config;
   config.kind = topology::NetworkKind::kBMIN;

@@ -63,7 +63,11 @@ int main(int argc, char** argv) {
       "partitioning_demo: Theorems 2-4 and Figs. 14-15 of the paper");
   cli.add_flag("radix", &radix, "switch degree k");
   cli.add_flag("stages", &stages, "stage count n");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   const auto k = static_cast<unsigned>(radix);
   const auto n = static_cast<unsigned>(stages);

@@ -28,7 +28,11 @@ int main(int argc, char** argv) {
   cli.add_flag("load", &load, "offered load as a fraction of capacity");
   cli.add_flag("seed", &seed, "random seed");
   cli.add_flag("cycles", &cycles, "measurement window in cycles");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   const std::vector<topology::NetworkConfig> configs = {
       experiment::tmin_config(),

@@ -205,7 +205,11 @@ int main(int argc, char** argv) {
   cli.add_flag("messages", &messages, "worms to record for --chrome");
   cli.add_flag("quick", &quick, "smoke-test simulation sizes");
   cli.add_flag("seed", &seed, "random seed");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   if (!dir.empty()) return report_directory(dir);
   if (!chrome.empty()) {

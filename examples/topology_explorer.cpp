@@ -36,7 +36,11 @@ int main(int argc, char** argv) {
   cli.add_flag("extra-stages", &extra, "adaptive extra stages (tmin/dmin/vmin)");
   cli.add_flag("splitter", &splitter,
                "multibutterfly splitter dilation (tmin base; 0 = off)");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   topology::NetworkConfig config;
   if (kind == "tmin") {

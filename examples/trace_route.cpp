@@ -34,7 +34,11 @@ int main(int argc, char** argv) {
   cli.add_flag("flits", &flits, "message length");
   cli.add_flag("contender", &contender,
                "inject a competing worm to show blocking");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   topology::NetworkConfig config;
   config.kind = kind == "tmin"   ? topology::NetworkKind::kTMIN

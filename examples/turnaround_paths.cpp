@@ -25,7 +25,11 @@ int main(int argc, char** argv) {
   cli.add_flag("stages", &stages, "stage count n");
   cli.add_flag("src", &src, "source node");
   cli.add_flag("dst", &dst, "destination node");
-  if (!cli.parse(argc, argv)) return 1;
+  switch (cli.parse(argc, argv)) {
+    case util::CliParser::Status::kHelp: return 0;
+    case util::CliParser::Status::kError: return 1;
+    case util::CliParser::Status::kOk: break;
+  }
 
   topology::NetworkConfig config;
   config.kind = topology::NetworkKind::kBMIN;

@@ -1,5 +1,8 @@
 #include "experiment/results_json.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "util/check.hpp"
 
 namespace wormsim::experiment {
@@ -20,7 +23,13 @@ JsonValue figure_to_json(const FigureResult& result,
       p.set("offered_measured", point.offered_measured);
       p.set("throughput", point.throughput);
       p.set("latency_us", point.latency_us);
-      p.set("latency_p95_us", point.latency_p95_us);
+      // JSON has no +infinity: an overflowed p95 (saturated run, tail
+      // beyond the histogram range) is written as null plus an explicit
+      // flag so readers cannot mistake it for a finite latency.
+      const bool p95_overflow = std::isinf(point.latency_p95_us);
+      p.set("latency_p95_us",
+            p95_overflow ? JsonValue() : JsonValue(point.latency_p95_us));
+      p.set("latency_p95_overflow", p95_overflow);
       p.set("network_latency_us", point.network_latency_us);
       p.set("queueing_us", point.queueing_us);
       p.set("sustainable", point.sustainable);
@@ -53,7 +62,12 @@ FigureResult figure_from_json(const JsonValue& document) {
       point.offered_measured = p.at("offered_measured").as_number();
       point.throughput = p.at("throughput").as_number();
       point.latency_us = p.at("latency_us").as_number();
-      point.latency_p95_us = p.at("latency_p95_us").as_number();
+      const JsonValue* overflow = p.find("latency_p95_overflow");
+      if (overflow != nullptr && overflow->as_bool()) {
+        point.latency_p95_us = std::numeric_limits<double>::infinity();
+      } else {
+        point.latency_p95_us = p.at("latency_p95_us").as_number();
+      }
       point.network_latency_us = p.at("network_latency_us").as_number();
       point.queueing_us = p.at("queueing_us").as_number();
       point.sustainable = p.at("sustainable").as_bool();

@@ -23,7 +23,10 @@ struct SweepPoint {
   double offered_measured = 0.0;   ///< generated flits / capacity
   double throughput = 0.0;         ///< delivered flits / capacity
   double latency_us = 0.0;         ///< mean end-to-end latency
-  double latency_p95_us = 0.0;     ///< 95th-percentile end-to-end latency
+  /// 95th-percentile end-to-end latency; +infinity when the p95 falls in
+  /// the latency histogram's overflow bin (saturation), serialized as a
+  /// `latency_p95_overflow` flag in the results JSON.
+  double latency_p95_us = 0.0;
   double network_latency_us = 0.0; ///< mean in-network latency
   double queueing_us = 0.0;        ///< mean source-queue wait
   bool sustainable = false;

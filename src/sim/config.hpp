@@ -61,6 +61,13 @@ struct SimConfig {
   /// SimResult::telemetry_counters / telemetry_samples.
   telemetry::TelemetryConfig telemetry;
 
+  /// Runtime invariant checking (src/sim/validate.hpp): a read-only
+  /// structural sweep every cycle plus an end-of-run reconcile, aborting
+  /// with a precise diagnostic on the first violation.  Also enabled by
+  /// the WORMSIM_VALIDATE=1 environment variable.  Roughly halves
+  /// simulation speed; simulation results are bitwise unchanged.
+  bool validate = false;
+
   std::uint64_t total_cycles() const {
     return warmup_cycles + measure_cycles + drain_cycles;
   }

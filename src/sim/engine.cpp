@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
+#include "sim/validate.hpp"
 #include "util/check.hpp"
 
 namespace wormsim::sim {
@@ -83,7 +85,12 @@ Engine::Engine(const topology::Network& network,
     WORMSIM_CHECK(config_.telemetry.sample_interval_cycles > 0);
     sampler_ = telemetry::IntervalSampler(config_.telemetry.sample_capacity);
   }
+  if (config_.validate || validate_enabled_from_env()) {
+    validator_ = std::make_unique<EngineValidator>(*this);
+  }
 }
+
+Engine::~Engine() = default;
 
 PacketId Engine::inject_message(NodeId src, std::uint64_t dst,
                                 std::uint32_t length) {
@@ -480,6 +487,8 @@ void Engine::step() {
     record_sample();
   }
 
+  if (validator_ != nullptr) validator_->on_cycle_end();
+
   if (occupied_ > 0 &&
       cycle_ - last_move_cycle_ > config_.deadlock_watchdog_cycles) {
     report_deadlock();
@@ -512,6 +521,7 @@ void Engine::report_deadlock() const {
                  buf_seq_[lane], static_cast<unsigned long long>(pkt.src),
                  static_cast<unsigned long long>(pkt.dst), pkt.length);
   }
+  if (validator_ != nullptr) validator_->describe_stall();
   WORMSIM_CHECK_MSG(false, "deadlock detected (should be impossible)");
 }
 
@@ -534,6 +544,7 @@ SimResult Engine::run() {
     }
   }
   result_.telemetry_samples = sampler_.ordered();
+  if (validator_ != nullptr) validator_->check_final(result_);
   return result_;
 }
 

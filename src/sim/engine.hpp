@@ -52,6 +52,9 @@
 
 namespace wormsim::sim {
 
+class EngineValidator;
+struct EngineTestPeer;
+
 class Engine {
  public:
   /// `traffic` may be null for manually driven runs (tests inject messages
@@ -59,6 +62,8 @@ class Engine {
   /// engine.
   Engine(const topology::Network& network, const routing::Router& router,
          TrafficSource* traffic, SimConfig config);
+  /// Out of line: EngineValidator is incomplete here.
+  ~Engine();
 
   /// Runs warmup + measurement + drain and returns aggregated metrics.
   SimResult run();
@@ -118,7 +123,15 @@ class Engine {
   /// links cannot be failed (a one-port node would be disconnected).
   void fail_channel(topology::ChannelId channel);
 
+  /// Non-null when invariant checking is on (SimConfig::validate or
+  /// WORMSIM_VALIDATE=1); the validator sweeps at the end of every step().
+  const EngineValidator* validator() const { return validator_.get(); }
+
  private:
+  /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
+  /// tests reach private state through EngineTestPeer.
+  friend class EngineValidator;
+  friend struct EngineTestPeer;
   struct NodeState {
     std::deque<PacketId> queue;
     PacketId tx_packet = kNoPacket;
@@ -276,6 +289,8 @@ class Engine {
                       std::greater<>>
       arrival_calendar_;
   std::vector<topology::NodeId> due_nodes_;
+
+  std::unique_ptr<EngineValidator> validator_;
 
   SimResult result_;
 };

@@ -75,7 +75,10 @@ struct SimResult {
   double mean_network_latency_us() const {
     return network_latency_cycles.mean() / flits_per_microsecond;
   }
-  /// Latency quantile in microseconds (upper bin edge).
+  /// Latency quantile in microseconds (upper bin edge).  +infinity when
+  /// the quantile falls in the histogram's overflow bin (saturated runs
+  /// with tail latencies beyond 60k cycles); callers that serialize this
+  /// must handle the non-finite case explicitly.
   double latency_quantile_us(double q) const {
     return latency_histogram.quantile(q) / flits_per_microsecond;
   }

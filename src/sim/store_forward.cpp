@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "sim/validate.hpp"
 #include "util/check.hpp"
 
 namespace wormsim::sim {
@@ -48,7 +50,13 @@ StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
                Event::Kind::kArrivalGen, node);
     }
   }
+
+  if (config_.validate || validate_enabled_from_env()) {
+    validator_ = std::make_unique<StoreForwardValidator>(*this);
+  }
 }
+
+StoreForwardEngine::~StoreForwardEngine() = default;
 
 void StoreForwardEngine::schedule(std::uint64_t time, Event::Kind kind,
                                   std::uint64_t payload) {
@@ -89,6 +97,7 @@ bool StoreForwardEngine::lane_has_space(LaneId lane) const {
 
 bool StoreForwardEngine::start_transfer(PacketId pkt, LaneId from,
                                         LaneId to) {
+  if (validator_ != nullptr) validator_->on_transfer_start(pkt, from, to);
   const PhysChannel& ch = network_.lane_channel(to);
   WORMSIM_DCHECK(channel_free_at_[ch.id] <= now_);
   if (from == kInvalidId) {
@@ -202,6 +211,10 @@ void StoreForwardEngine::deliver(PacketId pkt_id) {
 }
 
 void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
+  if (validator_ != nullptr) {
+    validator_->on_transfer_finish(transfer.packet, transfer.from,
+                                   transfer.to);
+  }
   --in_flight_;
   if (transfer.from == kInvalidId) {
     NodeState& node = nodes_[packets_[transfer.packet].src];
@@ -279,6 +292,7 @@ void StoreForwardEngine::process(const Event& event) {
     }
   }
   pump();
+  if (validator_ != nullptr) validator_->check_event_end();
 }
 
 bool StoreForwardEngine::idle() const {
@@ -309,6 +323,7 @@ SimResult StoreForwardEngine::run() {
       ++result_.measured_messages_unfinished;
     }
   }
+  if (validator_ != nullptr) validator_->check_final(result_);
   return result_;
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -31,6 +32,9 @@
 
 namespace wormsim::sim {
 
+class StoreForwardValidator;
+struct StoreForwardTestPeer;
+
 struct StoreForwardConfig {
   std::uint64_t seed = 1;
   /// Whole-packet buffers per lane.
@@ -41,6 +45,10 @@ struct StoreForwardConfig {
   std::uint64_t sustainable_queue_limit = 100;
   std::uint64_t queue_capacity = 1'500;
   double flits_per_microsecond = 20.0;
+  /// Runtime invariant checking (src/sim/validate.hpp): per-event sweeps
+  /// and transfer legality checks, aborting with a diagnostic on the
+  /// first violation.  Also enabled by WORMSIM_VALIDATE=1.
+  bool validate = false;
 };
 
 class StoreForwardEngine {
@@ -48,6 +56,8 @@ class StoreForwardEngine {
   StoreForwardEngine(const topology::Network& network,
                      const routing::Router& router, TrafficSource* traffic,
                      StoreForwardConfig config);
+  /// Out of line: StoreForwardValidator is incomplete here.
+  ~StoreForwardEngine();
 
   /// Queues a message at its source at the given time (>= current time).
   PacketId inject_message(topology::NodeId src, std::uint64_t dst,
@@ -64,6 +74,10 @@ class StoreForwardEngine {
   std::uint64_t now() const { return now_; }
 
  private:
+  /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
+  /// tests reach private state through StoreForwardTestPeer.
+  friend class StoreForwardValidator;
+  friend struct StoreForwardTestPeer;
   struct Event {
     std::uint64_t time;
     enum class Kind : std::uint8_t {
@@ -170,6 +184,8 @@ class StoreForwardEngine {
   std::vector<topology::LaneId> pending_lanes_;
   std::vector<std::uint8_t> node_pending_flag_;
   std::vector<std::uint8_t> lane_pending_flag_;
+
+  std::unique_ptr<StoreForwardValidator> validator_;
 
   SimResult result_;
 };

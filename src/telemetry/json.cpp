@@ -318,8 +318,18 @@ class Parser {
       fail("expected value");
       return JsonValue();
     }
+    // The greedy scan above happily swallows tokens like "1-2" or
+    // "1.2.3"; stod would stop at the first malformed character and
+    // silently return the prefix.  Require the whole token to convert.
+    const std::string token = text_.substr(start, pos_ - start);
     try {
-      return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+      std::size_t consumed = 0;
+      const double value = std::stod(token, &consumed);
+      if (consumed != token.size()) {
+        fail("bad number");
+        return JsonValue();
+      }
+      return JsonValue(value);
     } catch (...) {
       fail("bad number");
       return JsonValue();

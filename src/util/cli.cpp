@@ -75,17 +75,17 @@ bool CliParser::assign(const Flag& flag, const std::string& value) {
   return false;
 }
 
-bool CliParser::parse(int argc, char** argv) {
+CliParser::Status CliParser::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(usage().c_str(), stdout);
-      return false;
+      return Status::kHelp;
     }
     if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected positional argument: %s\n%s",
                    arg.c_str(), usage().c_str());
-      return false;
+      return Status::kError;
     }
     arg.erase(0, 2);
     std::string value;
@@ -100,7 +100,7 @@ bool CliParser::parse(int argc, char** argv) {
     if (flag == nullptr) {
       std::fprintf(stderr, "unknown flag: --%s\n%s", arg.c_str(),
                    usage().c_str());
-      return false;
+      return Status::kError;
     }
     if (!has_value) {
       if (flag->kind == Kind::kBool) {
@@ -109,16 +109,16 @@ bool CliParser::parse(int argc, char** argv) {
         value = argv[++i];
       } else {
         std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
-        return false;
+        return Status::kError;
       }
     }
     if (!assign(*flag, value)) {
       std::fprintf(stderr, "bad value for --%s: '%s'\n", arg.c_str(),
                    value.c_str());
-      return false;
+      return Status::kError;
     }
   }
-  return true;
+  return Status::kOk;
 }
 
 std::string CliParser::usage() const {

@@ -12,6 +12,10 @@ namespace wormsim::util {
 
 class CliParser {
  public:
+  /// Outcome of parse().  kHelp is not an error: --help/-h printed the
+  /// usage text to stdout and the program should exit with status 0.
+  enum class Status { kOk, kHelp, kError };
+
   CliParser(std::string program_description);
 
   /// Registers a flag; returned pointers stay owned by the caller and are
@@ -25,8 +29,10 @@ class CliParser {
   void add_flag(const std::string& name, bool* target,
                 const std::string& help);
 
-  /// Parses argv; on --help or error, prints usage and returns false.
-  bool parse(int argc, char** argv);
+  /// Parses argv.  Returns kHelp after printing usage to stdout for
+  /// --help/-h, kError after printing a diagnostic (plus usage) to stderr
+  /// for a bad flag or value, kOk otherwise.
+  Status parse(int argc, char** argv);
 
   std::string usage() const;
 

@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace wormsim::util {
 
@@ -41,13 +42,21 @@ double Histogram::quantile(double q) const {
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(total_)));
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < bins_.size(); ++i) {
+  for (std::size_t i = 0; i < bin_count(); ++i) {
     cumulative += bins_[i];
     if (cumulative >= target) {
       return bin_width_ * static_cast<double>(i + 1);
     }
   }
-  return bin_width_ * static_cast<double>(bins_.size());
+  // The quantile lands in the overflow bin: the sample is somewhere above
+  // the top edge, with no upper bound the histogram can vouch for.
+  // Returning a finite edge here would silently cap saturated-load tail
+  // latencies, so surface the overflow explicitly.
+  return std::numeric_limits<double>::infinity();
+}
+
+bool Histogram::quantile_in_overflow(double q) const {
+  return std::isinf(quantile(q));
 }
 
 }  // namespace wormsim::util

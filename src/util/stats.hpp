@@ -57,8 +57,14 @@ class Histogram {
   std::uint64_t total() const { return total_; }
 
   /// Returns the upper edge of the bin containing the q-quantile
-  /// (0 < q <= 1).  Returns 0 when the histogram is empty.
+  /// (0 < q <= 1).  Returns 0 when the histogram is empty and +infinity
+  /// when the quantile lands in the overflow bin (the sample exceeds the
+  /// histogram's range, so no finite edge bounds it).
   double quantile(double q) const;
+
+  /// True when quantile(q) falls in the overflow bin — i.e. the reported
+  /// quantile is +infinity rather than a finite bin edge.
+  bool quantile_in_overflow(double q) const;
 
   std::size_t bin_count() const { return bins_.size() - 1; }
   std::uint64_t bin(std::size_t i) const { return bins_[i]; }

@@ -1,0 +1,40 @@
+// End-to-end exit-status contract of the example binaries' CLI:
+// `--help` is a successful outcome (exit 0, usage on stdout) while an
+// unknown flag is an error (exit 1).  Regression test for --help exiting 1,
+// which broke `figures_cli --help && ...` shell pipelines.  Runs the real
+// figures_cli binary, whose path CMake injects at compile time.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+int run(const std::string& command) {
+  const int status = std::system(command.c_str());
+  EXPECT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status)) << command << " did not exit normally";
+  return WEXITSTATUS(status);
+}
+
+TEST(CliExitStatus, HelpSucceeds) {
+  EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
+                " --help > /dev/null 2>&1"),
+            0);
+}
+
+TEST(CliExitStatus, HelpPrintsFlagsOnStdout) {
+  EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
+                " --help 2> /dev/null | grep -q flags:"),
+            0);
+}
+
+TEST(CliExitStatus, UnknownFlagFails) {
+  EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
+                " --no-such-flag > /dev/null 2>&1"),
+            1);
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Tests for the sweep harness and figure registry.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "experiment/figures.hpp"
@@ -42,6 +43,23 @@ TEST(Sweep, PointReportsConsistentMetrics) {
   EXPECT_GT(point.latency_us, 0.0);
   EXPECT_GE(point.latency_us, point.network_latency_us);
   EXPECT_TRUE(point.sustainable);
+}
+
+TEST(Sweep, SaturatedPointReportsOverflowedP95) {
+  // Deep saturation: full offered load on a network that sustains well
+  // under half of it makes source-queue waits grow linearly, pushing the
+  // p95 latency past the histogram range (60k cycles).  The point must
+  // report +infinity — the old clamped top-edge value made the saturated
+  // point look finite and plottable.
+  sim::SimConfig sim = tiny_sim();
+  sim.warmup_cycles = 0;
+  sim.measure_cycles = 200'000;
+  sim.drain_cycles = 100'000;
+  sim.queue_capacity = 20'000;
+  const SweepPoint point = run_point(tiny_tmin_spec(), 1.0, sim);
+  EXPECT_FALSE(point.sustainable);
+  EXPECT_TRUE(std::isinf(point.latency_p95_us));
+  EXPECT_FALSE(std::isinf(point.latency_us));  // the mean stays finite
 }
 
 TEST(Sweep, LatencyRisesWithLoad) {

@@ -1,6 +1,8 @@
 // Unit tests for SimResult accounting and unit conversions.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 
@@ -46,6 +48,20 @@ TEST(SimResult, LatencyUnitsUseChannelBandwidth) {
   // p50: the 100-cycle sample lands in bin [100, 120); the quantile
   // reports the upper edge, 120 cycles = 6 us.
   EXPECT_DOUBLE_EQ(result.latency_quantile_us(0.5), 6.0);
+}
+
+TEST(SimResult, SaturatedQuantileReportsInfinityNotTopEdge) {
+  // Latencies beyond the histogram range land in the overflow bin.  The
+  // quantile used to be silently clamped to the top edge (3000 us),
+  // making a saturated network look merely slow; it must report
+  // +infinity so downstream consumers see the saturation.
+  SimResult result;
+  result.flits_per_microsecond = 20.0;
+  for (int i = 0; i < 100; ++i) {
+    result.latency_histogram.add(i < 40 ? 100.0 : 1e6);
+  }
+  EXPECT_FALSE(std::isinf(result.latency_quantile_us(0.25)));
+  EXPECT_TRUE(std::isinf(result.latency_quantile_us(0.95)));
 }
 
 TEST(SimConfig, CycleBudgetAndConversion) {

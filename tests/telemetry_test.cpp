@@ -4,8 +4,11 @@
 // versioned result files, and the sweep tweak-ordering regression.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "experiment/figures.hpp"
 #include "experiment/results_json.hpp"
@@ -304,6 +307,29 @@ TEST(Json, ParseRejectsMalformedInput) {
   }
 }
 
+TEST(Json, ParseRejectsMalformedNumbers) {
+  // The number scanner must consume its whole token: stod's
+  // longest-prefix behavior used to silently read "1-2" as 1 and
+  // "1.2.3" as 1.2 — corrupting results instead of reporting the error.
+  for (const char* bad :
+       {"1-2", "1.2.3", "3-4e2", "1e", "1e+", "-", "1.2e4.5",
+        "[1, 2-3]", "{\"p95\": 12..5}"}) {
+    std::string error;
+    const JsonValue value = JsonValue::parse(bad, &error);
+    EXPECT_TRUE(value.is_null()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  // Well-formed exponent/sign forms still parse.
+  const std::pair<const char*, double> good[] = {
+      {"1e4", 1e4}, {"-2.5e-3", -2.5e-3}, {"0.5", 0.5}, {"12E+2", 1200.0}};
+  for (const auto& [text, expected] : good) {
+    std::string error;
+    const JsonValue value = JsonValue::parse(text, &error);
+    EXPECT_TRUE(error.empty()) << text << ": " << error;
+    EXPECT_DOUBLE_EQ(value.as_number(), expected);
+  }
+}
+
 TEST(Json, ParseFoldsUnicodeEscapes) {
   std::string error;
   const JsonValue value = JsonValue::parse("\"a\\u0041\\u00e9\"", &error);
@@ -461,6 +487,47 @@ TEST(ResultsJson, FigureRoundTripsThroughText) {
   EXPECT_EQ(p0.max_source_queue, 9u);
   EXPECT_EQ(p0.delivered_messages, 1234u);
   EXPECT_FALSE(back.series[0].points[1].sustainable);
+}
+
+TEST(ResultsJson, OverflowedP95SurvivesRoundTrip) {
+  // A saturated point's p95 is +infinity (latency histogram overflow).
+  // JSON has no infinity, so the writer must emit a null value plus the
+  // latency_p95_overflow flag, and the reader must restore infinity —
+  // not 0, and not the old masked top-edge value.
+  experiment::FigureResult result;
+  result.id = "fig_sat";
+  result.title = "saturated";
+  experiment::Series series;
+  series.label = "overloaded";
+  experiment::SweepPoint point;
+  point.offered_requested = 1.5;
+  point.latency_us = 900.0;
+  point.latency_p95_us = std::numeric_limits<double>::infinity();
+  point.sustainable = false;
+  series.points.push_back(point);
+  result.series.push_back(series);
+
+  RunManifest manifest;
+  manifest.id = result.id;
+  manifest.title = result.title;
+  manifest.seed = 7;
+
+  const JsonValue doc = experiment::figure_to_json(result, manifest);
+  const std::string text = doc.dump_string();
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+
+  std::string error;
+  const JsonValue reparsed = JsonValue::parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue& p =
+      reparsed.at("series").items().at(0).at("points").items().at(0);
+  EXPECT_TRUE(p.at("latency_p95_us").is_null());
+  EXPECT_TRUE(p.at("latency_p95_overflow").as_bool());
+
+  const experiment::FigureResult back = experiment::figure_from_json(reparsed);
+  ASSERT_EQ(back.series.size(), 1u);
+  ASSERT_EQ(back.series[0].points.size(), 1u);
+  EXPECT_TRUE(std::isinf(back.series[0].points[0].latency_p95_us));
 }
 
 TEST(ResultsJson, WriteFigureJsonCreatesFile) {

@@ -229,7 +229,11 @@ TEST(Histogram, QuantilesAndOverflow) {
   for (int i = 0; i < 100; ++i) h.add(i < 90 ? 0.5 : 100.0);
   EXPECT_EQ(h.total(), 100u);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
-  EXPECT_GT(h.quantile(0.95), 10.0);  // in overflow bin
+  // A quantile landing in the overflow bin has no finite upper edge:
+  // report +infinity instead of masking saturation with the top edge.
+  EXPECT_TRUE(std::isinf(h.quantile(0.95)));
+  EXPECT_TRUE(h.quantile_in_overflow(0.95));
+  EXPECT_FALSE(h.quantile_in_overflow(0.5));
   EXPECT_EQ(h.overflow(), 10u);
 }
 
@@ -304,7 +308,7 @@ TEST(CliParser, ParsesAllKinds) {
 
   const char* argv[] = {"prog", "--name=xyz", "--count", "7",
                         "--rate=0.25", "--flag"};
-  EXPECT_TRUE(cli.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.parse(6, const_cast<char**>(argv)), CliParser::Status::kOk);
   EXPECT_EQ(name, "xyz");
   EXPECT_EQ(count, 7);
   EXPECT_DOUBLE_EQ(rate, 0.25);
@@ -314,7 +318,8 @@ TEST(CliParser, ParsesAllKinds) {
 TEST(CliParser, RejectsUnknownFlag) {
   CliParser cli("test");
   const char* argv[] = {"prog", "--nope=1"};
-  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.parse(2, const_cast<char**>(argv)),
+            CliParser::Status::kError);
 }
 
 TEST(CliParser, RejectsBadValue) {
@@ -322,7 +327,18 @@ TEST(CliParser, RejectsBadValue) {
   CliParser cli("test");
   cli.add_flag("count", &count, "an int");
   const char* argv[] = {"prog", "--count=abc"};
-  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.parse(2, const_cast<char**>(argv)),
+            CliParser::Status::kError);
+}
+
+TEST(CliParser, HelpIsDistinctFromError) {
+  CliParser cli("test");
+  ::testing::internal::CaptureStdout();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EQ(cli.parse(2, const_cast<char**>(argv)),
+            CliParser::Status::kHelp);
+  const std::string usage = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(usage.find("flags:"), std::string::npos);
 }
 
 TEST(CliParser, UsageListsFlags) {

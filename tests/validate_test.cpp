@@ -1,0 +1,416 @@
+// Fault-injection tests for the runtime invariant checkers
+// (src/sim/validate.hpp).  Each test builds a healthy simulation, steps it
+// until the interesting state exists, corrupts ONE piece of the engine's
+// incrementally maintained bookkeeping through the test-peer backdoor, and
+// expects the matching checker to abort naming exactly that invariant.
+// The corruption happens inside the death-test child process, so the
+// parent engine stays intact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "sim/store_forward.hpp"
+#include "sim/validate.hpp"
+#include "topology/network.hpp"
+
+namespace wormsim::sim {
+
+// Friend of Engine: hands tests references to the private incremental
+// state so they can corrupt it, plus the validator to run a sweep on
+// demand.
+struct EngineTestPeer {
+  static std::vector<PacketId>& buf_packet(Engine& e) { return e.buf_packet_; }
+  static std::vector<std::uint32_t>& buf_seq(Engine& e) { return e.buf_seq_; }
+  static std::vector<std::uint64_t>& arrived_epoch(Engine& e) {
+    return e.arrived_epoch_;
+  }
+  static std::vector<topology::LaneId>& route_out(Engine& e) {
+    return e.route_out_;
+  }
+  static std::vector<topology::LaneId>& alloc_owner(Engine& e) {
+    return e.alloc_owner_;
+  }
+  static std::vector<topology::LaneId>& header_lanes(Engine& e) {
+    return e.header_lanes_;
+  }
+  static std::vector<std::uint32_t>& channel_sources(Engine& e) {
+    return e.channel_sources_;
+  }
+  static std::vector<topology::ChannelId>& seed(Engine& e) { return e.seed_; }
+  static std::vector<std::uint64_t>& seed_stamp(Engine& e) {
+    return e.seed_stamp_;
+  }
+  static std::vector<PacketState>& packets(Engine& e) { return e.packets_; }
+  static std::int64_t& occupied(Engine& e) { return e.occupied_; }
+  static std::int64_t& worms_in_flight(Engine& e) {
+    return e.worms_in_flight_;
+  }
+  static std::uint64_t epoch(const Engine& e) { return e.epoch_; }
+  static EngineValidator& validator(Engine& e) { return *e.validator_; }
+};
+
+// Friend of StoreForwardEngine: same deal for the reference engine.
+struct StoreForwardTestPeer {
+  static std::int64_t& in_flight(StoreForwardEngine& e) {
+    return e.in_flight_;
+  }
+  static std::int64_t& queued_packets(StoreForwardEngine& e) {
+    return e.queued_packets_;
+  }
+  static std::vector<std::uint64_t>& channel_free_at(StoreForwardEngine& e) {
+    return e.channel_free_at_;
+  }
+  static bool& lane_transmitting(StoreForwardEngine& e, topology::LaneId l) {
+    return e.lanes_[l].transmitting;
+  }
+  static StoreForwardValidator& validator(StoreForwardEngine& e) {
+    return *e.validator_;
+  }
+};
+
+namespace {
+
+using topology::kInvalidId;
+using topology::LaneId;
+using topology::Network;
+using topology::NetworkConfig;
+using topology::NetworkKind;
+
+NetworkConfig net_config(NetworkKind kind, const std::string& topo,
+                         unsigned k, unsigned n) {
+  NetworkConfig config;
+  config.kind = kind;
+  config.topology = topo;
+  config.radix = k;
+  config.stages = n;
+  config.dilation = 1;
+  config.vcs = 1;
+  return config;
+}
+
+SimConfig validating_config() {
+  SimConfig config;
+  config.seed = 7;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1'000'000;
+  config.drain_cycles = 0;
+  config.validate = true;
+  return config;
+}
+
+/// A TMIN with one 8-flit worm stepped until it holds buffers and at
+/// least one route, the state most corruptions need.
+class EngineCorruption : public ::testing::Test {
+ protected:
+  EngineCorruption()
+      : net_(topology::build_network(
+            net_config(NetworkKind::kTMIN, "cube", 2, 3))),
+        router_(routing::make_router(net_)),
+        engine_(net_, *router_, nullptr, validating_config()) {
+    pid_ = engine_.inject_message(0, 7, 8);
+  }
+
+  /// Steps until `pred()` holds (at most `limit` cycles); the worm is
+  /// still in flight afterwards because it is much shorter than the path
+  /// budget used by the predicates below.
+  template <typename Pred>
+  void step_until(Pred pred, int limit = 50) {
+    for (int i = 0; i < limit && !pred(); ++i) engine_.step();
+    ASSERT_TRUE(pred()) << "engine never reached the wanted state";
+  }
+
+  /// First switch-input lane buffering a flit (kInvalidId when none).
+  LaneId buffered_lane() {
+    const auto& buf = EngineTestPeer::buf_packet(engine_);
+    for (LaneId lane = 0; lane < buf.size(); ++lane) {
+      if (buf[lane] != kNoPacket) return lane;
+    }
+    return kInvalidId;
+  }
+
+  /// First input lane holding a granted route (kInvalidId when none).
+  LaneId routed_lane() {
+    const auto& route = EngineTestPeer::route_out(engine_);
+    for (LaneId lane = 0; lane < route.size(); ++lane) {
+      if (route[lane] != kInvalidId) return lane;
+    }
+    return kInvalidId;
+  }
+
+  Network net_;
+  std::unique_ptr<routing::Router> router_;
+  Engine engine_;
+  PacketId pid_ = kNoPacket;
+};
+
+TEST_F(EngineCorruption, LeakedFlitTripsFlitConservation) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        ++EngineTestPeer::occupied(engine_);
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'flit-conservation'.*occupancy counter");
+}
+
+TEST_F(EngineCorruption, WormCounterTripsWormConservation) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        --EngineTestPeer::worms_in_flight(engine_);
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'worm-conservation'.*counter says");
+}
+
+TEST_F(EngineCorruption, SeqBeyondLengthTripsWormContiguity) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        const LaneId lane = buffered_lane();
+        EngineTestPeer::buf_seq(engine_)[lane] = 1'000;
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'worm-contiguity'.*beyond packet");
+}
+
+TEST_F(EngineCorruption, StaleEpochStampCaught) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        const LaneId lane = buffered_lane();
+        EngineTestPeer::arrived_epoch(engine_)[lane] =
+            EngineTestPeer::epoch(engine_) + 7;
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'stale-epoch-stamp'.*ahead of the engine epoch");
+}
+
+TEST_F(EngineCorruption, DoubleGrantedOutputCaught) {
+  step_until([&] { return routed_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        // Point a second, idle input unit at an output some other input
+        // already owns — the bug class route_and_allocate must never
+        // produce.
+        auto& route = EngineTestPeer::route_out(engine_);
+        const LaneId in = routed_lane();
+        for (LaneId other = 0; other < route.size(); ++other) {
+          if (other != in && route[other] == kInvalidId) {
+            route[other] = route[in];
+            break;
+          }
+        }
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'lane-exclusivity'.*double-granted output");
+}
+
+TEST_F(EngineCorruption, WrongOutputPortTripsRoutingLegality) {
+  // Wait for a route whose output is a forward channel (not the final
+  // ejection hop) so the sibling right-side port exists and is simply the
+  // wrong destination-tag digit.
+  const auto forward_routed = [&]() -> LaneId {
+    const auto& route = EngineTestPeer::route_out(engine_);
+    const auto& buf = EngineTestPeer::buf_packet(engine_);
+    for (LaneId in = 0; in < route.size(); ++in) {
+      if (route[in] == kInvalidId || buf[in] == kNoPacket) continue;
+      if (net_.lane_channel(route[in]).role ==
+          topology::ChannelRole::kForward) {
+        return in;
+      }
+    }
+    return kInvalidId;
+  };
+  step_until([&] { return forward_routed() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        auto& route = EngineTestPeer::route_out(engine_);
+        auto& owner = EngineTestPeer::alloc_owner(engine_);
+        const LaneId in = forward_routed();
+        const LaneId good = route[in];
+        const auto& good_ch = net_.lane_channel(good);
+        // Rewire the grant (consistently, so lane-exclusivity stays
+        // happy) onto the same switch's OTHER right-side port.
+        for (LaneId bad = 0; bad < route.size(); ++bad) {
+          const auto& ch = net_.lane_channel(bad);
+          if (!ch.src.is_switch() || ch.src.id != good_ch.src.id) continue;
+          if (ch.src.port == good_ch.src.port) continue;
+          if (owner[bad] != kInvalidId) continue;
+          owner[good] = kInvalidId;
+          route[in] = bad;
+          owner[bad] = in;
+          break;
+        }
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'routing-legality'.*destination-tag digit");
+}
+
+TEST_F(EngineCorruption, MissingHeaderEntryCaught) {
+  step_until([&] { return !EngineTestPeer::header_lanes(engine_).empty(); });
+  EXPECT_DEATH(
+      {
+        EngineTestPeer::header_lanes(engine_).pop_back();
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'header-set'.*missing from header_lanes_");
+}
+
+TEST_F(EngineCorruption, ChannelSourceCounterCaught) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        ++EngineTestPeer::channel_sources(engine_)[0];
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'channel-sources'.*counter says");
+}
+
+TEST_F(EngineCorruption, CorruptSeedStampCaught) {
+  step_until([&] { return !EngineTestPeer::seed(engine_).empty(); });
+  EXPECT_DEATH(
+      {
+        // Regress a scheduled channel's stamp: the engine would silently
+        // skip its move next epoch.
+        const topology::ChannelId ch = EngineTestPeer::seed(engine_).front();
+        EngineTestPeer::seed_stamp(engine_)[ch] =
+            EngineTestPeer::epoch(engine_);
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'event-frontier'.*carries stamp");
+}
+
+TEST(BminCorruption, SkippedTurnTripsRoutingLegality) {
+  // A 2-flit worm crossing a BMIN: once the tail has left the injection
+  // lane and the header has not yet turned, every live route enters on a
+  // forward channel.  Zeroing the packet's recorded turn stage then makes
+  // each of them a worm sailing past its turnaround — the "skipped turn"
+  // bug class.
+  const Network net = topology::build_network(
+      net_config(NetworkKind::kBMIN, "butterfly", 2, 3));
+  const auto router = routing::make_router(net);
+  Engine engine(net, *router, nullptr, validating_config());
+  const PacketId pid = engine.inject_message(0, 7, 2);
+  const auto routes_all_forward = [&] {
+    const auto& route = EngineTestPeer::route_out(engine);
+    bool any = false;
+    for (LaneId in = 0; in < route.size(); ++in) {
+      if (route[in] == kInvalidId) continue;
+      if (net.lane_channel(in).role != topology::ChannelRole::kForward) {
+        return false;
+      }
+      any = true;
+    }
+    return any;
+  };
+  for (int i = 0; i < 50 && !routes_all_forward(); ++i) engine.step();
+  ASSERT_TRUE(routes_all_forward());
+  EXPECT_DEATH(
+      {
+        EngineTestPeer::packets(engine)[pid].turn_stage = 0;
+        EngineTestPeer::validator(engine).check_cycle_end();
+      },
+      "invariant 'routing-legality'.*skipped turn");
+}
+
+// ---- Store-and-forward corruptions ----------------------------------------
+
+StoreForwardConfig sf_validating_config() {
+  StoreForwardConfig config;
+  config.seed = 11;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1u << 20;
+  config.drain_cycles = 0;
+  config.validate = true;
+  return config;
+}
+
+class StoreForwardCorruption : public ::testing::Test {
+ protected:
+  StoreForwardCorruption()
+      : net_(topology::build_network(
+            net_config(NetworkKind::kTMIN, "cube", 2, 3))),
+        router_(routing::make_router(net_)),
+        engine_(net_, *router_, nullptr, sf_validating_config()) {
+    // Queues the packet and starts its first transfer immediately.
+    engine_.inject_message(0, 7, 4);
+  }
+
+  Network net_;
+  std::unique_ptr<routing::Router> router_;
+  StoreForwardEngine engine_;
+};
+
+TEST_F(StoreForwardCorruption, QueueCounterCaught) {
+  EXPECT_DEATH(
+      {
+        ++StoreForwardTestPeer::queued_packets(engine_);
+        StoreForwardTestPeer::validator(engine_).check_event_end();
+      },
+      "invariant 'sf-conservation'.*counter says");
+}
+
+TEST_F(StoreForwardCorruption, InFlightCounterCaught) {
+  EXPECT_DEATH(
+      {
+        ++StoreForwardTestPeer::in_flight(engine_);
+        StoreForwardTestPeer::validator(engine_).check_event_end();
+      },
+      "invariant 'sf-transfer-accounting'.*transfers active");
+}
+
+TEST_F(StoreForwardCorruption, PhantomBusyChannelCaught) {
+  EXPECT_DEATH(
+      {
+        // Mark an unused channel busy far into the future with no
+        // transfer to back it up.
+        const topology::ChannelId idle = net_.injection_channel(1);
+        StoreForwardTestPeer::channel_free_at(engine_)[idle] =
+            engine_.now() + 100;
+        StoreForwardTestPeer::validator(engine_).check_event_end();
+      },
+      "invariant 'sf-channel-accounting'.*marked busy");
+}
+
+TEST_F(StoreForwardCorruption, PhantomTransmitFlagCaught) {
+  EXPECT_DEATH(
+      {
+        StoreForwardTestPeer::lane_transmitting(engine_, 0) = true;
+        StoreForwardTestPeer::validator(engine_).check_event_end();
+      },
+      "invariant 'sf-transfer-accounting'.*transmit flag");
+}
+
+// The validator must be a pure observer: the same run with and without it
+// produces bit-identical results (the golden-digest guarantee).
+TEST(Validation, ValidatedRunMatchesUnvalidatedRun) {
+  const Network net = topology::build_network(
+      net_config(NetworkKind::kBMIN, "butterfly", 2, 3));
+  const auto router = routing::make_router(net);
+  SimConfig plain = validating_config();
+  plain.validate = false;
+  SimConfig checked = validating_config();
+
+  Engine a(net, *router, nullptr, plain);
+  Engine b(net, *router, nullptr, checked);
+  for (Engine* e : {&a, &b}) {
+    e->inject_message(0, 7, 16);
+    e->inject_message(3, 4, 16);
+    e->inject_message(5, 2, 16);
+    EXPECT_TRUE(e->run_until_idle(10'000));
+  }
+  ASSERT_EQ(a.packet_count(), b.packet_count());
+  for (PacketId id = 0; id < a.packet_count(); ++id) {
+    EXPECT_EQ(a.packet(id).deliver_cycle, b.packet(id).deliver_cycle);
+  }
+  EXPECT_GT(EngineTestPeer::validator(b).sweeps_run(), 0u);
+}
+
+}  // namespace
+}  // namespace wormsim::sim
