@@ -1,10 +1,22 @@
 // Figure runner: reproduces any registered evaluation figure or ablation
 // and prints it as a latency/throughput table — the exact rows/series the
-// paper's plots report.  This is the tool used to produce EXPERIMENTS.md.
+// paper's plots report.  This is the tool used to produce EXPERIMENTS.md
+// and the CI-enforced tables under results/.
 //
 // Usage: figures_cli --figure=fig18a [--quick] [--seed=N] [--threads=N]
+//        figures_cli --all [--shard=i/n] [--cache-dir=D] [--out-dir=D]
 //        figures_cli --list
+//
+// --shard=i/n runs the i-th of n deterministic, figure-aligned partitions
+// of the full suite's figure x point work list (CI fans the suite out over
+// a matrix; the union of all shards is exactly --all).  --cache-dir (or
+// WORMSIM_CACHE_DIR) replays content-addressed point results from disk —
+// outputs stay byte-identical to an uncached sequential run.  --out-dir
+// writes each figure's table to <dir>/<id>.txt (or .csv with --csv)
+// instead of stdout, the exact bytes committed under results/.
 
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "experiment/figures.hpp"
@@ -20,6 +32,10 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::int64_t seed = 20250707;
   std::int64_t threads = 0;
+  std::string shard;
+  std::string cache_dir;
+  std::string out_dir;
+  std::string json_dir;
   util::CliParser cli("figures_cli: run a paper figure reproduction");
   cli.add_flag("figure", &figure, "figure id (see --list)");
   cli.add_flag("list", &list, "list registered figure ids");
@@ -28,9 +44,21 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv, "emit machine-readable CSV instead of tables");
   cli.add_flag("seed", &seed, "random seed");
   cli.add_flag("threads", &threads,
-               "worker threads for the series sweep (0 = WORMSIM_THREADS "
-               "env or sequential); results match the sequential run "
-               "bitwise");
+               "worker threads for the point-granular sweep pool (0 = "
+               "WORMSIM_THREADS env or sequential); results match the "
+               "sequential run bitwise");
+  cli.add_flag("shard", &shard,
+               "with --all: run shard i of n (\"i/n\", 0-based) of the "
+               "deterministic figure partition");
+  cli.add_flag("cache-dir", &cache_dir,
+               "content-addressed sweep-point cache directory (default "
+               "WORMSIM_CACHE_DIR env; empty = no cache)");
+  cli.add_flag("out-dir", &out_dir,
+               "write each figure to <dir>/<id>.txt (or .csv) instead of "
+               "stdout");
+  cli.add_flag("json-dir", &json_dir,
+               "also write <dir>/<id>.json results (default "
+               "WORMSIM_JSON_DIR env)");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -48,10 +76,28 @@ int main(int argc, char** argv) {
   options.quick = options.quick || quick;
   options.seed = static_cast<std::uint64_t>(seed);
   if (threads > 0) options.threads = static_cast<unsigned>(threads);
+  if (!cache_dir.empty()) options.cache_dir = cache_dir;
+  if (!json_dir.empty()) options.json_dir = json_dir;
+
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  if (!shard.empty()) {
+    if (!util::parse_shard(shard, &shard_index, &shard_count)) {
+      std::cerr << "bad --shard '" << shard << "'; expected i/n with i < n\n";
+      return 1;
+    }
+    if (!all) {
+      std::cerr << "--shard only makes sense with --all\n";
+      return 1;
+    }
+  }
 
   std::vector<std::string> to_run;
   if (all) {
-    to_run = experiment::figure_ids();
+    to_run = shard_count > 1
+                 ? experiment::shard_figure_ids(shard_index, shard_count,
+                                                options)
+                 : experiment::figure_ids();
   } else {
     if (!experiment::figure_exists(figure)) {
       std::cerr << "unknown figure '" << figure << "'; try --list\n";
@@ -59,13 +105,36 @@ int main(int argc, char** argv) {
     }
     to_run.push_back(figure);
   }
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create --out-dir '" << out_dir << "'\n";
+      return 1;
+    }
+  }
   for (const std::string& id : to_run) {
     const experiment::FigureResult result =
         experiment::run_figure(id, options);
+    std::ofstream file;
+    if (!out_dir.empty()) {
+      const std::string path =
+          out_dir + "/" + id + (csv ? ".csv" : ".txt");
+      file.open(path, std::ios::trunc);
+      if (!file.good()) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+      }
+    }
+    std::ostream& os = out_dir.empty() ? std::cout : file;
     if (csv) {
-      experiment::print_figure_csv(result, std::cout);
+      experiment::print_figure_csv(result, os);
     } else {
-      experiment::print_figure(result, std::cout);
+      experiment::print_figure(result, os);
+    }
+    if (!out_dir.empty() && !file.good()) {
+      std::cerr << "write failed for figure " << id << "\n";
+      return 1;
     }
   }
   return 0;

@@ -3,10 +3,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <ostream>
 
-#include "experiment/parallel.hpp"
+#include <algorithm>
+
+#include "experiment/cache.hpp"
 #include "experiment/results_json.hpp"
+#include "experiment/scheduler.hpp"
 
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -61,6 +65,9 @@ RunOptions RunOptions::from_env() {
   }
   if (auto dir = telemetry::json_dir_from_env()) {
     options.json_dir = *dir;
+  }
+  if (auto dir = cache_dir_from_env()) {
+    options.cache_dir = *dir;
   }
   return options;
 }
@@ -515,16 +522,62 @@ FigureSpec figure_spec(const std::string& id) {
   return spec;
 }
 
+std::vector<std::string> shard_figure_ids(unsigned shard_index,
+                                          unsigned shard_count,
+                                          const RunOptions& options) {
+  WORMSIM_CHECK_MSG(shard_count > 0 && shard_index < shard_count,
+                    "shard index out of range");
+  const std::vector<std::string>& ids = registry();
+  const std::size_t load_count = options.loads().size();
+  // Weight = upper bound on the figure's point count.  Early stops make
+  // actual counts smaller, but proportionally so across figures.
+  std::vector<std::size_t> weight(ids.size());
+  std::vector<std::size_t> order(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    weight[i] = figure_spec(ids[i]).series.size() * load_count;
+    order[i] = i;
+  }
+  // Greedy longest-processing-time: heaviest figure first, always onto
+  // the lightest shard.  Ties break on registry order / lowest shard, so
+  // the partition is a pure function of the registry and `options`.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return weight[a] > weight[b];
+                   });
+  std::vector<std::size_t> shard_weight(shard_count, 0);
+  std::vector<unsigned> assigned(ids.size());
+  for (const std::size_t figure : order) {
+    unsigned lightest = 0;
+    for (unsigned s = 1; s < shard_count; ++s) {
+      if (shard_weight[s] < shard_weight[lightest]) lightest = s;
+    }
+    assigned[figure] = lightest;
+    shard_weight[lightest] += weight[figure];
+  }
+  std::vector<std::string> mine;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (assigned[i] == shard_index) mine.push_back(ids[i]);
+  }
+  return mine;
+}
+
 FigureResult run_figure(const std::string& id, const RunOptions& options) {
   const FigureSpec def = figure_spec(id);
   FigureResult result;
   result.id = id;
   result.title = def.title;
-  // options.threads > 1 fans series out over a worker pool (results are
-  // identical to the sequential run; see experiment/parallel.hpp).
+  // options.threads > 1 fans (series, load) points out over the
+  // work-stealing pool; options.cache_dir replays previously computed
+  // points.  Both are bitwise-neutral (experiment/scheduler.hpp).
   const auto wall_start = std::chrono::steady_clock::now();
-  result.series =
-      run_all_series(def.series, options.sweep_options(), options.threads);
+  std::optional<ResultCache> cache;
+  if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
+  PoolOptions pool;
+  pool.threads = options.threads;
+  pool.cache = cache ? &*cache : nullptr;
+  PoolStats pool_stats;
+  result.series = run_series_pool(def.series, options.sweep_options(), pool,
+                                  &pool_stats);
   if (!options.json_dir.empty()) {
     telemetry::RunManifest manifest;
     manifest.id = id;
@@ -535,11 +588,11 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
-    std::size_t points = 0;
-    for (const Series& series : result.series) points += series.points.size();
+    // Cycles actually executed: cache hits replay stored points without
+    // simulating, and speculated points burn cycles without appearing in
+    // the output, so count computed points rather than emitted ones.
     manifest.simulated_cycles =
-        static_cast<std::uint64_t>(points) *
-        options.sim_config().total_cycles();
+        pool_stats.computed * options.sim_config().total_cycles();
     write_figure_json(result, manifest, options.json_dir);
   }
   return result;

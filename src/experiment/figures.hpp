@@ -23,14 +23,19 @@ struct RunOptions {
   /// result (seed, git revision, wall time, cycles/sec, all points) as
   /// `<json_dir>/<figure_id>.json`; see experiment/results_json.hpp.
   std::string json_dir;
+  /// When non-empty, every sweep point is looked up in (and stored to) a
+  /// content-addressed on-disk cache under this directory before
+  /// simulating; see experiment/cache.hpp.  Safe to share between
+  /// concurrent processes.
+  std::string cache_dir;
 
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
   SweepOptions sweep_options() const;
 
-  /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>, and
-  /// WORMSIM_JSON_DIR=<dir>.
+  /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>,
+  /// WORMSIM_JSON_DIR=<dir>, and WORMSIM_CACHE_DIR=<dir>.
   static RunOptions from_env();
 };
 
@@ -59,6 +64,18 @@ std::vector<std::string> figure_ids();
 
 /// True if `id` names a registered figure.
 bool figure_exists(const std::string& id);
+
+/// Deterministic partition of the full figure x point work list into
+/// `shard_count` shards, aligned to figure boundaries so every shard
+/// emits complete figures (a figure's table and JSON come from exactly
+/// one shard; the union over all shards is the whole registry).  Figures
+/// are weighed by their point count (series x loads under `options`) and
+/// greedily assigned to the lightest shard, so shard wall times stay
+/// balanced.  Returns shard `shard_index`'s figure ids in registry order.
+/// Requires shard_index < shard_count.
+std::vector<std::string> shard_figure_ids(unsigned shard_index,
+                                          unsigned shard_count,
+                                          const RunOptions& options);
 
 /// Renders the figure as an aligned table (one row per point, one block
 /// per series).

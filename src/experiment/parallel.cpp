@@ -1,42 +1,18 @@
 #include "experiment/parallel.hpp"
 
-#include <atomic>
-#include <thread>
+#include "experiment/scheduler.hpp"
 
 namespace wormsim::experiment {
 
 std::vector<Series> run_all_series(const std::vector<SeriesSpec>& specs,
                                    const SweepOptions& options,
                                    unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(threads, specs.size());
-  std::vector<Series> results(specs.size());
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      results[i] = run_series(specs[i], options);
-    }
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= specs.size()) return;
-      results[index] = run_series(specs[index], options);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back(worker);
-  }
-  for (std::thread& thread : pool) {
-    thread.join();
-  }
-  return results;
+  // One code path: the point-granular pool (experiment/scheduler.hpp).
+  // No series-count cap on `threads` — the pool schedules individual
+  // (series, load) points, so extra workers help even with few series.
+  PoolOptions pool;
+  pool.threads = threads;
+  return run_series_pool(specs, options, pool);
 }
 
 }  // namespace wormsim::experiment

@@ -1,9 +1,11 @@
 // Parallel sweep execution.
 //
 // Every sweep point builds its own Network, traffic source and engine, so
-// series are embarrassingly parallel.  run_all_series() fans series out
-// over a worker pool; results are bitwise identical to the sequential
-// path because each simulation seeds its own generator.
+// points are embarrassingly parallel.  run_all_series() is a thin wrapper
+// over the point-granular work-stealing pool (experiment/scheduler.hpp);
+// results are bitwise identical to the sequential path because each
+// simulation seeds its own generator and the pool honors the sequential
+// early-stop contract.
 #pragma once
 
 #include <vector>
@@ -12,9 +14,11 @@
 
 namespace wormsim::experiment {
 
-/// Runs each series (in order-preserving fashion) on up to `threads`
-/// workers.  threads == 0 picks std::thread::hardware_concurrency();
-/// threads == 1 degenerates to the sequential loop.
+/// Runs every (series, load) point over up to `threads` workers and
+/// returns the series in spec order.  threads == 0 picks
+/// std::thread::hardware_concurrency(); threads == 1 degenerates to the
+/// sequential loop.  `threads` is not capped at the series count — the
+/// pool schedules points, not series.
 std::vector<Series> run_all_series(const std::vector<SeriesSpec>& specs,
                                    const SweepOptions& options,
                                    unsigned threads = 0);

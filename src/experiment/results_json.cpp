@@ -9,6 +9,47 @@ namespace wormsim::experiment {
 
 using telemetry::JsonValue;
 
+JsonValue sweep_point_to_json(const SweepPoint& point) {
+  JsonValue p = JsonValue::object();
+  p.set("offered", point.offered_requested);
+  p.set("offered_measured", point.offered_measured);
+  p.set("throughput", point.throughput);
+  p.set("latency_us", point.latency_us);
+  // JSON has no +infinity: an overflowed p95 (saturated run, tail
+  // beyond the histogram range) is written as null plus an explicit
+  // flag so readers cannot mistake it for a finite latency.
+  const bool p95_overflow = std::isinf(point.latency_p95_us);
+  p.set("latency_p95_us",
+        p95_overflow ? JsonValue() : JsonValue(point.latency_p95_us));
+  p.set("latency_p95_overflow", p95_overflow);
+  p.set("network_latency_us", point.network_latency_us);
+  p.set("queueing_us", point.queueing_us);
+  p.set("sustainable", point.sustainable);
+  p.set("max_source_queue", point.max_source_queue);
+  p.set("delivered_messages", point.delivered_messages);
+  return p;
+}
+
+SweepPoint sweep_point_from_json(const JsonValue& p) {
+  SweepPoint point;
+  point.offered_requested = p.at("offered").as_number();
+  point.offered_measured = p.at("offered_measured").as_number();
+  point.throughput = p.at("throughput").as_number();
+  point.latency_us = p.at("latency_us").as_number();
+  const JsonValue* overflow = p.find("latency_p95_overflow");
+  if (overflow != nullptr && overflow->as_bool()) {
+    point.latency_p95_us = std::numeric_limits<double>::infinity();
+  } else {
+    point.latency_p95_us = p.at("latency_p95_us").as_number();
+  }
+  point.network_latency_us = p.at("network_latency_us").as_number();
+  point.queueing_us = p.at("queueing_us").as_number();
+  point.sustainable = p.at("sustainable").as_bool();
+  point.max_source_queue = p.at("max_source_queue").as_uint();
+  point.delivered_messages = p.at("delivered_messages").as_uint();
+  return point;
+}
+
 JsonValue figure_to_json(const FigureResult& result,
                          const telemetry::RunManifest& manifest) {
   JsonValue document = manifest_to_json(manifest);
@@ -18,24 +59,7 @@ JsonValue figure_to_json(const FigureResult& result,
     series_json.set("label", series.label);
     JsonValue points = JsonValue::array();
     for (const SweepPoint& point : series.points) {
-      JsonValue p = JsonValue::object();
-      p.set("offered", point.offered_requested);
-      p.set("offered_measured", point.offered_measured);
-      p.set("throughput", point.throughput);
-      p.set("latency_us", point.latency_us);
-      // JSON has no +infinity: an overflowed p95 (saturated run, tail
-      // beyond the histogram range) is written as null plus an explicit
-      // flag so readers cannot mistake it for a finite latency.
-      const bool p95_overflow = std::isinf(point.latency_p95_us);
-      p.set("latency_p95_us",
-            p95_overflow ? JsonValue() : JsonValue(point.latency_p95_us));
-      p.set("latency_p95_overflow", p95_overflow);
-      p.set("network_latency_us", point.network_latency_us);
-      p.set("queueing_us", point.queueing_us);
-      p.set("sustainable", point.sustainable);
-      p.set("max_source_queue", point.max_source_queue);
-      p.set("delivered_messages", point.delivered_messages);
-      points.push_back(std::move(p));
+      points.push_back(sweep_point_to_json(point));
     }
     series_json.set("points", std::move(points));
     series_array.push_back(std::move(series_json));
@@ -57,23 +81,7 @@ FigureResult figure_from_json(const JsonValue& document) {
     Series series;
     series.label = series_json.at("label").as_string();
     for (const JsonValue& p : series_json.at("points").items()) {
-      SweepPoint point;
-      point.offered_requested = p.at("offered").as_number();
-      point.offered_measured = p.at("offered_measured").as_number();
-      point.throughput = p.at("throughput").as_number();
-      point.latency_us = p.at("latency_us").as_number();
-      const JsonValue* overflow = p.find("latency_p95_overflow");
-      if (overflow != nullptr && overflow->as_bool()) {
-        point.latency_p95_us = std::numeric_limits<double>::infinity();
-      } else {
-        point.latency_p95_us = p.at("latency_p95_us").as_number();
-      }
-      point.network_latency_us = p.at("network_latency_us").as_number();
-      point.queueing_us = p.at("queueing_us").as_number();
-      point.sustainable = p.at("sustainable").as_bool();
-      point.max_source_queue = p.at("max_source_queue").as_uint();
-      point.delivered_messages = p.at("delivered_messages").as_uint();
-      series.points.push_back(point);
+      series.points.push_back(sweep_point_from_json(p));
     }
     result.series.push_back(std::move(series));
   }

@@ -14,6 +14,17 @@
 
 namespace wormsim::experiment {
 
+/// One SweepPoint as a JSON object.  An overflowed p95 (+infinity) is
+/// written as null plus a `latency_p95_overflow` flag; every other field
+/// round-trips bitwise through sweep_point_from_json (the result cache
+/// replays stored points in place of fresh computations and must not
+/// perturb any figure output).
+telemetry::JsonValue sweep_point_to_json(const SweepPoint& point);
+
+/// Inverse of sweep_point_to_json.  Aborts on missing fields; callers that
+/// must survive corrupt input (the cache) parse and type-check first.
+SweepPoint sweep_point_from_json(const telemetry::JsonValue& json);
+
 /// Full document: manifest fields at the top level (schema_version, seed,
 /// git_revision, cycles_per_second, ...) plus a "series" array with one
 /// entry per curve and one "points" element per sweep point.

@@ -66,6 +66,10 @@ struct SweepOptions {
   sim::SimConfig sim;
   /// Stop a series after this many consecutive unsustainable points (the
   /// curve has hit its plateau; more points only burn time).  0 disables.
+  /// This makes later points conditional on earlier verdicts; the
+  /// point-granular pool (experiment/scheduler.hpp) speculates past the
+  /// unknown stop index and discards, so its output stays bitwise equal
+  /// to the sequential loop in run_series.
   unsigned stop_after_unsustainable = 2;
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -66,8 +67,14 @@ void write_number(std::ostream& os, double value) {
     os << static_cast<long long>(value);
     return;
   }
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  // Shortest representation that parses back to the exact same double:
+  // the result cache replays SweepPoints from disk and must stay bitwise
+  // identical to a fresh computation, so emission may not round.
+  char buffer[40];
+  for (int precision = 12; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
   os << buffer;
 }
 

@@ -6,6 +6,9 @@
 // emitted files diff cleanly.  Not a general-purpose library: no \uXXXX
 // escape *emission* (parse accepts and folds BMP escapes to UTF-8), and
 // numbers are doubles (53-bit integer precision, plenty for counters).
+// Finite numbers are emitted with just enough digits to parse back to the
+// exact same double, so dump/parse round-trips are bitwise (the experiment
+// result cache depends on this).
 #pragma once
 
 #include <cstdint>

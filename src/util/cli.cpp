@@ -121,6 +121,27 @@ CliParser::Status CliParser::parse(int argc, char** argv) {
   return Status::kOk;
 }
 
+bool parse_shard(const std::string& text, unsigned* index, unsigned* count) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    return false;
+  }
+  const std::string index_text = text.substr(0, slash);
+  const std::string count_text = text.substr(slash + 1);
+  for (const std::string* part : {&index_text, &count_text}) {
+    for (const char c : *part) {
+      if (c < '0' || c > '9') return false;
+    }
+  }
+  const unsigned long i = std::strtoul(index_text.c_str(), nullptr, 10);
+  const unsigned long n = std::strtoul(count_text.c_str(), nullptr, 10);
+  if (n == 0 || i >= n) return false;
+  *index = static_cast<unsigned>(i);
+  *count = static_cast<unsigned>(n);
+  return true;
+}
+
 std::string CliParser::usage() const {
   std::ostringstream os;
   os << description_ << "\n\nflags:\n";

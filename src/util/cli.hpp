@@ -53,4 +53,10 @@ class CliParser {
   std::vector<Flag> flags_;
 };
 
+/// Parses "i/n" shard notation (as in --shard=2/4): 0-based index i and
+/// total count n with 0 <= i < n.  Returns false (leaving the outputs
+/// untouched) on malformed input — missing slash, trailing garbage,
+/// n == 0, or i >= n.
+bool parse_shard(const std::string& text, unsigned* index, unsigned* count);
+
 }  // namespace wormsim::util

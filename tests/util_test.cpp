@@ -351,5 +351,35 @@ TEST(CliParser, UsageListsFlags) {
   EXPECT_NE(usage.find("default 3"), std::string::npos);
 }
 
+TEST(ParseShard, AcceptsWellFormedShards) {
+  unsigned index = 99;
+  unsigned count = 99;
+  ASSERT_TRUE(parse_shard("0/1", &index, &count));
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(count, 1u);
+  ASSERT_TRUE(parse_shard("2/4", &index, &count));
+  EXPECT_EQ(index, 2u);
+  EXPECT_EQ(count, 4u);
+  ASSERT_TRUE(parse_shard("15/16", &index, &count));
+  EXPECT_EQ(index, 15u);
+  EXPECT_EQ(count, 16u);
+}
+
+TEST(ParseShard, RejectsMalformedInput) {
+  unsigned index = 7;
+  unsigned count = 7;
+  for (const char* bad :
+       {"", "/", "1/", "/4", "4", "a/4", "1/b", "1.0/4", "-1/4", "+1/4",
+        " 1/4", "1/4 ", "1//4", "1/4/2",
+        // out-of-range: index must be strictly below count, count nonzero
+        "4/4", "5/4", "0/0"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_shard(bad, &index, &count));
+    // Outputs untouched on failure.
+    EXPECT_EQ(index, 7u);
+    EXPECT_EQ(count, 7u);
+  }
+}
+
 }  // namespace
 }  // namespace wormsim::util
