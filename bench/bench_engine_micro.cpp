@@ -4,9 +4,12 @@
 //
 // BM_EngineCycles runs with telemetry off (arg2 = 0) and fully on
 // (arg2 = 1) so the telemetry-off hook overhead stays visible and
-// bounded (budget: <= 2%).  With WORMSIM_JSON_DIR set (or --json[=dir]),
-// main() also measures baseline cycles/sec per network kind and writes
-// them as a schema-versioned BENCH_engine.json via telemetry::ResultWriter.
+// bounded (budget: <= 2%).  BM_EngineCyclesTraced does the same for the
+// per-worm tracing layer (WORMSIM_TRACE).  With WORMSIM_JSON_DIR set (or
+// --json[=dir]), main() also measures baseline cycles/sec per network
+// kind — telemetry off/on, validation on, and worm tracing on — and
+// writes them as a schema-versioned BENCH_engine.json via
+// telemetry::ResultWriter.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -128,6 +131,30 @@ void BM_EngineCyclesValidated(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCyclesValidated)->DenseRange(0, 3)->ArgNames({"kind"});
 
+// Per-worm lifecycle tracing on (WORMSIM_TRACE): every arbitration
+// outcome is recorded and blocked intervals are culprit-attributed.
+// Unlike the counters this allocates per-message records, so the cost is
+// workload-dependent; the JSON trajectory tracks it as
+// trace_on_slowdown_x against the plain engine.
+void BM_EngineCyclesTraced(benchmark::State& state) {
+  const auto kind = static_cast<topology::NetworkKind>(state.range(0));
+  const topology::Network net = topology::build_network(config_for(kind, 2));
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.5;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config = engine_config(false);
+  config.telemetry.worm_trace = true;
+  sim::Engine engine(net, *router, &traffic, config);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineCyclesTraced)->DenseRange(0, 3)->ArgNames({"kind"});
+
 void BM_PathEnumerationBmin(benchmark::State& state) {
   topology::NetworkConfig config;
   config.kind = topology::NetworkKind::kBMIN;
@@ -189,7 +216,8 @@ double median_of(std::vector<double>& values) {
 void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
                   double load, unsigned vcs, double* off_cps,
                   double* on_cps, double* overhead_pct,
-                  double* validate_cps, double* validate_slowdown_x) {
+                  double* validate_cps, double* validate_slowdown_x,
+                  double* trace_cps, double* trace_slowdown_x) {
   const topology::Network net =
       topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
@@ -201,10 +229,14 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   sim::SimConfig validate_config = engine_config(false);
   validate_config.validate = true;
   sim::Engine validate_engine(net, *router, &traffic, validate_config);
+  sim::SimConfig trace_config = engine_config(false);
+  trace_config.telemetry.worm_trace = true;
+  sim::Engine trace_engine(net, *router, &traffic, trace_config);
   for (std::uint64_t i = 0; i < cycles / 10; ++i) {
     off_engine.step();
     on_engine.step();
     validate_engine.step();
+    trace_engine.step();
   }
   // Many short alternating slices: CPU-noise bursts outlast one slice,
   // so the best-slice rate per variant reflects the same quiet-machine
@@ -213,23 +245,32 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   *off_cps = 0.0;
   *on_cps = 0.0;
   *validate_cps = 0.0;
+  *trace_cps = 0.0;
   std::vector<double> tel_ratios;
   std::vector<double> val_ratios;
+  std::vector<double> trace_ratios;
   for (int rep = 0; rep < 30; ++rep) {
     const double off = time_steps(off_engine, slice);
     const double on = time_steps(on_engine, slice);
     const double val = time_steps(validate_engine, slice);
+    const double trace = time_steps(trace_engine, slice);
     *off_cps = std::max(*off_cps, off);
     *on_cps = std::max(*on_cps, on);
     *validate_cps = std::max(*validate_cps, val);
+    *trace_cps = std::max(*trace_cps, trace);
     if (off > 0.0 && on > 0.0) tel_ratios.push_back(on / off);
     if (off > 0.0 && val > 0.0) val_ratios.push_back(val / off);
+    if (off > 0.0 && trace > 0.0) trace_ratios.push_back(trace / off);
   }
   *overhead_pct = (1.0 - median_of(tel_ratios)) * 100.0;
   // Slowdown factor of WORMSIM_VALIDATE=1, same paired-median estimate;
   // the acceptance budget is <= 2x on the base configs.
   const double val_ratio = median_of(val_ratios);
   *validate_slowdown_x = val_ratio > 0.0 ? 1.0 / val_ratio : 0.0;
+  // Slowdown factor of WORMSIM_TRACE=1 (per-worm lifecycle records with
+  // blocked-time attribution), same paired-median estimate.
+  const double trace_ratio = median_of(trace_ratios);
+  *trace_slowdown_x = trace_ratio > 0.0 ? 1.0 / trace_ratio : 0.0;
 }
 
 /// One workload configuration the JSON entry records.
@@ -265,7 +306,9 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
   manifest.title = "engine cycle throughput trajectory (cycles/sec)";
   manifest.seed = 1;  // SimConfig default; the workload is what matters
   manifest.quick = quick;
-  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 2;
+  // Four engine variants (off / telemetry / validate / trace) step in
+  // lockstep through warmup plus 30 measured slices.
+  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 4;
 
   const auto wall_start = std::chrono::steady_clock::now();
   telemetry::JsonValue kinds = telemetry::JsonValue::array();
@@ -277,8 +320,10 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     double overhead = 0.0;
     double validate = 0.0;
     double validate_slowdown = 0.0;
+    double trace = 0.0;
+    double trace_slowdown = 0.0;
     measure_pair(jc.kind, cycles, jc.load, jc.vcs, &off, &on, &overhead,
-                 &validate, &validate_slowdown);
+                 &validate, &validate_slowdown, &trace, &trace_slowdown);
     if (jc.in_geomean && off > 0.0) {
       geomean_log_sum += std::log(off);
       ++geomean_count;
@@ -295,6 +340,8 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     entry.set("telemetry_on_overhead_pct", overhead);
     entry.set("cycles_per_second_validate_on", validate);
     entry.set("validate_on_slowdown_x", validate_slowdown);
+    entry.set("cycles_per_second_trace_on", trace);
+    entry.set("trace_on_slowdown_x", trace_slowdown);
     kinds.push_back(std::move(entry));
   }
   manifest.wall_seconds =
@@ -303,7 +350,7 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
           .count();
 
   telemetry::JsonValue trajectory_entry = telemetry::JsonValue::object();
-  trajectory_entry.set("label", "active-set engine + validation layer");
+  trajectory_entry.set("label", "active-set engine + worm tracing layer");
   trajectory_entry.set(
       "geomean_cycles_per_second_telemetry_off",
       geomean_count > 0 ? std::exp(geomean_log_sum / geomean_count) : 0.0);

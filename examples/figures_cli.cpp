@@ -15,8 +15,10 @@
 // writes each figure's table to <dir>/<id>.txt (or .csv with --csv)
 // instead of stdout, the exact bytes committed under results/.
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 
 #include "experiment/figures.hpp"
@@ -113,9 +115,29 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Aggregated run instrumentation, reported on stderr at the end (stdout
+  // carries the byte-pinned tables that CI diffs against results/).
+  experiment::PoolStats totals;
+  experiment::ResultCache::Stats cache_totals;
+  bool any_cache = false;
+  double wall_total = 0.0;
   for (const std::string& id : to_run) {
     const experiment::FigureResult result =
         experiment::run_figure(id, options);
+    totals.computed += result.pool_stats.computed;
+    totals.cache_hits += result.pool_stats.cache_hits;
+    totals.speculated += result.pool_stats.speculated;
+    totals.threads = std::max(totals.threads, result.pool_stats.threads);
+    totals.busy_seconds += result.pool_stats.busy_seconds;
+    totals.wall_seconds += result.pool_stats.wall_seconds;
+    wall_total += result.wall_seconds;
+    if (result.cache_used) {
+      any_cache = true;
+      cache_totals.hits += result.cache_stats.hits;
+      cache_totals.misses += result.cache_stats.misses;
+      cache_totals.rejected += result.cache_stats.rejected;
+      cache_totals.stores += result.cache_stats.stores;
+    }
     std::ofstream file;
     if (!out_dir.empty()) {
       const std::string path =
@@ -136,6 +158,19 @@ int main(int argc, char** argv) {
       std::cerr << "write failed for figure " << id << "\n";
       return 1;
     }
+  }
+  std::cerr << "run summary: " << to_run.size() << " figure(s) in "
+            << std::fixed << std::setprecision(2) << wall_total << "s; "
+            << totals.computed << " point(s) simulated, "
+            << totals.cache_hits << " from cache, " << totals.speculated
+            << " speculated; " << totals.threads << " worker(s), "
+            << std::setprecision(0) << totals.utilization() * 100.0
+            << "% utilized\n";
+  if (any_cache) {
+    std::cerr << "cache: " << cache_totals.hits << " hit(s), "
+              << cache_totals.misses << " miss(es), "
+              << cache_totals.rejected << " rejected, "
+              << cache_totals.stores << " store(s)\n";
   }
   return 0;
 }

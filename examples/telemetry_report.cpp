@@ -12,12 +12,21 @@
 //   telemetry_report --chrome=trace.json [--messages=N]
 //       Replays a small manually injected DMIN run and writes a
 //       chrome://tracing / Perfetto JSON file of worm lane occupancy.
+//   telemetry_report --figure=fig18a --load=0.5 --stalls
+//                    [--worm-trace=DIR]
+//       Stall-attribution view: runs the figure's series with per-worm
+//       tracing on and prints the latency decomposition (queue / routing
+//       / blocked / streaming mean+p95), the blocking-chain-depth
+//       histogram, and the top culprit lanes and worms.  --worm-trace
+//       additionally writes one Perfetto per-worm trace per series into
+//       DIR (and implies --stalls).
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <iostream>
+#include <limits>
 
 #include "experiment/figures.hpp"
 #include "experiment/results_json.hpp"
@@ -27,6 +36,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/heatmap.hpp"
 #include "telemetry/result_writer.hpp"
+#include "telemetry/worm_trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -99,6 +109,141 @@ int report_figure(const std::string& figure, double load,
   return 0;
 }
 
+std::string sanitize_for_filename(const std::string& label) {
+  std::string out;
+  for (char c : label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+void p95_cell(util::Table& table, double p95_cycles) {
+  if (p95_cycles == std::numeric_limits<double>::infinity()) {
+    table.cell(std::string("overflow"));
+  } else {
+    table.cell(p95_cycles, 1);
+  }
+}
+
+int report_stalls(const std::string& figure, double load,
+                  const experiment::RunOptions& options,
+                  const std::string& trace_dir) {
+  if (!experiment::figure_exists(figure)) {
+    std::cerr << "unknown figure '" << figure << "'\n";
+    return 1;
+  }
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create '" << trace_dir << "': " << ec.message()
+                << "\n";
+      return 1;
+    }
+  }
+  const experiment::FigureSpec spec = experiment::figure_spec(figure);
+  std::cout << "== stall attribution: " << spec.title << " @ load "
+            << util::format_double(load * 100.0, 0) << "% ==\n";
+  for (const experiment::SeriesSpec& series : spec.series) {
+    experiment::SeriesSpec tweaked = series;
+    auto base_tweak = series.tweak_sim;
+    tweaked.tweak_sim = [base_tweak](sim::SimConfig& config) {
+      if (base_tweak) base_tweak(config);
+      config.telemetry.worm_trace = true;
+    };
+    sim::SimResult result;
+    const experiment::SweepPoint point = experiment::run_point(
+        tweaked, load, options.sim_config(), &result);
+    if (result.worm_trace == nullptr) {
+      std::cerr << "tracer missing for '" << series.label << "'\n";
+      return 1;
+    }
+    const telemetry::WormTraceSummary summary =
+        telemetry::summarize_worm_trace(*result.worm_trace);
+
+    std::cout << "\n-- " << series.label << " --\n";
+    std::cout << "accepted "
+              << util::format_double(point.throughput * 100.0, 1)
+              << "%  latency " << util::format_double(point.latency_us, 1)
+              << " us  " << (point.sustainable ? "sustainable" : "SATURATED")
+              << "  (" << summary.delivered << " worms, "
+              << summary.unfinished << " unfinished)\n";
+    const double fpus = result.flits_per_microsecond;
+    util::Table table({"component", "mean_cycles", "mean_us", "p95_cycles"});
+    table.row().cell(std::string("queue"))
+        .cell(summary.queue_cycles.mean(), 1)
+        .cell(summary.queue_cycles.mean() / fpus, 2);
+    p95_cell(table, summary.queue_p95_cycles);
+    table.row().cell(std::string("routing"))
+        .cell(summary.routing_cycles.mean(), 1)
+        .cell(summary.routing_cycles.mean() / fpus, 2);
+    p95_cell(table, summary.routing_p95_cycles);
+    table.row().cell(std::string("blocked"))
+        .cell(summary.blocked_cycles.mean(), 1)
+        .cell(summary.blocked_cycles.mean() / fpus, 2);
+    p95_cell(table, summary.blocked_p95_cycles);
+    table.row().cell(std::string("streaming"))
+        .cell(summary.streaming_cycles.mean(), 1)
+        .cell(summary.streaming_cycles.mean() / fpus, 2);
+    p95_cell(table, summary.streaming_p95_cycles);
+    table.row().cell(std::string("total"))
+        .cell(summary.total_cycles.mean(), 1)
+        .cell(summary.total_cycles.mean() / fpus, 2)
+        .cell(std::string("-"));
+    table.print(std::cout);
+
+    std::cout << "  blocked intervals " << summary.blocked_intervals
+              << "; chain depth";
+    if (summary.blocked_intervals == 0) std::cout << " (none)";
+    for (std::size_t depth = 1;
+         depth < summary.chain_depth_histogram.size(); ++depth) {
+      if (summary.chain_depth_histogram[depth] == 0) continue;
+      std::cout << "  " << depth << ":"
+                << summary.chain_depth_histogram[depth];
+    }
+    std::cout << "\n";
+    if (!summary.top_lanes.empty()) {
+      std::cout << "  top culprit lanes:";
+      for (const telemetry::WormTraceSummary::CulpritLane& lane :
+           summary.top_lanes) {
+        std::cout << "  " << lane.lane << " (" << lane.cycles << "cyc/"
+                  << lane.intervals << "int)";
+      }
+      std::cout << "\n";
+    }
+    if (!summary.top_worms.empty()) {
+      std::cout << "  top culprit worms:";
+      for (const telemetry::WormTraceSummary::CulpritWorm& worm :
+           summary.top_worms) {
+        std::cout << "  " << worm.worm << " (" << worm.cycles << "cyc/"
+                  << worm.intervals << "int)";
+      }
+      std::cout << "\n";
+    }
+
+    if (!trace_dir.empty()) {
+      const std::filesystem::path path =
+          std::filesystem::path(trace_dir) /
+          (figure + "_" + sanitize_for_filename(series.label) +
+           ".trace.json");
+      std::ofstream out(path, std::ios::trunc);
+      if (!out.good()) {
+        std::cerr << "cannot write '" << path.string() << "'\n";
+        return 1;
+      }
+      telemetry::WormChromeOptions chrome_options;
+      chrome_options.flits_per_microsecond = fpus;
+      const std::size_t slices = telemetry::write_worm_trace_chrome(
+          *result.worm_trace, out, chrome_options);
+      std::cout << "  wrote " << slices << " slices to " << path.string()
+                << "\n";
+    }
+  }
+  return 0;
+}
+
 int report_directory(const std::string& dir) {
   std::vector<std::filesystem::path> files;
   std::error_code ec;
@@ -116,6 +261,7 @@ int report_directory(const std::string& dir) {
   }
   util::Table table({"id", "schema", "seed", "git", "series", "points",
                      "peak_accepted%", "cycles/s"});
+  std::size_t summarized = 0;
   for (const std::filesystem::path& path : files) {
     std::ifstream in(path);
     const std::string text((std::istreambuf_iterator<char>(in)),
@@ -143,6 +289,14 @@ int report_directory(const std::string& dir) {
         .cell(static_cast<std::uint64_t>(points))
         .cell(peak * 100.0, 1)
         .cell(doc.at("cycles_per_second").as_number(), 0);
+    ++summarized;
+  }
+  // Every file skipped is as useless to a caller (or a CI step) as an
+  // empty directory: fail loudly instead of printing a bare header.
+  if (summarized == 0) {
+    std::cerr << "no readable .json results in '" << dir << "' ("
+              << files.size() << " file(s) skipped)\n";
+    return 1;
   }
   table.print(std::cout);
   return 0;
@@ -195,6 +349,8 @@ int main(int argc, char** argv) {
   double load = 0.5;
   std::int64_t messages = 8;
   bool quick = false;
+  bool stalls = false;
+  std::string worm_trace_dir;
   std::int64_t seed = 20250707;
   util::CliParser cli(
       "telemetry_report: channel heatmaps, trace export, results summary");
@@ -203,6 +359,10 @@ int main(int argc, char** argv) {
   cli.add_flag("dir", &dir, "summarize a directory of JSON results");
   cli.add_flag("chrome", &chrome, "write a Chrome-trace JSON to this path");
   cli.add_flag("messages", &messages, "worms to record for --chrome");
+  cli.add_flag("stalls", &stalls,
+               "per-worm stall attribution view for --figure");
+  cli.add_flag("worm-trace", &worm_trace_dir,
+               "write per-worm Perfetto traces here (implies --stalls)");
   cli.add_flag("quick", &quick, "smoke-test simulation sizes");
   cli.add_flag("seed", &seed, "random seed");
   switch (cli.parse(argc, argv)) {
@@ -220,5 +380,8 @@ int main(int argc, char** argv) {
   options.quick = options.quick || quick;
   options.seed = static_cast<std::uint64_t>(seed);
   options.json_dir.clear();  // reporting only; never writes results
+  if (stalls || !worm_trace_dir.empty()) {
+    return report_stalls(figure, load, options, worm_trace_dir);
+  }
   return report_figure(figure, load, options);
 }

@@ -575,24 +575,39 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
   PoolOptions pool;
   pool.threads = options.threads;
   pool.cache = cache ? &*cache : nullptr;
-  PoolStats pool_stats;
   result.series = run_series_pool(def.series, options.sweep_options(), pool,
-                                  &pool_stats);
+                                  &result.pool_stats);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (cache) {
+    result.cache_used = true;
+    result.cache_stats = cache->stats();
+  }
   if (!options.json_dir.empty()) {
+    const PoolStats& pool_stats = result.pool_stats;
     telemetry::RunManifest manifest;
     manifest.id = id;
     manifest.title = def.title;
     manifest.seed = options.seed;
     manifest.quick = options.quick;
-    manifest.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    manifest.wall_seconds = result.wall_seconds;
     // Cycles actually executed: cache hits replay stored points without
     // simulating, and speculated points burn cycles without appearing in
     // the output, so count computed points rather than emitted ones.
     manifest.simulated_cycles =
         pool_stats.computed * options.sim_config().total_cycles();
+    manifest.pool_threads = pool_stats.threads;
+    manifest.pool_busy_seconds = pool_stats.busy_seconds;
+    manifest.points_computed = pool_stats.computed;
+    manifest.points_cached = pool_stats.cache_hits;
+    manifest.points_speculated = pool_stats.speculated;
+    manifest.cache_used = result.cache_used;
+    manifest.cache_hits = result.cache_stats.hits;
+    manifest.cache_misses = result.cache_stats.misses;
+    manifest.cache_rejected = result.cache_stats.rejected;
+    manifest.cache_stores = result.cache_stats.stores;
     write_figure_json(result, manifest, options.json_dir);
   }
   return result;

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "experiment/cache.hpp"
+#include "experiment/scheduler.hpp"
 #include "experiment/sweep.hpp"
 
 namespace wormsim::experiment {
@@ -43,6 +45,14 @@ struct FigureResult {
   std::string id;
   std::string title;
   std::vector<Series> series;
+  /// Execution stats: pool worker/timing counters and, when a cache was
+  /// attached, this run's hit/miss/rejected/store deltas.  Also embedded
+  /// in the JSON manifest; figures_cli prints an end-of-run summary from
+  /// them (to stderr — stdout is the byte-pinned table).
+  PoolStats pool_stats;
+  double wall_seconds = 0.0;
+  bool cache_used = false;
+  ResultCache::Stats cache_stats;
 };
 
 /// A figure's definition before running: its title and the series

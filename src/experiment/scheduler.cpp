@@ -1,6 +1,7 @@
 #include "experiment/scheduler.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -81,6 +82,7 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
 
   std::atomic<std::uint64_t> computed{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> busy_ns{0};
 
   // Distribute series round-robin; each worker's deque holds its series'
   // points in (series, load) order, so a lone worker replays the exact
@@ -139,7 +141,13 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
       if (point) {
         cache_hits.fetch_add(1, std::memory_order_relaxed);
       } else {
+        const auto start = std::chrono::steady_clock::now();
         point = run_point(spec, load, options.sim);
+        busy_ns.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            std::memory_order_relaxed);
         computed.fetch_add(1, std::memory_order_relaxed);
         if (pool.cache != nullptr) pool.cache->store(key, *point);
       }
@@ -147,6 +155,7 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
     }
   };
 
+  const auto pool_start = std::chrono::steady_clock::now();
   if (threads <= 1) {
     worker(0);
   } else {
@@ -157,6 +166,7 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
     }
     for (std::thread& thread : workers) thread.join();
   }
+  const auto pool_end = std::chrono::steady_clock::now();
 
   // Assemble each Series by replaying the sequential rule over the grid —
   // the same loop run_series runs, just over precomputed points.
@@ -186,6 +196,11 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
     stats->computed = computed.load(std::memory_order_relaxed);
     stats->cache_hits = cache_hits.load(std::memory_order_relaxed);
     stats->speculated = speculated;
+    stats->threads = threads;
+    stats->busy_seconds =
+        static_cast<double>(busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    stats->wall_seconds =
+        std::chrono::duration<double>(pool_end - pool_start).count();
   }
   return results;
 }

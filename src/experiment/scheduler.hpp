@@ -45,6 +45,18 @@ struct PoolStats {
   std::uint64_t computed = 0;     ///< points simulated this run
   std::uint64_t cache_hits = 0;   ///< points replayed from the cache
   std::uint64_t speculated = 0;   ///< computed points discarded by early-stop
+  unsigned threads = 0;           ///< workers the pool actually ran with
+  /// Summed wall time spent inside run_point across all workers; divided
+  /// by `computed` this is the mean per-point simulate time.
+  double busy_seconds = 0.0;
+  double wall_seconds = 0.0;      ///< pool start to last worker joined
+  /// Fraction of worker capacity spent simulating (1.0 = no idle/steal
+  /// overhead); 0 when nothing was computed.
+  double utilization() const {
+    return threads > 0 && wall_seconds > 0.0
+               ? busy_seconds / (wall_seconds * threads)
+               : 0.0;
+  }
 };
 
 /// Runs every series of `specs` over the pool; returns one Series per

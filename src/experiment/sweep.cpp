@@ -31,6 +31,7 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
     sf_config.sustainable_queue_limit = sim_config.sustainable_queue_limit;
     sf_config.queue_capacity = sim_config.queue_capacity;
     sf_config.flits_per_microsecond = sim_config.flits_per_microsecond;
+    sf_config.telemetry = sim_config.telemetry;
     sim::StoreForwardEngine engine(network, *router, &traffic, sf_config);
     result = engine.run();
   } else {

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "sim/validate.hpp"
+#include "telemetry/worm_trace.hpp"
 #include "util/check.hpp"
 
 namespace wormsim::sim {
@@ -85,6 +86,12 @@ Engine::Engine(const topology::Network& network,
     WORMSIM_CHECK(config_.telemetry.sample_interval_cycles > 0);
     sampler_ = telemetry::IntervalSampler(config_.telemetry.sample_capacity);
   }
+  if (config_.telemetry.worm_trace ||
+      telemetry::worm_trace_enabled_from_env()) {
+    worm_tracer_ = std::make_shared<telemetry::WormTracer>(lanes, channels);
+    wtrace_ = worm_tracer_.get();
+    result_.worm_trace = worm_tracer_;
+  }
   if (config_.validate || validate_enabled_from_env()) {
     validator_ = std::make_unique<EngineValidator>(*this);
   }
@@ -107,6 +114,9 @@ PacketId Engine::inject_message(NodeId src, std::uint64_t dst,
   packets_.push_back(pkt);
   enqueue_packet(src, id);
   trace(TraceEvent::Kind::kCreated, id, 0, topology::kInvalidId);
+  if (wtrace_ != nullptr) {
+    wtrace_->on_created(id, cycle_, src, dst, length, pkt.measured);
+  }
   return id;
 }
 
@@ -234,6 +244,19 @@ void Engine::route_and_allocate() {
         ++tel_window_->lane_blocked[u];
         ++tel_window_->switch_denials[lane_dst_switch_[u]];
       }
+      if (wtrace_ != nullptr) {
+        // Culprit: the first *allocated* candidate in candidate order (the
+        // tracer resolves its holder worm); with every candidate faulty,
+        // the first faulty lane — there is no worm to blame.
+        LaneId culprit = candidates.empty() ? kInvalidId : candidates[0];
+        for (LaneId lane : candidates) {
+          if (alloc_owner_[lane] != kInvalidId) {
+            culprit = lane;
+            break;
+          }
+        }
+        wtrace_->on_blocked(buf_packet_[u], u, culprit, cycle_);
+      }
       continue;
     }
     const LaneId chosen =
@@ -246,6 +269,9 @@ void Engine::route_and_allocate() {
     activate_channel(network_.lane(chosen).channel);
     if (tel_window_ != nullptr) {
       ++tel_window_->switch_grants[lane_dst_switch_[u]];
+    }
+    if (wtrace_ != nullptr) {
+      wtrace_->on_granted(buf_packet_[u], u, chosen, cycle_);
     }
     trace(TraceEvent::Kind::kRouted, buf_packet_[u], 0, chosen);
   }
@@ -326,6 +352,10 @@ void Engine::move_from_node(NodeId node_id, LaneId lane) {
     pkt.inject_cycle = cycle_;
     ++worms_in_flight_;
     header_lanes_.push_back(lane);  // injection channels end at switches
+    if (wtrace_ != nullptr) {
+      wtrace_->on_injected(node.tx_packet, cycle_);
+      wtrace_->on_header_arrival(node.tx_packet, lane, cycle_);
+    }
   }
   trace(TraceEvent::Kind::kFlitMoved, node.tx_packet, node.tx_sent, lane);
   ++node.tx_sent;
@@ -359,7 +389,12 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
     buf_seq_[out_lane] = seq;
     arrived_epoch_[out_lane] = epoch_;
     ++occupied_;
-    if (seq == 0) header_lanes_.push_back(out_lane);
+    if (seq == 0) {
+      header_lanes_.push_back(out_lane);
+      if (wtrace_ != nullptr) {
+        wtrace_->on_header_arrival(pkt_id, out_lane, cycle_);
+      }
+    }
     // The arrived flit can cross its (already routed) next hop next cycle.
     if (route_out_[out_lane] != kInvalidId) {
       schedule_channel(network_.lane(route_out_[out_lane]).channel);
@@ -371,6 +406,7 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
     route_out_[in_lane] = kInvalidId;
     alloc_owner_[out_lane] = kInvalidId;
     deactivate_channel(out_ch.id);
+    if (wtrace_ != nullptr) wtrace_->on_lane_released(out_lane);
   }
 }
 
@@ -388,6 +424,7 @@ void Engine::deliver_flit(PacketId pkt_id, std::uint32_t seq) {
     pkt.deliver_cycle = cycle_;
     --worms_in_flight_;
     trace(TraceEvent::Kind::kDelivered, pkt_id, seq, topology::kInvalidId);
+    if (wtrace_ != nullptr) wtrace_->on_delivered(pkt_id, cycle_);
     ++result_.delivered_messages_total;
     if (pkt.measured) {
       const auto latency =

@@ -50,6 +50,10 @@
 #include "topology/network.hpp"
 #include "util/rng.hpp"
 
+namespace wormsim::telemetry {
+class WormTracer;
+}
+
 namespace wormsim::sim {
 
 class EngineValidator;
@@ -126,6 +130,10 @@ class Engine {
   /// Non-null when invariant checking is on (SimConfig::validate or
   /// WORMSIM_VALIDATE=1); the validator sweeps at the end of every step().
   const EngineValidator* validator() const { return validator_.get(); }
+
+  /// Non-null when per-worm tracing is on (SimConfig::telemetry.worm_trace
+  /// or WORMSIM_TRACE=1); also shared into SimResult::worm_trace.
+  const telemetry::WormTracer* worm_tracer() const { return wtrace_; }
 
  private:
   /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
@@ -213,6 +221,12 @@ class Engine {
   telemetry::Counters* tel_window_ = nullptr;
   bool util_window_ = false;
   telemetry::IntervalSampler sampler_{0};
+
+  // Per-worm lifecycle tracer (telemetry/worm_trace.hpp); same null-gated
+  // hook pattern as trace_/tel_.  The shared_ptr keeps the trace alive in
+  // the returned SimResult; wtrace_ is the hot-loop alias.
+  std::shared_ptr<telemetry::WormTracer> worm_tracer_;
+  telemetry::WormTracer* wtrace_ = nullptr;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t last_move_cycle_ = 0;

@@ -2,12 +2,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/config.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
+
+namespace wormsim::telemetry {
+class WormTracer;
+}
 
 namespace wormsim::sim {
 
@@ -45,6 +50,11 @@ struct SimResult {
   /// Interval snapshots in chronological order (empty unless
   /// SimConfig::telemetry.sampling).
   std::vector<telemetry::Sample> telemetry_samples;
+
+  /// Per-worm lifecycle trace (null unless SimConfig::telemetry.worm_trace
+  /// or WORMSIM_TRACE=1).  Shared with the engine that filled it; not part
+  /// of the golden digests — tracing never perturbs the simulation.
+  std::shared_ptr<telemetry::WormTracer> worm_trace;
 
   /// Accepted throughput as a fraction of the theoretical maximum of one
   /// flit per node per cycle (the one-port ejection bound).

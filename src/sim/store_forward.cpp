@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "sim/validate.hpp"
+#include "telemetry/worm_trace.hpp"
 #include "util/check.hpp"
 
 namespace wormsim::sim {
@@ -54,6 +55,13 @@ StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
   if (config_.validate || validate_enabled_from_env()) {
     validator_ = std::make_unique<StoreForwardValidator>(*this);
   }
+  if (config_.telemetry.worm_trace ||
+      telemetry::worm_trace_enabled_from_env()) {
+    worm_tracer_ = std::make_shared<telemetry::WormTracer>(
+        network_.lane_count(), network_.channels().size());
+    wtrace_ = worm_tracer_.get();
+    result_.worm_trace = worm_tracer_;
+  }
 }
 
 StoreForwardEngine::~StoreForwardEngine() = default;
@@ -78,8 +86,12 @@ PacketId StoreForwardEngine::inject_message(NodeId src, std::uint64_t dst,
   pkt.turn_stage = routing::make_query(network_, src, dst).turn_stage;
   const auto id = static_cast<PacketId>(packets_.size());
   packets_.push_back(pkt);
+  if (wtrace_ != nullptr) {
+    wtrace_->on_created(id, when, src, dst, length, false);
+  }
   if (when == now_) {
     packets_[id].measured = in_measure_window();
+    if (wtrace_ != nullptr) wtrace_->set_measured(id, packets_[id].measured);
     nodes_[src].queue.push_back(id);
     ++queued_packets_;
     mark_node_pending(src);
@@ -109,6 +121,9 @@ bool StoreForwardEngine::start_transfer(PacketId pkt, LaneId from,
   }
   if (ch.dst.is_switch()) {
     ++lanes_[to].incoming;
+  }
+  if (wtrace_ != nullptr) {
+    wtrace_->on_sf_transfer_start(pkt, from, to, ch.id, now_);
   }
   const std::uint32_t length = packets_[pkt].length;
   channel_free_at_[ch.id] = now_ + length;
@@ -195,6 +210,7 @@ void StoreForwardEngine::pump() {
 void StoreForwardEngine::deliver(PacketId pkt_id) {
   PacketState& pkt = packets_[pkt_id];
   pkt.deliver_cycle = now_;
+  if (wtrace_ != nullptr) wtrace_->on_sf_delivered(pkt_id, now_);
   ++result_.delivered_messages_total;
   if (in_measure_window()) {
     result_.delivered_flits_in_window += pkt.length;
@@ -246,6 +262,9 @@ void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
     to.queue.push_back(transfer.packet);
     ++queued_packets_;
     mark_lane_pending(transfer.to);
+    if (wtrace_ != nullptr) {
+      wtrace_->on_sf_hop_arrival(transfer.packet, transfer.to, now_);
+    }
   }
 }
 
@@ -284,6 +303,10 @@ void StoreForwardEngine::process(const Event& event) {
     case Event::Kind::kInject: {
       PacketState& pkt = packets_[event.payload];
       pkt.measured = in_measure_window();
+      if (wtrace_ != nullptr) {
+        wtrace_->set_measured(static_cast<PacketId>(event.payload),
+                              pkt.measured);
+      }
       nodes_[pkt.src].queue.push_back(
           static_cast<PacketId>(event.payload));
       ++queued_packets_;

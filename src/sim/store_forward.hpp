@@ -27,8 +27,13 @@
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/traffic_source.hpp"
+#include "telemetry/config.hpp"
 #include "topology/network.hpp"
 #include "util/rng.hpp"
+
+namespace wormsim::telemetry {
+class WormTracer;
+}
 
 namespace wormsim::sim {
 
@@ -49,6 +54,9 @@ struct StoreForwardConfig {
   /// and transfer legality checks, aborting with a diagnostic on the
   /// first violation.  Also enabled by WORMSIM_VALIDATE=1.
   bool validate = false;
+  /// Only `worm_trace` is honored here (the counter/sampling hooks are a
+  /// wormhole-engine feature); also enabled by WORMSIM_TRACE=1.
+  telemetry::TelemetryConfig telemetry;
 };
 
 class StoreForwardEngine {
@@ -72,6 +80,10 @@ class StoreForwardEngine {
 
   const PacketState& packet(PacketId id) const { return packets_.at(id); }
   std::uint64_t now() const { return now_; }
+
+  /// Non-null when per-packet tracing is on (telemetry.worm_trace or
+  /// WORMSIM_TRACE=1); also shared into SimResult::worm_trace.
+  const telemetry::WormTracer* worm_tracer() const { return wtrace_; }
 
  private:
   /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
@@ -186,6 +198,11 @@ class StoreForwardEngine {
   std::vector<std::uint8_t> lane_pending_flag_;
 
   std::unique_ptr<StoreForwardValidator> validator_;
+
+  // Per-packet lifecycle tracer (telemetry/worm_trace.hpp), null-gated
+  // like the wormhole engine's hooks.
+  std::shared_ptr<telemetry::WormTracer> worm_tracer_;
+  telemetry::WormTracer* wtrace_ = nullptr;
 
   SimResult result_;
 };

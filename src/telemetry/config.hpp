@@ -23,7 +23,14 @@ struct TelemetryConfig {
   std::uint64_t sample_interval_cycles = 1'024;
   std::size_t sample_capacity = 512;
 
-  bool enabled() const { return counters || sampling; }
+  /// Record a full per-worm lifecycle trace (telemetry/worm_trace.hpp):
+  /// queue/routing/blocked/streaming decomposition with blocked intervals
+  /// attributed to the culprit lane + worm.  Also enabled by
+  /// WORMSIM_TRACE=1.  Memory scales with messages injected; intended for
+  /// single figure points, not full sweeps.
+  bool worm_trace = false;
+
+  bool enabled() const { return counters || sampling || worm_trace; }
 };
 
 }  // namespace wormsim::telemetry

@@ -27,6 +27,24 @@ JsonValue manifest_to_json(const RunManifest& manifest) {
   json.set("simulated_cycles", manifest.simulated_cycles);
   json.set("wall_seconds", manifest.wall_seconds);
   json.set("cycles_per_second", manifest.cycles_per_second());
+  if (manifest.pool_threads > 0) {
+    JsonValue pool = JsonValue::object();
+    pool.set("threads", static_cast<std::uint64_t>(manifest.pool_threads));
+    pool.set("busy_seconds", manifest.pool_busy_seconds);
+    pool.set("utilization", manifest.pool_utilization());
+    pool.set("points_computed", manifest.points_computed);
+    pool.set("points_cached", manifest.points_cached);
+    pool.set("points_speculated", manifest.points_speculated);
+    json.set("pool", std::move(pool));
+  }
+  if (manifest.cache_used) {
+    JsonValue cache = JsonValue::object();
+    cache.set("hits", manifest.cache_hits);
+    cache.set("misses", manifest.cache_misses);
+    cache.set("rejected", manifest.cache_rejected);
+    cache.set("stores", manifest.cache_stores);
+    json.set("cache", std::move(cache));
+  }
   return json;
 }
 

@@ -38,6 +38,28 @@ struct RunManifest {
                ? static_cast<double>(simulated_cycles) / wall_seconds
                : 0.0;
   }
+
+  // Point-pool execution stats (experiment/scheduler.hpp).  pool_threads
+  // == 0 means the run didn't go through the pool; the "pool" object is
+  // then omitted from the JSON (additive schema change, no version bump).
+  unsigned pool_threads = 0;
+  double pool_busy_seconds = 0.0;  ///< summed per-point simulate time
+  std::uint64_t points_computed = 0;
+  std::uint64_t points_cached = 0;
+  std::uint64_t points_speculated = 0;
+  double pool_utilization() const {
+    return pool_threads > 0 && wall_seconds > 0.0
+               ? pool_busy_seconds / (wall_seconds * pool_threads)
+               : 0.0;
+  }
+
+  // Result-cache counters (experiment/cache.hpp), emitted as a "cache"
+  // object only when a cache was attached to the run.
+  bool cache_used = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_rejected = 0;  ///< entry present but corrupt/stale
+  std::uint64_t cache_stores = 0;
 };
 
 /// Manifest -> JSON object including schema_version, tool name, and git

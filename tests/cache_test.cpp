@@ -245,6 +245,11 @@ TEST(Cache, SchedulerWarmRunIsAllHitsAndBitwiseEqual) {
   const auto second = run_series_pool(specs, options, pool, &warm_stats);
   EXPECT_EQ(warm_stats.computed, 0u);
   EXPECT_EQ(warm_stats.cache_hits, options.loads.size());
+  // Busy time counts simulate time only; an all-hits run does none.
+  EXPECT_EQ(warm_stats.busy_seconds, 0.0);
+  EXPECT_EQ(warm.stats().hits, options.loads.size());
+  EXPECT_EQ(warm.stats().misses, 0u);
+  EXPECT_EQ(warm.stats().stores, 0u);
 
   // And equal to an uncached sequential run, bitwise.
   PoolOptions uncached;

@@ -2,12 +2,15 @@
 // `--help` is a successful outcome (exit 0, usage on stdout) while an
 // unknown flag is an error (exit 1).  Regression test for --help exiting 1,
 // which broke `figures_cli --help && ...` shell pipelines.  Runs the real
-// figures_cli binary, whose path CMake injects at compile time.
+// figures_cli and telemetry_report binaries, whose paths CMake injects at
+// compile time.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -35,6 +38,36 @@ TEST(CliExitStatus, UnknownFlagFails) {
   EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
                 " --no-such-flag > /dev/null 2>&1"),
             1);
+}
+
+// telemetry_report --dir must fail loudly (exit 1) for every flavor of
+// useless directory — missing, empty, and "every file unparseable" (the
+// last used to print a bare table header and exit 0).
+TEST(CliExitStatus, ReportDirMissingFails) {
+  EXPECT_EQ(run(std::string(WORMSIM_TELEMETRY_REPORT_PATH) +
+                " --dir=/nonexistent-wormsim-results > /dev/null 2>&1"),
+            1);
+}
+
+TEST(CliExitStatus, ReportDirEmptyFails) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "wormsim_cli_empty_dir";
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(run(std::string(WORMSIM_TELEMETRY_REPORT_PATH) + " --dir=" +
+                dir.string() + " > /dev/null 2>&1"),
+            1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliExitStatus, ReportDirAllUnparseableFails) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "wormsim_cli_bad_dir";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "broken.json") << "{ not json";
+  EXPECT_EQ(run(std::string(WORMSIM_TELEMETRY_REPORT_PATH) + " --dir=" +
+                dir.string() + " > /dev/null 2>&1"),
+            1);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

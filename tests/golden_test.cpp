@@ -142,7 +142,7 @@ traffic::WorkloadSpec golden_workload() {
   return workload;
 }
 
-SimResult run_case(const GoldenCase& gc) {
+SimResult run_case(const GoldenCase& gc, bool worm_trace = false) {
   const topology::Network net = topology::build_network(golden_network(gc.kind));
   const auto router = routing::make_router(net);
   traffic::WorkloadSpec workload = golden_workload();
@@ -154,6 +154,7 @@ SimResult run_case(const GoldenCase& gc) {
     config.warmup_cycles = 500;
     config.measure_cycles = 4'000;
     config.drain_cycles = 1'500;
+    config.telemetry.worm_trace = worm_trace;
     StoreForwardEngine engine(net, *router, &traffic, config);
     return engine.run();
   }
@@ -168,6 +169,7 @@ SimResult run_case(const GoldenCase& gc) {
   config.telemetry.sampling = true;
   config.telemetry.sample_interval_cycles = 256;
   config.telemetry.sample_capacity = 64;
+  config.telemetry.worm_trace = worm_trace;
   Engine engine(net, *router, &traffic, config);
   return engine.run();
 }
@@ -204,6 +206,23 @@ TEST(Golden, MatchesCommittedSnapshot) {
               kExpected[i].latency_mean_bits)
         << "latency mean drifted: " << r.latency_cycles.mean();
     EXPECT_EQ(digest(r), kExpected[i].digest);
+  }
+}
+
+// Per-worm tracing must be a pure observer: with worm_trace on, every
+// digest still matches the committed pre-tracing snapshot bit for bit
+// (the tracer draws no randomness and never feeds back into the engine).
+TEST(Golden, TraceOnDigestsBitwiseUnchanged) {
+  ASSERT_EQ(std::size(kExpected), std::size(kCases));
+  for (std::size_t i = 0; i < std::size(kCases); ++i) {
+    SCOPED_TRACE(kCases[i].name);
+    const SimResult r = run_case(kCases[i], /*worm_trace=*/true);
+    ASSERT_NE(r.worm_trace, nullptr);
+    EXPECT_EQ(digest(r), kExpected[i].digest);
+    EXPECT_EQ(r.delivered_messages_total,
+              kExpected[i].delivered_messages_total);
+    EXPECT_EQ(bits_of(r.latency_cycles.mean()),
+              kExpected[i].latency_mean_bits);
   }
 }
 

@@ -140,6 +140,14 @@ TEST(Scheduler, EarlyStopContractWithSpeculation) {
     std::size_t emitted = 0;
     for (const Series& series : pooled) emitted += series.points.size();
     EXPECT_GE(stats.computed + stats.cache_hits, emitted);
+    // Instrumentation: the pool reports its actual worker count (clamped
+    // to the point count), summed simulate time, and its own wall time.
+    EXPECT_GT(stats.threads, 0u);
+    EXPECT_LE(stats.threads, threads);
+    EXPECT_GT(stats.busy_seconds, 0.0);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+    EXPECT_GT(stats.utilization(), 0.0);
+    EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
   }
 }
 

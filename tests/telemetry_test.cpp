@@ -226,6 +226,82 @@ TEST(Sampler, ZeroCapacityDropsEverything) {
   IntervalSampler sampler(0);
   sampler.record(Sample{});
   EXPECT_EQ(sampler.size(), 0u);
+  EXPECT_EQ(sampler.recorded(), 0u);
+  EXPECT_EQ(sampler.dropped(), 0u);
+  EXPECT_TRUE(sampler.ordered().empty());
+}
+
+// Exactly `capacity` records is the boundary: the ring is full but nothing
+// has been overwritten yet; the next record evicts exactly the oldest.
+TEST(Sampler, ExactCapacityBoundaryThenFirstEviction) {
+  IntervalSampler sampler(4);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    Sample s;
+    s.cycle = i * 10;
+    sampler.record(s);
+  }
+  EXPECT_EQ(sampler.size(), 4u);
+  EXPECT_EQ(sampler.recorded(), 4u);
+  EXPECT_EQ(sampler.dropped(), 0u);
+  std::vector<Sample> ordered = sampler.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ordered[i].cycle, (i + 1) * 10);
+  }
+
+  Sample fifth;
+  fifth.cycle = 50;
+  sampler.record(fifth);
+  EXPECT_EQ(sampler.size(), 4u);
+  EXPECT_EQ(sampler.recorded(), 5u);
+  EXPECT_EQ(sampler.dropped(), 1u);
+  ordered = sampler.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ordered[i].cycle, (i + 2) * 10);  // 10 evicted, 20..50 kept
+  }
+}
+
+TEST(Sampler, SingleSlotRingAlwaysHoldsTheLatest) {
+  IntervalSampler sampler(1);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Sample s;
+    s.cycle = i;
+    sampler.record(s);
+    ASSERT_EQ(sampler.ordered().size(), 1u);
+    EXPECT_EQ(sampler.ordered()[0].cycle, i);
+  }
+  EXPECT_EQ(sampler.recorded(), 5u);
+  EXPECT_EQ(sampler.dropped(), 4u);
+}
+
+// The engine samples whenever cycle % interval == 0, starting at cycle 0,
+// and run() executes exactly total_cycles() steps — so the sample set is
+// a closed-form function of (total, interval).
+TEST(Sampler, EngineSamplesOnExactIntervalBoundaries) {
+  const topology::Network net = topology::build_network(small_tmin());
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.3;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 2'000;
+  config.drain_cycles = 137;  // total deliberately not a multiple of 256
+  config.telemetry.sampling = true;
+  config.telemetry.sample_interval_cycles = 256;
+  config.telemetry.sample_capacity = 1'000;  // no wraparound
+  sim::Engine engine(net, *router, &traffic, config);
+  const sim::SimResult result = engine.run();
+
+  const std::uint64_t total = config.total_cycles();
+  const std::uint64_t expected = (total - 1) / 256 + 1;
+  ASSERT_EQ(result.telemetry_samples.size(), expected);
+  EXPECT_EQ(engine.sampler().dropped(), 0u);
+  EXPECT_EQ(engine.sampler().recorded(), expected);
+  for (std::size_t i = 0; i < result.telemetry_samples.size(); ++i) {
+    EXPECT_EQ(result.telemetry_samples[i].cycle, i * 256);
+  }
 }
 
 TEST(Sampler, EngineRecordsMonotonicSnapshots) {
@@ -411,6 +487,41 @@ TEST(ResultWriter, ManifestCarriesSchemaAndProvenance) {
   // Baked in at configure time; never empty.
   EXPECT_FALSE(doc.at("git_revision").as_string().empty());
   EXPECT_STREQ(git_revision(), doc.at("git_revision").as_string().c_str());
+  // No pool ran and no cache was attached: the optional objects are
+  // omitted, keeping old documents and new readers compatible.
+  EXPECT_EQ(doc.find("pool"), nullptr);
+  EXPECT_EQ(doc.find("cache"), nullptr);
+}
+
+TEST(ResultWriter, ManifestEmbedsPoolAndCacheInstrumentation) {
+  RunManifest manifest;
+  manifest.id = "fig18a";
+  manifest.wall_seconds = 2.0;
+  manifest.pool_threads = 4;
+  manifest.pool_busy_seconds = 6.0;
+  manifest.points_computed = 10;
+  manifest.points_cached = 3;
+  manifest.points_speculated = 1;
+  manifest.cache_used = true;
+  manifest.cache_hits = 3;
+  manifest.cache_misses = 10;
+  manifest.cache_rejected = 1;
+  manifest.cache_stores = 10;
+  EXPECT_DOUBLE_EQ(manifest.pool_utilization(), 0.75);
+
+  const JsonValue doc = manifest_to_json(manifest);
+  const JsonValue& pool = doc.at("pool");
+  EXPECT_EQ(pool.at("threads").as_uint(), 4u);
+  EXPECT_DOUBLE_EQ(pool.at("busy_seconds").as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(pool.at("utilization").as_number(), 0.75);
+  EXPECT_EQ(pool.at("points_computed").as_uint(), 10u);
+  EXPECT_EQ(pool.at("points_cached").as_uint(), 3u);
+  EXPECT_EQ(pool.at("points_speculated").as_uint(), 1u);
+  const JsonValue& cache = doc.at("cache");
+  EXPECT_EQ(cache.at("hits").as_uint(), 3u);
+  EXPECT_EQ(cache.at("misses").as_uint(), 10u);
+  EXPECT_EQ(cache.at("rejected").as_uint(), 1u);
+  EXPECT_EQ(cache.at("stores").as_uint(), 10u);
 }
 
 TEST(ResultWriter, WritesAndReadsBackThroughTheFilesystem) {
