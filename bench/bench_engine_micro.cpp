@@ -54,11 +54,14 @@ void BM_BuildNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildNetwork)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 
-sim::SimConfig engine_config(bool telemetry_on) {
+sim::SimConfig engine_config(bool telemetry_on, unsigned buffer_depth = 1,
+                             unsigned credit_delay = 0) {
   sim::SimConfig config;
   config.warmup_cycles = 0;
   config.measure_cycles = 1u << 30;
   config.drain_cycles = 0;
+  config.buffer_depth = buffer_depth;
+  config.credit_delay = credit_delay;
   if (telemetry_on) {
     config.telemetry.counters = true;
     config.telemetry.sampling = true;
@@ -67,14 +70,16 @@ sim::SimConfig engine_config(bool telemetry_on) {
 }
 
 void run_engine_cycles(benchmark::State& state, topology::NetworkKind kind,
-                       bool telemetry_on, double load, unsigned vcs) {
+                       bool telemetry_on, double load, unsigned vcs,
+                       unsigned buffer_depth = 1, unsigned credit_delay = 0) {
   const topology::Network net =
       topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
   traffic::WorkloadSpec workload;
   workload.offered = load;
   traffic::StandardTraffic traffic(net, workload);
-  sim::Engine engine(net, *router, &traffic, engine_config(telemetry_on));
+  sim::Engine engine(net, *router, &traffic,
+                     engine_config(telemetry_on, buffer_depth, credit_delay));
   for (auto _ : state) {
     engine.step();
   }
@@ -108,6 +113,19 @@ void BM_EngineCyclesVmin4vc(benchmark::State& state) {
   run_engine_cycles(state, topology::NetworkKind::kVMIN, false, 0.5, 4);
 }
 BENCHMARK(BM_EngineCyclesVmin4vc);
+
+// Finite-buffer flow control: multi-flit fifos shift work into the
+// ext-slot shift register and delayed credit returns feed the per-cycle
+// event calendar — the two paths the depth-1/delay-0 fast path skips
+// entirely.  Depth 4 and 8 under a 2-cycle credit delay bound their cost.
+void BM_EngineCyclesDeepBuffers(benchmark::State& state) {
+  run_engine_cycles(state, topology::NetworkKind::kTMIN, false, 0.5, 2,
+                    static_cast<unsigned>(state.range(0)), 2);
+}
+BENCHMARK(BM_EngineCyclesDeepBuffers)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"depth"});
 
 // Runtime invariant checking on: a full O(lanes + channels) re-derivation
 // of the incremental state per cycle (src/sim/validate.hpp).  Budget:
@@ -214,7 +232,8 @@ double median_of(std::vector<double>& values) {
 }
 
 void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
-                  double load, unsigned vcs, double* off_cps,
+                  double load, unsigned vcs, unsigned buffer_depth,
+                  unsigned credit_delay, double* off_cps,
                   double* on_cps, double* overhead_pct,
                   double* validate_cps, double* validate_slowdown_x,
                   double* trace_cps, double* trace_slowdown_x) {
@@ -224,12 +243,16 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   traffic::WorkloadSpec workload;
   workload.offered = load;
   traffic::StandardTraffic traffic(net, workload);
-  sim::Engine off_engine(net, *router, &traffic, engine_config(false));
-  sim::Engine on_engine(net, *router, &traffic, engine_config(true));
-  sim::SimConfig validate_config = engine_config(false);
+  sim::Engine off_engine(net, *router, &traffic,
+                         engine_config(false, buffer_depth, credit_delay));
+  sim::Engine on_engine(net, *router, &traffic,
+                        engine_config(true, buffer_depth, credit_delay));
+  sim::SimConfig validate_config =
+      engine_config(false, buffer_depth, credit_delay);
   validate_config.validate = true;
   sim::Engine validate_engine(net, *router, &traffic, validate_config);
-  sim::SimConfig trace_config = engine_config(false);
+  sim::SimConfig trace_config =
+      engine_config(false, buffer_depth, credit_delay);
   trace_config.telemetry.worm_trace = true;
   sim::Engine trace_engine(net, *router, &traffic, trace_config);
   for (std::uint64_t i = 0; i < cycles / 10; ++i) {
@@ -279,6 +302,8 @@ struct JsonConfig {
   double load;
   unsigned vcs;
   bool in_geomean;  ///< the four load-0.5 base configs define the geomean
+  unsigned buffer_depth = 1;  ///< per-lane input fifo depth in flits
+  unsigned credit_delay = 0;  ///< credit-return pipeline delay in cycles
 };
 
 constexpr JsonConfig kJsonConfigs[] = {
@@ -291,6 +316,10 @@ constexpr JsonConfig kJsonConfigs[] = {
     {topology::NetworkKind::kVMIN, 0.9, 2, false},
     {topology::NetworkKind::kBMIN, 0.9, 2, false},
     {topology::NetworkKind::kVMIN, 0.5, 4, false},
+    // Finite-buffer flow control (off the depth-1/delay-0 fast path):
+    // the ext-slot shift register plus the credit event calendar.
+    {topology::NetworkKind::kTMIN, 0.5, 2, false, 4, 2},
+    {topology::NetworkKind::kTMIN, 0.5, 2, false, 8, 2},
 };
 
 /// Writes BENCH_engine.json: engine cycles/sec per network kind and
@@ -322,8 +351,9 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     double validate_slowdown = 0.0;
     double trace = 0.0;
     double trace_slowdown = 0.0;
-    measure_pair(jc.kind, cycles, jc.load, jc.vcs, &off, &on, &overhead,
-                 &validate, &validate_slowdown, &trace, &trace_slowdown);
+    measure_pair(jc.kind, cycles, jc.load, jc.vcs, jc.buffer_depth,
+                 jc.credit_delay, &off, &on, &overhead, &validate,
+                 &validate_slowdown, &trace, &trace_slowdown);
     if (jc.in_geomean && off > 0.0) {
       geomean_log_sum += std::log(off);
       ++geomean_count;
@@ -332,6 +362,8 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     entry.set("kind", topology::to_string(jc.kind));
     entry.set("offered_load", jc.load);
     entry.set("vcs", static_cast<std::uint64_t>(jc.vcs));
+    entry.set("buffer_depth", static_cast<std::uint64_t>(jc.buffer_depth));
+    entry.set("credit_delay", static_cast<std::uint64_t>(jc.credit_delay));
     entry.set("in_geomean", jc.in_geomean);
     entry.set("cycles_per_second_telemetry_off", off);
     entry.set("cycles_per_second_telemetry_on", on);
@@ -350,7 +382,7 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
           .count();
 
   telemetry::JsonValue trajectory_entry = telemetry::JsonValue::object();
-  trajectory_entry.set("label", "active-set engine + worm tracing layer");
+  trajectory_entry.set("label", "finite-buffer flow control subsystem");
   trajectory_entry.set(
       "geomean_cycles_per_second_telemetry_off",
       geomean_count > 0 ? std::exp(geomean_log_sum / geomean_count) : 0.0);

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string out_dir;
   std::string json_dir;
+  std::int64_t buffer_depth = 0;
+  std::string flow_control;
+  std::int64_t credit_delay = -1;
   util::CliParser cli("figures_cli: run a paper figure reproduction");
   cli.add_flag("figure", &figure, "figure id (see --list)");
   cli.add_flag("list", &list, "list registered figure ids");
@@ -61,6 +64,15 @@ int main(int argc, char** argv) {
   cli.add_flag("json-dir", &json_dir,
                "also write <dir>/<id>.json results (default "
                "WORMSIM_JSON_DIR env)");
+  cli.add_flag("buffer-depth", &buffer_depth,
+               "per-lane input fifo depth in flits (0 = "
+               "WORMSIM_BUFFER_DEPTH env or 1)");
+  cli.add_flag("flow-control", &flow_control,
+               "backpressure scheme: credit, onoff, or vct (default "
+               "WORMSIM_FLOW_CONTROL env or credit)");
+  cli.add_flag("credit-delay", &credit_delay,
+               "credit/signal return delay in cycles (-1 = "
+               "WORMSIM_CREDIT_DELAY env or 0)");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -80,6 +92,21 @@ int main(int argc, char** argv) {
   if (threads > 0) options.threads = static_cast<unsigned>(threads);
   if (!cache_dir.empty()) options.cache_dir = cache_dir;
   if (!json_dir.empty()) options.json_dir = json_dir;
+  if (buffer_depth > 0) {
+    options.buffer_depth = static_cast<std::uint32_t>(buffer_depth);
+  }
+  if (!flow_control.empty()) {
+    const auto scheme = sim::parse_flow_control(flow_control);
+    if (!scheme) {
+      std::cerr << "bad --flow-control '" << flow_control
+                << "'; expected credit, onoff, or vct\n";
+      return 1;
+    }
+    options.flow_control = *scheme;
+  }
+  if (credit_delay >= 0) {
+    options.credit_delay = static_cast<std::uint32_t>(credit_delay);
+  }
 
   unsigned shard_index = 0;
   unsigned shard_count = 1;

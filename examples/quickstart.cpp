@@ -6,6 +6,8 @@
 //                 -> Engine::run -> SimResult
 //
 // Usage:  quickstart [--load=0.4] [--seed=1] [--cycles=100000]
+//                    [--buffer-depth=4] [--flow-control=credit]
+//                    [--credit-delay=2]
 
 #include <iostream>
 
@@ -23,15 +25,30 @@ int main(int argc, char** argv) {
   double load = 0.4;
   std::int64_t seed = 1;
   std::int64_t cycles = 100'000;
+  std::int64_t buffer_depth = 1;
+  std::string flow_control = "credit";
+  std::int64_t credit_delay = 0;
   util::CliParser cli(
       "quickstart: simulate the paper's four wormhole MINs at one load");
   cli.add_flag("load", &load, "offered load as a fraction of capacity");
   cli.add_flag("seed", &seed, "random seed");
   cli.add_flag("cycles", &cycles, "measurement window in cycles");
+  cli.add_flag("buffer-depth", &buffer_depth,
+               "per-lane input fifo depth in flits");
+  cli.add_flag("flow-control", &flow_control,
+               "backpressure scheme: credit, onoff, or vct");
+  cli.add_flag("credit-delay", &credit_delay,
+               "credit/signal return delay in cycles");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
     case util::CliParser::Status::kOk: break;
+  }
+  const auto scheme = sim::parse_flow_control(flow_control);
+  if (!scheme || buffer_depth < 1 || credit_delay < 0) {
+    std::cerr << "bad flow-control knobs; expected --flow-control=credit|"
+                 "onoff|vct, --buffer-depth>=1, --credit-delay>=0\n";
+    return 1;
   }
 
   const std::vector<topology::NetworkConfig> configs = {
@@ -62,6 +79,9 @@ int main(int argc, char** argv) {
     sim_config.warmup_cycles = static_cast<std::uint64_t>(cycles) / 4;
     sim_config.measure_cycles = static_cast<std::uint64_t>(cycles);
     sim_config.drain_cycles = static_cast<std::uint64_t>(cycles) / 4;
+    sim_config.buffer_depth = static_cast<std::uint32_t>(buffer_depth);
+    sim_config.flow_control = *scheme;
+    sim_config.credit_delay = static_cast<std::uint32_t>(credit_delay);
 
     sim::Engine engine(network, *router, &traffic, sim_config);
     const sim::SimResult result = engine.run();

@@ -222,6 +222,19 @@ int report_stalls(const std::string& figure, double load,
       }
       std::cout << "\n";
     }
+    // Sub-attribution of blocked/streaming time where the downstream FIFO
+    // had space but credits lagged.  Structurally zero at depth 1 /
+    // delay 0, so legacy reports keep their exact bytes.
+    if (summary.starved_cycles_total > 0) {
+      std::cout << "  credit starvation: " << summary.starved_cycles_total
+                << " starved cycles across " << summary.starved_worms
+                << " worms; top starving lanes:";
+      for (const telemetry::WormTraceSummary::StarvedLane& lane :
+           summary.top_starved_lanes) {
+        std::cout << "  " << lane.lane << " (" << lane.cycles << "cyc)";
+      }
+      std::cout << "\n";
+    }
 
     if (!trace_dir.empty()) {
       const std::filesystem::path path =
@@ -352,6 +365,9 @@ int main(int argc, char** argv) {
   bool stalls = false;
   std::string worm_trace_dir;
   std::int64_t seed = 20250707;
+  std::int64_t buffer_depth = 0;
+  std::string flow_control;
+  std::int64_t credit_delay = -1;
   util::CliParser cli(
       "telemetry_report: channel heatmaps, trace export, results summary");
   cli.add_flag("figure", &figure, "figure id to run with telemetry on");
@@ -365,6 +381,15 @@ int main(int argc, char** argv) {
                "write per-worm Perfetto traces here (implies --stalls)");
   cli.add_flag("quick", &quick, "smoke-test simulation sizes");
   cli.add_flag("seed", &seed, "random seed");
+  cli.add_flag("buffer-depth", &buffer_depth,
+               "per-lane input fifo depth in flits (0 = "
+               "WORMSIM_BUFFER_DEPTH env or 1)");
+  cli.add_flag("flow-control", &flow_control,
+               "backpressure scheme: credit, onoff, or vct (default "
+               "WORMSIM_FLOW_CONTROL env or credit)");
+  cli.add_flag("credit-delay", &credit_delay,
+               "credit/signal return delay in cycles (-1 = "
+               "WORMSIM_CREDIT_DELAY env or 0)");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -379,6 +404,21 @@ int main(int argc, char** argv) {
   experiment::RunOptions options = experiment::RunOptions::from_env();
   options.quick = options.quick || quick;
   options.seed = static_cast<std::uint64_t>(seed);
+  if (buffer_depth > 0) {
+    options.buffer_depth = static_cast<std::uint32_t>(buffer_depth);
+  }
+  if (!flow_control.empty()) {
+    const auto scheme = sim::parse_flow_control(flow_control);
+    if (!scheme) {
+      std::cerr << "bad --flow-control '" << flow_control
+                << "'; expected credit, onoff, or vct\n";
+      return 1;
+    }
+    options.flow_control = *scheme;
+  }
+  if (credit_delay >= 0) {
+    options.credit_delay = static_cast<std::uint32_t>(credit_delay);
+  }
   options.json_dir.clear();  // reporting only; never writes results
   if (stalls || !worm_trace_dir.empty()) {
     return report_stalls(figure, load, options, worm_trace_dir);

@@ -168,6 +168,10 @@ std::string ResultCache::fingerprint(const SeriesSpec& spec, double load,
   key.field("sim.flits_per_microsecond", sim_config.flits_per_microsecond);
   key.field("sim.deadlock_watchdog_cycles",
             sim_config.deadlock_watchdog_cycles);
+  key.field("sim.buffer_depth", sim_config.buffer_depth);
+  key.field("sim.flow_control",
+            std::string(sim::to_string(sim_config.flow_control)));
+  key.field("sim.credit_delay", sim_config.credit_delay);
 
   // Materialize the workload exactly as run_point will: the factory may
   // depend on the built network (clusterings need its address space).

@@ -33,7 +33,7 @@
 namespace wormsim::experiment {
 
 /// Layout version of cache entry files; bump on any breaking change.
-inline constexpr int kCacheSchemaVersion = 1;
+inline constexpr int kCacheSchemaVersion = 2;
 
 class ResultCache {
  public:

@@ -35,6 +35,9 @@ sim::SimConfig RunOptions::sim_config() const {
     config.measure_cycles = 160'000;
     config.drain_cycles = 80'000;
   }
+  config.buffer_depth = buffer_depth;
+  config.flow_control = flow_control;
+  config.credit_delay = credit_delay;
   return config;
 }
 
@@ -68,6 +71,19 @@ RunOptions RunOptions::from_env() {
   }
   if (auto dir = cache_dir_from_env()) {
     options.cache_dir = *dir;
+  }
+  if (const char* depth = std::getenv("WORMSIM_BUFFER_DEPTH")) {
+    const unsigned long n = std::strtoul(depth, nullptr, 10);
+    if (n >= 1) options.buffer_depth = static_cast<std::uint32_t>(n);
+  }
+  if (const char* scheme = std::getenv("WORMSIM_FLOW_CONTROL")) {
+    if (auto parsed = sim::parse_flow_control(scheme)) {
+      options.flow_control = *parsed;
+    }
+  }
+  if (const char* delay = std::getenv("WORMSIM_CREDIT_DELAY")) {
+    options.credit_delay =
+        static_cast<std::uint32_t>(std::strtoul(delay, nullptr, 10));
   }
   return options;
 }
@@ -468,6 +484,93 @@ FigureDef define_figure(const std::string& id) {
              {"BMIN(butterfly)", bmin_config(),
               uniform_workload(ClusterKind::kGlobal)}}};
   }
+  // ---- Flow-control ablations (finite buffers, delayed credits) ----------
+  if (id == "ablation_buffer_depth") {
+    // Deeper per-lane input fifos hide the credit-return round trip: each
+    // extra flit slot lets the upstream sender cover one more cycle of
+    // delay.  With a 2-cycle credit pipeline, depth 1 idles every busy
+    // link two cycles out of three; once depth exceeds the round trip the
+    // curve must converge to the paper's single-flit zero-delay switches.
+    SeriesList series;
+    for (unsigned depth : {1u, 2u, 4u, 8u}) {
+      SeriesSpec spec;
+      spec.label = "TMIN depth=" + std::to_string(depth) + " delay=2";
+      spec.net = tmin_config();
+      spec.workload = uniform_workload(ClusterKind::kGlobal);
+      spec.tweak_sim = [depth](sim::SimConfig& config) {
+        config.buffer_depth = depth;
+        config.flow_control = sim::FlowControlScheme::kCredit;
+        config.credit_delay = 2;
+      };
+      series.push_back(std::move(spec));
+    }
+    return {"Ablation: input-buffer depth under a 2-cycle credit delay, "
+            "TMIN global uniform",
+            series};
+  }
+  if (id == "ablation_credit_delay") {
+    // The dual sweep: fix the fifo at 4 flits and stretch the credit
+    // pipeline until it exceeds what the buffer can hide (delay >= depth
+    // caps every link at depth/(depth+delay) of its bandwidth).
+    SeriesList series;
+    for (unsigned delay : {0u, 2u, 4u, 8u}) {
+      SeriesSpec spec;
+      spec.label = "TMIN depth=4 delay=" + std::to_string(delay);
+      spec.net = tmin_config();
+      spec.workload = uniform_workload(ClusterKind::kGlobal);
+      spec.tweak_sim = [delay](sim::SimConfig& config) {
+        config.buffer_depth = 4;
+        config.flow_control = sim::FlowControlScheme::kCredit;
+        config.credit_delay = delay;
+      };
+      series.push_back(std::move(spec));
+    }
+    return {"Ablation: credit-return delay at 4-flit buffers, TMIN global "
+            "uniform",
+            series};
+  }
+  if (id == "ablation_flow_control") {
+    // Scheme comparison on identical hardware with fixed 32-flit messages
+    // (so a packet-sized cut-through buffer stays small): credit vs
+    // on/off backpressure at depth 8, virtual cut-through at depth 32,
+    // and the store-and-forward reference, all under a 2-cycle signal
+    // delay.
+    SeriesList series;
+    struct SchemeSpec {
+      const char* label;
+      sim::FlowControlScheme scheme;
+      unsigned depth;
+    };
+    for (const SchemeSpec s :
+         {SchemeSpec{"TMIN credit depth=8", sim::FlowControlScheme::kCredit,
+                     8u},
+          SchemeSpec{"TMIN on/off depth=8", sim::FlowControlScheme::kOnOff,
+                     8u},
+          SchemeSpec{"TMIN cut-through depth=32",
+                     sim::FlowControlScheme::kVirtualCutThrough, 32u}}) {
+      SeriesSpec spec;
+      spec.label = s.label;
+      spec.net = tmin_config();
+      spec.workload = uniform_workload(ClusterKind::kGlobal, {},
+                                       traffic::LengthSpec::fixed(32));
+      spec.tweak_sim = [s](sim::SimConfig& config) {
+        config.buffer_depth = s.depth;
+        config.flow_control = s.scheme;
+        config.credit_delay = 2;
+      };
+      series.push_back(std::move(spec));
+    }
+    SeriesSpec sf;
+    sf.label = "TMIN store-and-forward";
+    sf.net = tmin_config();
+    sf.workload = uniform_workload(ClusterKind::kGlobal, {},
+                                   traffic::LengthSpec::fixed(32));
+    sf.switching = SeriesSpec::Switching::kStoreForward;
+    series.push_back(std::move(sf));
+    return {"Ablation: backpressure schemes on identical hardware, "
+            "32-flit messages, TMIN global uniform",
+            series};
+  }
   WORMSIM_CHECK_MSG(false, "unknown figure id");
 }
 
@@ -498,6 +601,9 @@ const std::vector<std::string>& registry() {
       "ablation_switching",
       "ablation_arbitration",
       "ablation_multibutterfly",
+      "ablation_buffer_depth",
+      "ablation_credit_delay",
+      "ablation_flow_control",
   };
   return ids;
 }

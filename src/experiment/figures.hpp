@@ -31,13 +31,23 @@ struct RunOptions {
   /// concurrent processes.
   std::string cache_dir;
 
+  /// Flow-control axes applied to every series (a series' tweak_sim can
+  /// still override them): per-lane input fifo depth in flits, the
+  /// backpressure scheme, and the credit/signal return delay in cycles.
+  /// The defaults are the paper's single-flit wormhole switches.
+  std::uint32_t buffer_depth = 1;
+  sim::FlowControlScheme flow_control = sim::FlowControlScheme::kCredit;
+  std::uint32_t credit_delay = 0;
+
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
   SweepOptions sweep_options() const;
 
   /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>,
-  /// WORMSIM_JSON_DIR=<dir>, and WORMSIM_CACHE_DIR=<dir>.
+  /// WORMSIM_JSON_DIR=<dir>, WORMSIM_CACHE_DIR=<dir>,
+  /// WORMSIM_BUFFER_DEPTH=<flits>, WORMSIM_FLOW_CONTROL=<scheme>, and
+  /// WORMSIM_CREDIT_DELAY=<cycles>.
   static RunOptions from_env();
 };
 

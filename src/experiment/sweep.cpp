@@ -30,6 +30,10 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
     sf_config.drain_cycles = sim_config.drain_cycles;
     sf_config.sustainable_queue_limit = sim_config.sustainable_queue_limit;
     sf_config.queue_capacity = sim_config.queue_capacity;
+    // SimConfig::buffer_depth is flits per wormhole lane; the
+    // store-and-forward reference interprets the same knob as whole
+    // packets per switch buffer (DESIGN.md "Flow control").
+    sf_config.buffer_packets = sim_config.buffer_depth;
     sf_config.flits_per_microsecond = sim_config.flits_per_microsecond;
     sf_config.telemetry = sim_config.telemetry;
     sim::StoreForwardEngine engine(network, *router, &traffic, sf_config);

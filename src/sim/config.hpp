@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/flow_control/scheme.hpp"
 #include "telemetry/config.hpp"
 
 namespace wormsim::sim {
@@ -46,6 +47,22 @@ struct SimConfig {
 
   /// Channel bandwidth: 20 flits/microsecond, i.e. 1 cycle = 0.05 us.
   double flits_per_microsecond = 20.0;
+
+  // ---- Flow control (src/sim/flow_control/) ---------------------------
+  // The defaults reproduce the paper's model bitwise: credit-based
+  // wormhole with single-flit buffers and instant credit return is
+  // algebraically the legacy "send when the downstream buffer is empty"
+  // engine (pinned by tests/golden_test.cpp).
+
+  /// Input-buffer slots per lane, in flits (paper: 1).  The
+  /// store-and-forward engine interprets this in packets per lane
+  /// buffer (its natural buffering unit).
+  std::uint32_t buffer_depth = 1;
+  /// Buffer-management scheme governing when a sender may push a flit.
+  FlowControlScheme flow_control = FlowControlScheme::kCredit;
+  /// Cycles a credit return (or on/off signal) travels upstream; 0 means
+  /// the sender sees the freed slot the same cycle it frees.
+  std::uint32_t credit_delay = 0;
 
   /// Cycles without any flit movement (while flits are in flight) before
   /// the engine declares a deadlock and aborts.  Wormhole routing in these

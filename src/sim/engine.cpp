@@ -47,6 +47,8 @@ Engine::Engine(const topology::Network& network,
   channel_sources_.assign(channels, 0);
   seed_stamp_.assign(channels, 0);
   channel_pass_stamp_.assign(channels, 0);
+  fc_.configure(lanes, config_.flow_control, config_.buffer_depth,
+                config_.credit_delay);
 
   nodes_.resize(network_.node_count());
   tx_pending_flag_.assign(network_.node_count(), 0);
@@ -103,6 +105,13 @@ PacketId Engine::inject_message(NodeId src, std::uint64_t dst,
                                 std::uint32_t length) {
   WORMSIM_CHECK_MSG(dst != src, "self-addressed message");
   WORMSIM_CHECK(length >= 1);
+  if (config_.flow_control == FlowControlScheme::kVirtualCutThrough) {
+    // Cut-through only grants a lane that can hold the whole packet, so a
+    // packet longer than the buffer could never route at all.
+    WORMSIM_CHECK_MSG(length <= config_.buffer_depth,
+                      "virtual cut-through needs buffer_depth >= packet "
+                      "length");
+  }
   PacketState pkt;
   pkt.src = src;
   pkt.dst = dst;
@@ -233,9 +242,21 @@ void Engine::route_and_allocate() {
     candidates.clear();
     router_.candidates(query, u, candidates);
     free_lanes.clear();
+    // Virtual cut-through only grants a switch-destined lane whose buffer
+    // can absorb the whole packet (ejection lanes consume instantly and
+    // are exempt); the first such credit-gated lane is remembered for
+    // starvation attribution.
+    const bool vct =
+        config_.flow_control == FlowControlScheme::kVirtualCutThrough;
+    LaneId credit_gated = kInvalidId;
     for (LaneId lane : candidates) {
       if (alloc_owner_[lane] != kInvalidId) continue;
       if (channel_faulty_[network_.lane(lane).channel]) continue;
+      if (vct && lane_scan_pos_[lane] != kInvalidId &&
+          !fc_.can_accept_packet(lane, pkt.length)) {
+        if (credit_gated == kInvalidId) credit_gated = lane;
+        continue;
+      }
       free_lanes.push_back(lane);
     }
     if (free_lanes.empty()) {  // blocked; stays in the set for next cycle
@@ -244,18 +265,32 @@ void Engine::route_and_allocate() {
         ++tel_window_->lane_blocked[u];
         ++tel_window_->switch_denials[lane_dst_switch_[u]];
       }
-      if (wtrace_ != nullptr) {
+      if (wtrace_ != nullptr ||
+          (tel_window_ != nullptr && credit_gated != kInvalidId)) {
         // Culprit: the first *allocated* candidate in candidate order (the
-        // tracer resolves its holder worm); with every candidate faulty,
-        // the first faulty lane — there is no worm to blame.
+        // tracer resolves its holder worm).  A header whose only obstacle
+        // is a credit-dry lane is credit-starved, not contending; with
+        // every candidate faulty, the first faulty lane — there is no
+        // worm to blame.
         LaneId culprit = candidates.empty() ? kInvalidId : candidates[0];
+        bool busy = false;
         for (LaneId lane : candidates) {
           if (alloc_owner_[lane] != kInvalidId) {
             culprit = lane;
+            busy = true;
             break;
           }
         }
-        wtrace_->on_blocked(buf_packet_[u], u, culprit, cycle_);
+        const bool starved = !busy && credit_gated != kInvalidId;
+        if (starved) {
+          culprit = credit_gated;
+          if (tel_window_ != nullptr) {
+            ++tel_window_->lane_credit_starved[culprit];
+          }
+        }
+        if (wtrace_ != nullptr) {
+          wtrace_->on_blocked(buf_packet_[u], u, culprit, cycle_, starved);
+        }
       }
       continue;
     }
@@ -300,7 +335,10 @@ bool Engine::try_channel(ChannelId ch_id) {
       // Injection channel: the node pushes flits of its active message.
       const NodeState& node = nodes_[ch.src.id];
       if (node.tx_packet == kNoPacket) continue;
-      if (buf_packet_[lane] != kNoPacket) continue;  // switch buffer full
+      if (!fc_.can_accept(lane)) {  // no credit / stopped / buffer full
+        fc_open_starve(lane);
+        continue;
+      }
       ready_mask |= 1u << v;
     } else {
       const LaneId u = alloc_owner_[lane];
@@ -309,7 +347,10 @@ bool Engine::try_channel(ChannelId ch_id) {
         continue;
       }
       WORMSIM_DCHECK(route_out_[u] == lane);
-      if (ch.dst.is_switch() && buf_packet_[lane] != kNoPacket) continue;
+      if (ch.dst.is_switch() && !fc_.can_accept(lane)) {
+        fc_open_starve(lane);
+        continue;
+      }
       ready_mask |= 1u << v;
     }
   }
@@ -339,22 +380,23 @@ bool Engine::try_channel(ChannelId ch_id) {
 void Engine::move_from_node(NodeId node_id, LaneId lane) {
   NodeState& node = nodes_[node_id];
   PacketState& pkt = packets_[node.tx_packet];
-  WORMSIM_DCHECK(buf_packet_[lane] == kNoPacket);
-  buf_packet_[lane] = node.tx_packet;
-  buf_seq_[lane] = node.tx_sent;
-  arrived_epoch_[lane] = epoch_;
-  ++occupied_;
+  const bool was_head = fc_push(lane, node.tx_packet, node.tx_sent);
   // The arrived flit can cross its (already routed) next hop next cycle.
-  if (route_out_[lane] != kInvalidId) {
+  // A flit landing behind the head changes nothing about readiness.
+  if (was_head && route_out_[lane] != kInvalidId) {
     schedule_channel(network_.lane(route_out_[lane]).channel);
   }
   if (node.tx_sent == 0) {
     pkt.inject_cycle = cycle_;
     ++worms_in_flight_;
-    header_lanes_.push_back(lane);  // injection channels end at switches
-    if (wtrace_ != nullptr) {
-      wtrace_->on_injected(node.tx_packet, cycle_);
-      wtrace_->on_header_arrival(node.tx_packet, lane, cycle_);
+    if (wtrace_ != nullptr) wtrace_->on_injected(node.tx_packet, cycle_);
+    // A header behind an earlier worm's flits becomes routable only when
+    // it reaches the head slot (the tail-pop in fc_pop promotes it).
+    if (was_head) {
+      header_lanes_.push_back(lane);  // injection channels end at switches
+      if (wtrace_ != nullptr) {
+        wtrace_->on_header_arrival(node.tx_packet, lane, cycle_);
+      }
     }
   }
   trace(TraceEvent::Kind::kFlitMoved, node.tx_packet, node.tx_sent, lane);
@@ -375,8 +417,7 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
   const bool tail = seq + 1 == pkt.length;
   const PhysChannel& out_ch = network_.lane_channel(out_lane);
 
-  buf_packet_[in_lane] = kNoPacket;
-  --occupied_;
+  fc_pop(in_lane);
   // The channel feeding in_lane's buffer may now transmit its next flit;
   // the worklist re-tries it at the scan position this move sits at.
   unblocked_ = network_.lane(in_lane).channel;
@@ -384,19 +425,15 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
   if (out_ch.dst.is_node()) {
     deliver_flit(pkt_id, seq);
   } else {
-    WORMSIM_DCHECK(buf_packet_[out_lane] == kNoPacket);
-    buf_packet_[out_lane] = pkt_id;
-    buf_seq_[out_lane] = seq;
-    arrived_epoch_[out_lane] = epoch_;
-    ++occupied_;
-    if (seq == 0) {
+    const bool was_head = fc_push(out_lane, pkt_id, seq);
+    if (was_head && seq == 0) {
       header_lanes_.push_back(out_lane);
       if (wtrace_ != nullptr) {
         wtrace_->on_header_arrival(pkt_id, out_lane, cycle_);
       }
     }
     // The arrived flit can cross its (already routed) next hop next cycle.
-    if (route_out_[out_lane] != kInvalidId) {
+    if (was_head && route_out_[out_lane] != kInvalidId) {
       schedule_channel(network_.lane(route_out_[out_lane]).channel);
     }
   }
@@ -407,7 +444,155 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
     alloc_owner_[out_lane] = kInvalidId;
     deactivate_channel(out_ch.id);
     if (wtrace_ != nullptr) wtrace_->on_lane_released(out_lane);
+    // A deeper FIFO can already hold the next worm's header; it becomes
+    // routable the moment the previous tail clears the head slot.
+    if (fc_.count[in_lane] > 0 && buf_seq_[in_lane] == 0) {
+      header_lanes_.push_back(in_lane);
+      if (wtrace_ != nullptr) {
+        wtrace_->on_header_arrival(buf_packet_[in_lane], in_lane, cycle_);
+      }
+    }
   }
+}
+
+bool Engine::fc_push(LaneId lane, PacketId pkt, std::uint32_t seq) {
+  const bool was_head = fc_.count[lane] == 0;
+  if (was_head) {
+    buf_packet_[lane] = pkt;
+    buf_seq_[lane] = seq;
+    arrived_epoch_[lane] = epoch_;
+  } else {
+    const std::size_t slot = fc_.ext_base(lane) + (fc_.count[lane] - 1);
+    fc_.ext_packet[slot] = pkt;
+    fc_.ext_seq[slot] = seq;
+    fc_.ext_epoch[slot] = epoch_;
+  }
+  ++fc_.count[lane];
+  ++occupied_;
+  if (fc_.scheme == FlowControlScheme::kOnOff) {
+    // Occupancy rose to the stop level: tell the sender to pause.  The
+    // threshold leaves room for the flits still sendable while the signal
+    // travels, so the FIFO can never overflow.
+    if (fc_.count[lane] == fc_.off_threshold) {
+      fc_deliver_or_queue(lane, /*go=*/false);
+    }
+  } else {
+    WORMSIM_DCHECK(fc_.credits[lane] > 0);
+    --fc_.credits[lane];
+  }
+  return was_head;
+}
+
+void Engine::fc_pop(LaneId lane) {
+  --fc_.count[lane];
+  --occupied_;
+  const std::uint32_t remaining = fc_.count[lane];
+  if (remaining > 0) {
+    // Promote the next slot to the head, oldest first.  Its recorded
+    // arrival epoch rides along, so a flit pushed this very cycle still
+    // waits a cycle before crossing the next channel.
+    const std::size_t base = fc_.ext_base(lane);
+    buf_packet_[lane] = fc_.ext_packet[base];
+    buf_seq_[lane] = fc_.ext_seq[base];
+    arrived_epoch_[lane] = fc_.ext_epoch[base];
+    for (std::uint32_t s = 0; s + 1 < remaining; ++s) {
+      fc_.ext_packet[base + s] = fc_.ext_packet[base + s + 1];
+      fc_.ext_seq[base + s] = fc_.ext_seq[base + s + 1];
+      fc_.ext_epoch[base + s] = fc_.ext_epoch[base + s + 1];
+    }
+    fc_.ext_packet[base + remaining - 1] = kNoPacket;
+    fc_.ext_seq[base + remaining - 1] = 0;
+    fc_.ext_epoch[base + remaining - 1] = 0;
+  } else {
+    buf_packet_[lane] = kNoPacket;
+  }
+  // Return the freed slot to the sender.
+  if (fc_.scheme == FlowControlScheme::kOnOff) {
+    if (fc_.count[lane] == fc_.on_threshold) {
+      fc_deliver_or_queue(lane, /*go=*/true);
+    }
+  } else if (fc_.delay == 0) {
+    // Instant credit return: the sender sees the free slot this cycle —
+    // at depth 1 exactly the legacy "downstream buffer is empty" check.
+    ++fc_.credits[lane];
+    fc_close_starve(lane);
+  } else {
+    fc_.events.push_back({cycle_ + fc_.delay, lane, /*go=*/false});
+  }
+  if (fc_.scheme != FlowControlScheme::kCredit || fc_.delay > 0) {
+    // The freed slot may leave the sender gated with space downstream
+    // (credit in flight, or an on/off pause): starvation begins now, and
+    // no try_channel attempt will observe it — the sender is not seeded
+    // until the gate lifts.
+    if (!fc_.can_accept(lane) && upstream_has_flit(lane)) {
+      fc_open_starve(lane);
+    }
+  }
+}
+
+void Engine::fc_deliver_or_queue(LaneId lane, bool go) {
+  if (fc_.delay == 0) {
+    const bool was_stopped = fc_.stopped[lane] != 0;
+    fc_.stopped[lane] = go ? 0 : 1;
+    // The pop-site unblock retry re-seeds the sender, so an inline GO
+    // needs no explicit wake.
+    if (go && was_stopped) fc_close_starve(lane);
+  } else {
+    fc_.events.push_back({cycle_ + fc_.delay, lane, go});
+  }
+}
+
+void Engine::drain_flow_control_events() {
+  while (!fc_.events.empty() && fc_.events.front().due <= cycle_) {
+    const FlowControlEvent ev = fc_.events.front();
+    fc_.events.pop_front();
+    bool now_sendable = false;
+    if (fc_.scheme == FlowControlScheme::kOnOff) {
+      now_sendable = ev.go && fc_.stopped[ev.lane] != 0;
+      fc_.stopped[ev.lane] = ev.go ? 0 : 1;
+    } else {
+      now_sendable = fc_.credits[ev.lane] == 0;
+      ++fc_.credits[ev.lane];
+    }
+    if (now_sendable) {
+      fc_close_starve(ev.lane);
+      // Wake the sender: schedule its channel for this cycle's advance
+      // (the drain runs before the phases).  Source-less channels have
+      // nothing to send; skipping them keeps the seed set exact.
+      const ChannelId ch = network_.lane(ev.lane).channel;
+      if (channel_sources_[ch] != 0) schedule_channel(ch);
+    }
+  }
+}
+
+void Engine::fc_close_starve(LaneId lane) {
+  if (fc_.starve_since[lane] == kNoCycle) return;
+  const std::uint64_t cycles = cycle_ - fc_.starve_since[lane];
+  fc_.starve_since[lane] = kNoCycle;
+  if (cycles == 0) return;
+  if (tel_window_ != nullptr) {
+    tel_window_->lane_credit_starved[lane] += cycles;
+  }
+  if (wtrace_ != nullptr) {
+    // Blame the worm whose flit sat waiting for the gate to lift: the
+    // transmitting node's packet on an injection lane, the upstream
+    // FIFO's head worm otherwise.
+    const PhysChannel& ch = network_.lane_channel(lane);
+    PacketId worm = kNoPacket;
+    if (ch.src.is_node()) {
+      worm = nodes_[ch.src.id].tx_packet;
+    } else if (alloc_owner_[lane] != kInvalidId) {
+      worm = buf_packet_[alloc_owner_[lane]];
+    }
+    wtrace_->on_credit_starved(worm, lane, cycles);
+  }
+}
+
+bool Engine::upstream_has_flit(LaneId lane) const {
+  const PhysChannel& ch = network_.lane_channel(lane);
+  if (ch.src.is_node()) return nodes_[ch.src.id].tx_packet != kNoPacket;
+  const LaneId owner = alloc_owner_[lane];
+  return owner != kInvalidId && buf_packet_[owner] != kNoPacket;
 }
 
 void Engine::deliver_flit(PacketId pkt_id, std::uint32_t seq) {
@@ -514,6 +699,7 @@ void Engine::step() {
   const bool measuring = in_measure_window();
   tel_window_ = measuring ? tel_ : nullptr;
   util_window_ = measuring && config_.record_channel_utilization;
+  if (!fc_.events.empty()) drain_flow_control_events();
   generate_arrivals();
   start_transmissions();
   route_and_allocate();
@@ -557,6 +743,17 @@ void Engine::report_deadlock() const {
                  lane, ch.id, static_cast<int>(ch.role), buf_packet_[lane],
                  buf_seq_[lane], static_cast<unsigned long long>(pkt.src),
                  static_cast<unsigned long long>(pkt.dst), pkt.length);
+    for (std::uint32_t s = 0; s + 1 < fc_.count[lane]; ++s) {
+      const std::size_t slot = fc_.ext_base(lane) + s;
+      std::fprintf(stderr, "    fifo slot %u holds packet %u seq %u\n",
+                   s + 1, fc_.ext_packet[slot], fc_.ext_seq[slot]);
+    }
+  }
+  if (!fc_.events.empty()) {
+    std::fprintf(stderr, "  %zu backpressure events in flight (next due "
+                 "cycle %llu)\n",
+                 fc_.events.size(),
+                 static_cast<unsigned long long>(fc_.events.front().due));
   }
   if (validator_ != nullptr) validator_->describe_stall();
   WORMSIM_CHECK_MSG(false, "deadlock detected (should be impossible)");

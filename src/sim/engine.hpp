@@ -19,9 +19,15 @@
 //      flit moves in the same cycle, giving the full one-flit-per-cycle
 //      wormhole pipeline with single-flit buffers.
 //
-// Buffers hold exactly one flit (Section 5: "each input channel in a
-// switch has a buffer the size of a single flit").  A buffer lives at the
-// *downstream* end of its lane.
+// Buffers default to exactly one flit (Section 5: "each input channel in
+// a switch has a buffer the size of a single flit").  A buffer lives at
+// the *downstream* end of its lane.  The flow-control subsystem
+// (src/sim/flow_control/) generalizes this: SimConfig::buffer_depth deep
+// FIFOs per lane, gated by credit-based, on/off, or virtual cut-through
+// backpressure whose upstream signals take SimConfig::credit_delay
+// cycles.  The paper's model is the credit scheme at depth 1 / delay 0 —
+// a special case of the same code path, reproduced bitwise (pinned by
+// tests/golden_test.cpp).
 //
 // The hot loop is event-driven (DESIGN.md "Engine hot loop"): each phase
 // visits only the entities that can make progress — the worklist of
@@ -42,6 +48,7 @@
 
 #include "routing/router.hpp"
 #include "sim/config.hpp"
+#include "sim/flow_control/state.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/trace.hpp"
@@ -135,6 +142,10 @@ class Engine {
   /// or WORMSIM_TRACE=1); also shared into SimResult::worm_trace.
   const telemetry::WormTracer* worm_tracer() const { return wtrace_; }
 
+  /// Flow-control introspection for tests: per-lane FIFO occupancy,
+  /// credits, stop bits, and the in-flight backpressure calendar.
+  const FlowControlState& flow_control() const { return fc_; }
+
  private:
   /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
   /// tests reach private state through EngineTestPeer.
@@ -163,6 +174,40 @@ class Engine {
   }
   void record_sample();
   [[noreturn]] void report_deadlock() const;
+
+  // ---- Flow control (src/sim/flow_control/) ---------------------------
+  /// Delivers every backpressure event due this cycle: credits return to
+  /// their sender, on/off signals flip the stop bit, and a sender that
+  /// becomes able to transmit again is re-seeded.  Called at the top of
+  /// step(), before the phases, so a credit due at cycle T is usable at
+  /// cycle T (consistent with the delay -> 0 limit).
+  void drain_flow_control_events();
+  /// Pushes one flit into `lane`'s input FIFO (head slot or extension)
+  /// and runs the sender-side accounting (credit decrement / STOP
+  /// emission).  Returns true when the flit landed at the head slot.
+  bool fc_push(topology::LaneId lane, PacketId pkt, std::uint32_t seq);
+  /// Pops `lane`'s head flit, promotes the next FIFO slot, and returns
+  /// the freed slot upstream (inline when credit_delay is 0, as a
+  /// calendar event otherwise).
+  void fc_pop(topology::LaneId lane);
+  /// On/off signal toward `lane`'s sender: applied inline at delay 0,
+  /// queued on the calendar otherwise.
+  void fc_deliver_or_queue(topology::LaneId lane, bool go);
+  /// Opens `lane`'s credit-starvation interval: its sender is gated by
+  /// flow control even though the FIFO has space (free slots whose
+  /// credits are still in flight, or an on/off pause).  A full buffer is
+  /// ordinary backpressure, never starvation — which also makes this a
+  /// no-op in the legacy depth-1 / delay-0 configuration.
+  void fc_open_starve(topology::LaneId lane) {
+    if (fc_.count[lane] < fc_.depth && fc_.starve_since[lane] == kNoCycle) {
+      fc_.starve_since[lane] = cycle_;
+    }
+  }
+  /// Closes `lane`'s starvation interval (the sender can transmit again)
+  /// and attributes the cycles to telemetry counters / the worm tracer.
+  void fc_close_starve(topology::LaneId lane);
+  /// True when `lane`'s sender is holding a flit it wants to push here.
+  bool upstream_has_flit(topology::LaneId lane) const;
 
   /// Schedules a channel for pass one of the *next* advance_flits() (the
   /// upcoming one when called from the arrival/routing phases, the next
@@ -239,12 +284,16 @@ class Engine {
   std::vector<PacketState> packets_;
   std::vector<NodeState> nodes_;
 
-  // Per-lane state, indexed by LaneId.
+  // Per-lane state, indexed by LaneId.  buf_packet_/buf_seq_/
+  // arrived_epoch_ are the *head slot* of each lane's input FIFO; the
+  // slots behind it (buffer_depth > 1) and all sender-side gating live
+  // in fc_.
   std::vector<PacketId> buf_packet_;
   std::vector<std::uint32_t> buf_seq_;
   std::vector<std::uint64_t> arrived_epoch_;   // epoch the buffer was filled
   std::vector<topology::LaneId> route_out_;    // input-unit worm route
   std::vector<topology::LaneId> alloc_owner_;  // output-lane allocation
+  FlowControlState fc_;                        // buffers + backpressure
 
   // Per-physical-channel state, indexed by ChannelId.
   std::vector<std::uint64_t> channel_used_epoch_;  // epoch of last transmit

@@ -1,0 +1,47 @@
+// Flow-control schemes for the finite-buffer wormhole engine.
+//
+// The paper's engine hard-codes single-flit input buffers: a lane can
+// accept a flit exactly when its one buffer slot is empty.  This
+// subsystem generalizes that to per-lane input FIFOs of configurable
+// depth governed by one of three buffer-management schemes (the same
+// layering Graphite's flow_control_schemes/ uses):
+//
+//   kCredit             The sender holds a credit counter initialized to
+//                       the buffer depth; sending a flit consumes one
+//                       credit and popping a flit downstream returns one
+//                       after `credit_delay` cycles.  With depth 1 and
+//                       delay 0 this is *exactly* the paper's single-flit
+//                       wormhole (golden digests bitwise unchanged).
+//   kOnOff              The receiver sends STOP when occupancy rises to
+//                       depth - credit_delay and GO when it drains to the
+//                       hysteresis threshold; signals travel upstream in
+//                       `credit_delay` cycles.  Cheaper wiring than
+//                       credits, coarser: the sender idles through the
+//                       hysteresis band.
+//   kVirtualCutThrough  Credit-based, but a header is only granted an
+//                       output lane when the downstream FIFO has room for
+//                       the *whole* packet, so a blocked worm always
+//                       absorbs into one buffer instead of spanning
+//                       switches.  Requires buffer_depth >= packet length.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace wormsim::sim {
+
+enum class FlowControlScheme : std::uint8_t {
+  kCredit,
+  kOnOff,
+  kVirtualCutThrough,
+};
+
+/// Stable lowercase name ("credit", "onoff", "vct"); used by CLI flags,
+/// cache fingerprints, and JSON results.
+const char* to_string(FlowControlScheme scheme);
+
+/// Inverse of to_string; nullopt for an unknown name.
+std::optional<FlowControlScheme> parse_flow_control(std::string_view name);
+
+}  // namespace wormsim::sim

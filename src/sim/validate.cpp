@@ -130,6 +130,7 @@ EngineValidator::EngineValidator(const Engine& engine) : e_(engine) {
 void EngineValidator::check_cycle_end() {
   ++sweeps_;
   check_buffers_and_counters();
+  check_flow_control();
   check_allocation();
   check_routing_legality();
   check_active_sets();
@@ -167,6 +168,48 @@ void EngineValidator::check_buffers_and_counters() {
     }
     buffered_.emplace_back(
         (static_cast<std::uint64_t>(pid) << 32) | e_.buf_seq_[lane], lane);
+  }
+  // Extension slots of deeper FIFOs hold flits too; fold them into the
+  // same conservation and contiguity books as the head slots.
+  if (e_.fc_.depth > 1) {
+    for (LaneId lane = 0; lane < e_.buf_packet_.size(); ++lane) {
+      const std::uint32_t count = e_.fc_.count[lane];
+      for (std::uint32_t s = 0; s + 1 < count; ++s) {
+        const std::size_t slot = e_.fc_.ext_base(lane) + s;
+        const PacketId pid = e_.fc_.ext_packet[slot];
+        if (pid == kNoPacket || pid >= e_.packets_.size()) {
+          engine_fail("flit-conservation", cycle, lane,
+                      "fifo slot %u holds %s packet id %u", s + 1,
+                      pid == kNoPacket ? "no" : "unknown", pid);
+        }
+        const PacketState& pkt = e_.packets_[pid];
+        if (e_.fc_.ext_seq[slot] >= pkt.length) {
+          engine_fail("worm-contiguity", cycle, lane,
+                      "fifo slot %u's seq %u beyond packet %u's length %u",
+                      s + 1, e_.fc_.ext_seq[slot], pid, pkt.length);
+        }
+        if (pkt.delivered()) {
+          engine_fail("flit-conservation", cycle, lane,
+                      "packet %u delivered at cycle %llu but still in fifo "
+                      "slot %u",
+                      pid,
+                      static_cast<unsigned long long>(pkt.deliver_cycle),
+                      s + 1);
+        }
+        if (e_.fc_.ext_epoch[slot] > e_.epoch_) {
+          engine_fail("stale-epoch-stamp", cycle, lane,
+                      "fifo slot %u's arrival stamp %llu is ahead of the "
+                      "engine epoch %llu",
+                      s + 1,
+                      static_cast<unsigned long long>(e_.fc_.ext_epoch[slot]),
+                      static_cast<unsigned long long>(e_.epoch_));
+        }
+        ++occupied;
+        buffered_.emplace_back(
+            (static_cast<std::uint64_t>(pid) << 32) | e_.fc_.ext_seq[slot],
+            lane);
+      }
+    }
   }
   if (occupied != e_.occupied_) {
     engine_fail("flit-conservation", cycle, kInvalidId,
@@ -210,9 +253,26 @@ void EngineValidator::check_buffers_and_counters() {
     ++worms;
     i = j;
   }
+  // A worm whose every transmitted flit was already delivered while the
+  // rest wait at the source for credits holds no buffer anywhere yet is
+  // still in flight.  Impossible at depth 1 / delay 0 — a gated sender
+  // implies a full (hence occupied) downstream buffer — but routine under
+  // delayed credit returns.
+  for (NodeId node = 0; node < e_.nodes_.size(); ++node) {
+    const PacketId pid = e_.nodes_[node].tx_packet;
+    if (pid == kNoPacket || e_.nodes_[node].tx_sent == 0) continue;
+    const auto probe =
+        std::make_pair(static_cast<std::uint64_t>(pid) << 32, LaneId{0});
+    const auto it =
+        std::lower_bound(buffered_.begin(), buffered_.end(), probe);
+    if (it == buffered_.end() ||
+        static_cast<PacketId>(it->first >> 32) != pid) {
+      ++worms;
+    }
+  }
   if (worms != e_.worms_in_flight_) {
     engine_fail("worm-conservation", cycle, kInvalidId,
-                "%lld distinct worms hold buffers but the counter says %lld",
+                "%lld distinct worms are in flight but the counter says %lld",
                 static_cast<long long>(worms),
                 static_cast<long long>(e_.worms_in_flight_));
   }
@@ -244,6 +304,153 @@ void EngineValidator::check_buffers_and_counters() {
                 "%llu messages queued at sources but the counter says %llu",
                 static_cast<unsigned long long>(queued),
                 static_cast<unsigned long long>(e_.queued_messages_));
+  }
+}
+
+void EngineValidator::check_flow_control() {
+  const std::uint64_t cycle = e_.cycle_;
+  const FlowControlState& fc = e_.fc_;
+
+  // One pass over the backpressure calendar: due cycles must be
+  // nondecreasing and strictly in the future (due events were drained at
+  // the top of this cycle), credit runs carry no on/off payload, and the
+  // per-lane aggregates feed the conservation checks below.
+  if (pending_returns_.size() != fc.count.size()) {
+    pending_returns_.resize(fc.count.size());
+    last_signal_.resize(fc.count.size());
+  }
+  std::fill(pending_returns_.begin(), pending_returns_.end(), 0u);
+  std::fill(last_signal_.begin(), last_signal_.end(), std::int8_t{-1});
+  std::uint64_t prev_due = 0;
+  for (const FlowControlEvent& ev : fc.events) {
+    if (ev.lane >= fc.count.size()) {
+      engine_fail("credit-conservation", cycle, kInvalidId,
+                  "backpressure event carries bad lane id %u", ev.lane);
+    }
+    if (ev.due <= cycle || ev.due < prev_due) {
+      engine_fail("credit-conservation", cycle, ev.lane,
+                  "backpressure event due at cycle %llu is %s",
+                  static_cast<unsigned long long>(ev.due),
+                  ev.due <= cycle ? "already overdue" : "out of order");
+    }
+    prev_due = ev.due;
+    if (fc.scheme == FlowControlScheme::kOnOff) {
+      last_signal_[ev.lane] = ev.go ? 1 : 0;
+    } else {
+      if (ev.go) {
+        engine_fail("credit-conservation", cycle, ev.lane,
+                    "credit-scheme calendar carries an on/off signal");
+      }
+      ++pending_returns_[ev.lane];
+    }
+  }
+
+  for (LaneId lane = 0; lane < fc.count.size(); ++lane) {
+    const std::uint32_t count = fc.count[lane];
+    if (count > fc.depth) {
+      engine_fail("buffer-occupancy", cycle, lane,
+                  "%u flits in a %u-deep fifo", count, fc.depth);
+    }
+    if ((count == 0) != (e_.buf_packet_[lane] == kNoPacket)) {
+      engine_fail("buffer-occupancy", cycle, lane,
+                  "occupancy %u disagrees with the head slot holding %s",
+                  count,
+                  e_.buf_packet_[lane] == kNoPacket ? "no flit" : "a flit");
+    }
+    if (fc.depth > 1) {
+      // Slots beyond the occupancy must be cleared, and the occupied run
+      // must be FIFO-ordered: each slot continues the worm ahead of it or
+      // starts a new worm right behind the previous one's tail, with
+      // nondecreasing arrival epochs.
+      for (std::uint32_t s = count > 0 ? count - 1 : 0; s + 1 < fc.depth;
+           ++s) {
+        if (fc.ext_packet[fc.ext_base(lane) + s] != kNoPacket) {
+          engine_fail("buffer-occupancy", cycle, lane,
+                      "fifo slot %u beyond the %u-flit occupancy not cleared",
+                      s + 1, count);
+        }
+      }
+      PacketId prev_pid = e_.buf_packet_[lane];
+      std::uint32_t prev_seq = e_.buf_seq_[lane];
+      std::uint64_t prev_epoch = e_.arrived_epoch_[lane];
+      for (std::uint32_t s = 0; s + 1 < count; ++s) {
+        const std::size_t slot = fc.ext_base(lane) + s;
+        const PacketId pid = fc.ext_packet[slot];
+        const std::uint32_t seq = fc.ext_seq[slot];
+        const bool continues = pid == prev_pid && seq == prev_seq + 1;
+        const bool new_worm = pid != prev_pid && seq == 0 &&
+                              prev_seq + 1 == e_.packets_[prev_pid].length;
+        if (!continues && !new_worm) {
+          engine_fail("fifo-order", cycle, lane,
+                      "slot %u (packet %u seq %u) does not follow slot %u "
+                      "(packet %u seq %u)",
+                      s + 1, pid, seq, s, prev_pid, prev_seq);
+        }
+        if (fc.ext_epoch[slot] < prev_epoch) {
+          engine_fail("fifo-order", cycle, lane,
+                      "slot %u arrived at epoch %llu, before slot %u's %llu",
+                      s + 1,
+                      static_cast<unsigned long long>(fc.ext_epoch[slot]), s,
+                      static_cast<unsigned long long>(prev_epoch));
+        }
+        prev_pid = pid;
+        prev_seq = seq;
+        prev_epoch = fc.ext_epoch[slot];
+      }
+    }
+
+    if (fc.scheme == FlowControlScheme::kOnOff) {
+      // The stop bit must be explainable by the calendar: a stopped
+      // sender whose buffer already drained to the GO level must have
+      // the GO in flight (else it would starve forever), and a running
+      // sender facing a buffer at or above the STOP level must have the
+      // STOP in flight (else it could overflow).
+      if (fc.stopped[lane] != 0 && count <= fc.on_threshold &&
+          last_signal_[lane] != 1) {
+        engine_fail("onoff-liveness", cycle, lane,
+                    "sender stopped with only %u/%u flits buffered and no "
+                    "GO in flight",
+                    count, fc.depth);
+      }
+      if (fc.stopped[lane] == 0 && count >= fc.off_threshold &&
+          last_signal_[lane] != 0) {
+        engine_fail("onoff-liveness", cycle, lane,
+                    "sender running with %u flits at/above the stop level "
+                    "%u and no STOP in flight",
+                    count, fc.off_threshold);
+      }
+    } else {
+      if (fc.credits[lane] > fc.depth) {
+        engine_fail("credit-conservation", cycle, lane,
+                    "%u credits exceed the %u-deep fifo (overflowed "
+                    "counter?)",
+                    fc.credits[lane], fc.depth);
+      }
+      // Every buffer slot is exactly one of: holding a flit, spendable by
+      // the sender, or travelling home as a credit return.
+      if (fc.credits[lane] + count + pending_returns_[lane] != fc.depth) {
+        engine_fail("credit-conservation", cycle, lane,
+                    "%u credits + %u buffered + %u in flight != depth %u",
+                    fc.credits[lane], count, pending_returns_[lane],
+                    fc.depth);
+      }
+    }
+
+    // An open starvation interval promises the sender is gated while the
+    // fifo has space; both halves must still hold when it is open.
+    if (fc.starve_since[lane] != kNoCycle) {
+      if (fc.starve_since[lane] > cycle) {
+        engine_fail("starvation-accounting", cycle, lane,
+                    "starvation interval opened in the future (cycle %llu)",
+                    static_cast<unsigned long long>(fc.starve_since[lane]));
+      }
+      if (fc.can_accept(lane) || count >= fc.depth) {
+        engine_fail("starvation-accounting", cycle, lane,
+                    "open starvation interval but the lane %s",
+                    fc.can_accept(lane) ? "can accept a flit"
+                                        : "has a full fifo");
+      }
+    }
   }
 }
 
@@ -406,7 +613,7 @@ void EngineValidator::check_active_sets() {
       const LaneId lane = ch.first_lane + v;
       if (ch.src.is_node()) {
         if (e_.nodes_[ch.src.id].tx_packet != kNoPacket &&
-            e_.buf_packet_[lane] == kNoPacket) {
+            e_.fc_.can_accept(lane)) {
           ready = true;
         }
         continue;
@@ -415,7 +622,7 @@ void EngineValidator::check_active_sets() {
       if (owner == kInvalidId) continue;
       ++sources;
       if (e_.buf_packet_[owner] != kNoPacket &&
-          (!ch.dst.is_switch() || e_.buf_packet_[lane] == kNoPacket)) {
+          (!ch.dst.is_switch() || e_.fc_.can_accept(lane))) {
         ready = true;
       }
     }
@@ -479,8 +686,18 @@ WaitForAnalysis EngineValidator::analyze_waiting() const {
       bool progress = false;
       const LaneId out = e_.route_out_[lane];
       if (out != kInvalidId) {
-        progress = e_.network_.lane_channel(out).dst.is_node() ||
-                   e_.buf_packet_[out] == kNoPacket || can[out];
+        // A routed flit eventually advances if the downstream fifo has
+        // room it can still use.  Credits merely in flight will arrive by
+        // themselves, so only true fullness blocks; a stopped on/off
+        // sender additionally needs the GO already earned (count at or
+        // below the on threshold) — otherwise it waits on the downstream
+        // flit draining, i.e. on can[out].
+        const bool stopped = e_.fc_.scheme == FlowControlScheme::kOnOff &&
+                             e_.fc_.stopped[out] != 0;
+        const bool space = stopped ? e_.fc_.count[out] <= e_.fc_.on_threshold
+                                   : e_.fc_.count[out] < e_.fc_.depth;
+        progress = e_.network_.lane_channel(out).dst.is_node() || space ||
+                   can[out];
       } else {
         candidates.clear();
         e_.router_.candidates(query_for(lane), lane, candidates);
@@ -612,6 +829,9 @@ void EngineValidator::check_final(const SimResult& result) {
   std::vector<std::uint32_t> buffered_flits(e_.packets_.size(), 0);
   for (LaneId lane = 0; lane < e_.buf_packet_.size(); ++lane) {
     if (e_.buf_packet_[lane] != kNoPacket) ++buffered_flits[e_.buf_packet_[lane]];
+    for (std::uint32_t s = 0; s + 1 < e_.fc_.count[lane]; ++s) {
+      ++buffered_flits[e_.fc_.ext_packet[e_.fc_.ext_base(lane) + s]];
+    }
   }
   std::vector<std::uint8_t> queued(e_.packets_.size(), 0);
   for (const Engine::NodeState& node : e_.nodes_) {

@@ -77,6 +77,10 @@ class EngineValidator {
   ///     both ends of an allocation carry the same worm in order;
   ///   * routing legality: every held route obeys the destination-tag
   ///     digit (unidirectional) or turnaround phase rules (BMIN);
+  ///   * flow control: per-lane FIFO occupancy recount and slot ordering,
+  ///     credit conservation (credits + buffered + in-flight returns ==
+  ///     depth), buffer-occupancy bounds, on/off signal consistency, and
+  ///     backpressure-calendar ordering;
   ///   * active sets: header_lanes_ is exactly the unrouted-header set,
   ///     channel_sources_ matches a recount, epoch stamps never point to
   ///     the future, and every channel ready to transmit next cycle is in
@@ -102,6 +106,7 @@ class EngineValidator {
   static constexpr std::uint64_t kSweepStride = 4;
 
   void check_buffers_and_counters();
+  void check_flow_control();
   void check_allocation();
   void check_routing_legality();
   void check_active_sets();
@@ -118,6 +123,11 @@ class EngineValidator {
   std::vector<std::uint64_t> lane_mark_;
   std::vector<std::uint64_t> node_mark_;
   std::vector<std::uint64_t> chan_mark_;
+  // Flow-control scratch: in-flight credit returns and the newest pending
+  // on/off signal per lane (-1 none, 0 STOP, 1 GO), both rebuilt from one
+  // pass over the backpressure calendar.
+  std::vector<std::uint32_t> pending_returns_;
+  std::vector<std::int8_t> last_signal_;
 };
 
 /// Invariant checker for the store-and-forward reference engine.  The

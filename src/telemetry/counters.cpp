@@ -14,6 +14,9 @@ std::uint64_t Counters::total_flit_crossings() const { return sum(lane_flits); }
 std::uint64_t Counters::total_blocked_cycles() const { return sum(lane_blocked); }
 std::uint64_t Counters::total_grants() const { return sum(switch_grants); }
 std::uint64_t Counters::total_denials() const { return sum(switch_denials); }
+std::uint64_t Counters::total_credit_starved_cycles() const {
+  return sum(lane_credit_starved);
+}
 
 std::uint64_t Counters::channel_flits(const topology::Network& network,
                                       topology::ChannelId channel) const {

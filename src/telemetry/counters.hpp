@@ -24,6 +24,12 @@ struct Counters {
   /// headers denied (all candidates busy or faulty) this cycle.
   std::vector<std::uint64_t> switch_grants;
   std::vector<std::uint64_t> switch_denials;
+  /// Cycles a sender sat gated by flow control while the lane's FIFO had
+  /// space (credits in flight / on-off pause) — credit starvation, as
+  /// opposed to lane_blocked's arbitration contention.  Attributed when
+  /// the starvation interval closes; always zero in the legacy
+  /// single-flit / instant-credit configuration.
+  std::vector<std::uint64_t> lane_credit_starved;
 
   bool enabled() const { return !lane_flits.empty(); }
 
@@ -32,12 +38,14 @@ struct Counters {
     lane_blocked.assign(lane_count, 0);
     switch_grants.assign(switch_count, 0);
     switch_denials.assign(switch_count, 0);
+    lane_credit_starved.assign(lane_count, 0);
   }
 
   std::uint64_t total_flit_crossings() const;
   std::uint64_t total_blocked_cycles() const;
   std::uint64_t total_grants() const;
   std::uint64_t total_denials() const;
+  std::uint64_t total_credit_starved_cycles() const;
 
   /// Flit crossings of one physical channel (sum over its lanes).
   std::uint64_t channel_flits(const topology::Network& network,

@@ -19,7 +19,10 @@
 namespace wormsim::telemetry {
 
 /// Layout version of every JSON document this subsystem writes.
-inline constexpr int kResultSchemaVersion = 1;
+/// v2: simulator configs carry flow-control knobs (buffer_depth,
+/// flow_control scheme, credit_delay); sweep points computed under v1
+/// implicitly assumed the single-flit wormhole buffers.
+inline constexpr int kResultSchemaVersion = 2;
 
 /// Git revision the binary was configured from (`git describe --always
 /// --dirty` at CMake configure time; "unknown" outside a git checkout).

@@ -23,6 +23,7 @@ bool worm_trace_enabled_from_env() {
 WormTracer::WormTracer(std::size_t lane_count, std::size_t channel_count) {
   lane_holder_.assign(lane_count, kNoWorm);
   channel_last_user_.assign(channel_count, kNoWorm);
+  lane_starved_.assign(lane_count, 0);
 }
 
 void WormTracer::on_created(WormId id, std::uint64_t cycle,
@@ -66,7 +67,7 @@ std::uint32_t WormTracer::open_chain_depth(WormId culprit) const {
 }
 
 void WormTracer::on_blocked(WormId id, LaneId in_lane, LaneId culprit_lane,
-                            std::uint64_t cycle) {
+                            std::uint64_t cycle, bool credit_starved) {
   WormRecord& r = rec(id);
   WORMSIM_DCHECK(!r.stages.empty());
   ++r.stages.back().blocked_cycles;
@@ -77,6 +78,7 @@ void WormTracer::on_blocked(WormId id, LaneId in_lane, LaneId culprit_lane,
   if (r.blocked_open) {
     BlockedInterval& open = r.blocked.back();
     if (open.culprit_lane == culprit_lane && open.culprit_worm == holder &&
+        open.credit_starved == credit_starved &&
         open.last_cycle + 1 == cycle) {
       open.last_cycle = cycle;
       return;
@@ -89,6 +91,7 @@ void WormTracer::on_blocked(WormId id, LaneId in_lane, LaneId culprit_lane,
   interval.culprit_lane = culprit_lane;
   interval.culprit_worm = holder;
   interval.chain_depth = open_chain_depth(holder);
+  interval.credit_starved = credit_starved;
   r.blocked.push_back(interval);
   r.blocked_open = true;
 }
@@ -108,6 +111,12 @@ void WormTracer::on_granted(WormId id, LaneId in_lane, LaneId out_lane,
 
 void WormTracer::on_lane_released(LaneId out_lane) {
   lane_holder_[out_lane] = kNoWorm;
+}
+
+void WormTracer::on_credit_starved(WormId id, LaneId lane,
+                                   std::uint64_t cycles) {
+  lane_starved_[lane] += cycles;
+  if (id != kNoWorm) rec(id).starved_cycles += cycles;
 }
 
 void WormTracer::on_delivered(WormId id, std::uint64_t cycle) {
@@ -207,6 +216,8 @@ WormTraceSummary summarize_worm_trace(const WormTracer& tracer,
       continue;
     }
     ++summary.delivered;
+    summary.starved_cycles_total += r.starved_cycles;
+    summary.starved_worms += r.starved_cycles > 0;
     summary.queue_cycles.add(static_cast<double>(r.queue_cycles));
     summary.routing_cycles.add(static_cast<double>(r.routing_cycles));
     summary.blocked_cycles.add(static_cast<double>(r.blocked_cycles));
@@ -271,6 +282,21 @@ WormTraceSummary summarize_worm_trace(const WormTracer& tracer,
                      return a.cycles > b.cycles;
                    });
   if (summary.top_worms.size() > top_n) summary.top_worms.resize(top_n);
+
+  const std::vector<std::uint64_t>& starved = tracer.lane_starved();
+  for (LaneId lane = 0; lane < starved.size(); ++lane) {
+    if (starved[lane] == 0) continue;
+    summary.top_starved_lanes.push_back({lane, starved[lane]});
+  }
+  std::stable_sort(summary.top_starved_lanes.begin(),
+                   summary.top_starved_lanes.end(),
+                   [](const WormTraceSummary::StarvedLane& a,
+                      const WormTraceSummary::StarvedLane& b) {
+                     return a.cycles > b.cycles;
+                   });
+  if (summary.top_starved_lanes.size() > top_n) {
+    summary.top_starved_lanes.resize(top_n);
+  }
   return summary;
 }
 
@@ -334,6 +360,24 @@ JsonValue worm_trace_summary_to_json(const WormTraceSummary& summary,
     worms.push_back(std::move(entry));
   }
   json.set("top_culprit_worms", std::move(worms));
+  // Only present when starvation actually occurred, so results from the
+  // legacy depth-1 / delay-0 model serialize byte-identically to before
+  // the flow-control subsystem existed.
+  if (summary.starved_cycles_total > 0) {
+    JsonValue starvation = JsonValue::object();
+    starvation.set("starved_cycles", summary.starved_cycles_total);
+    starvation.set("starved_worms", summary.starved_worms);
+    JsonValue starved_lanes = JsonValue::array();
+    for (const WormTraceSummary::StarvedLane& lane :
+         summary.top_starved_lanes) {
+      JsonValue entry = JsonValue::object();
+      entry.set("lane", static_cast<std::int64_t>(lane.lane));
+      entry.set("starved_cycles", lane.cycles);
+      starved_lanes.push_back(std::move(entry));
+    }
+    starvation.set("top_starved_lanes", std::move(starved_lanes));
+    json.set("credit_starvation", std::move(starvation));
+  }
   return json;
 }
 
@@ -394,9 +438,11 @@ std::size_t write_worm_trace_chrome(const WormTracer& tracer,
     }
     for (const BlockedInterval& interval : r.blocked) {
       const std::string culprit =
-          interval.culprit_worm == kNoWorm
-              ? std::string("faulty lane")
-              : "worm " + std::to_string(interval.culprit_worm);
+          interval.credit_starved
+              ? std::string("credit starvation")
+              : interval.culprit_worm == kNoWorm
+                    ? std::string("faulty lane")
+                    : "worm " + std::to_string(interval.culprit_worm);
       trace_events.push_back(slice(
           "blocked on " + culprit + " @ lane " +
               std::to_string(interval.culprit_lane) + " (depth " +

@@ -71,6 +71,10 @@ struct BlockedInterval {
   /// 1 = culprit was advancing; n = culprit was itself blocked on a chain
   /// of n-1 more worms when this interval opened (snapshot, capped).
   std::uint32_t chain_depth = 1;
+  /// The culprit lane was gated by flow control while its downstream FIFO
+  /// had space (credit still in flight / on-off pause) — the header was
+  /// credit-starved, not contending with a worm occupying the lane.
+  bool credit_starved = false;
 
   std::uint64_t cycles() const { return last_cycle - first_cycle + 1; }
 };
@@ -106,6 +110,11 @@ struct WormRecord {
   std::uint64_t routing_cycles = 0;
   std::uint64_t blocked_cycles = 0;
   std::uint64_t streaming_cycles = 0;
+  /// Cycles this worm's body sat flow-control-gated while the downstream
+  /// FIFO had space (credit starvation).  A *sub-attribution* overlapping
+  /// the four components above (those already cover the wall clock), not
+  /// a fifth summand; zero in the legacy depth-1 / delay-0 configuration.
+  std::uint64_t starved_cycles = 0;
 
   bool injected() const { return inject_cycle != kNoTraceCycle; }
   bool delivered() const { return deliver_cycle != kNoTraceCycle; }
@@ -146,6 +155,17 @@ struct WormTraceSummary {
   };
   std::vector<CulpritLane> top_lanes;  ///< sorted by cycles desc
   std::vector<CulpritWorm> top_worms;
+
+  // Credit-starvation view (all zero / empty unless deeper buffers or a
+  // credit delay are configured — starvation cannot occur in the legacy
+  // model, and the JSON emitter omits the whole section then).
+  std::uint64_t starved_cycles_total = 0;  ///< over delivered worms
+  std::uint64_t starved_worms = 0;         ///< delivered worms with any
+  struct StarvedLane {
+    topology::LaneId lane = topology::kInvalidId;
+    std::uint64_t cycles = 0;  ///< starved cycles charged to this lane
+  };
+  std::vector<StarvedLane> top_starved_lanes;  ///< sorted by cycles desc
 };
 
 /// Records per-worm lifecycles from engine hook calls.  One tracer per
@@ -169,14 +189,24 @@ class WormTracer {
   /// Arbitration denied the header this cycle; culprit_lane is the first
   /// busy candidate (kInvalidId never happens: an all-faulty candidate set
   /// still names the first faulty lane, with culprit worm kNoWorm).
+  /// credit_starved marks denials whose culprit lane was flow-control
+  /// gated with buffer space free (virtual cut-through's whole-packet
+  /// grant gate) rather than occupied by another worm.
   void on_blocked(WormId id, topology::LaneId in_lane,
-                  topology::LaneId culprit_lane, std::uint64_t cycle);
+                  topology::LaneId culprit_lane, std::uint64_t cycle,
+                  bool credit_starved = false);
   /// Arbitration granted out_lane; the worm holds it until tail crossing.
   void on_granted(WormId id, topology::LaneId in_lane,
                   topology::LaneId out_lane, std::uint64_t cycle);
   /// Tail crossed out_lane: the allocation (and holder) is released.
   void on_lane_released(topology::LaneId out_lane);
   void on_delivered(WormId id, std::uint64_t cycle);
+  /// A closed credit-starvation interval: worm `id`'s body spent `cycles`
+  /// flow-control gated at `lane` while the downstream FIFO had space.
+  /// Called once per interval when the gate lifts (id may be kNoWorm if
+  /// the sending lane had no allocation to attribute).
+  void on_credit_starved(WormId id, topology::LaneId lane,
+                         std::uint64_t cycles);
 
   // ---- Store-and-forward engine hooks --------------------------------
   /// Measured flag is only known when the packet actually enqueues.
@@ -199,6 +229,10 @@ class WormTracer {
   WormId lane_holder(topology::LaneId lane) const {
     return lane_holder_.at(lane);
   }
+  /// Starved cycles charged per lane (the lane whose credits ran dry).
+  const std::vector<std::uint64_t>& lane_starved() const {
+    return lane_starved_;
+  }
 
  private:
   std::uint32_t open_chain_depth(WormId culprit) const;
@@ -207,6 +241,7 @@ class WormTracer {
   std::vector<WormRecord> records_;           // indexed by WormId
   std::vector<WormId> lane_holder_;           // wormhole lane allocation
   std::vector<WormId> channel_last_user_;     // SF: previous transfer owner
+  std::vector<std::uint64_t> lane_starved_;   // starved cycles per lane
 };
 
 /// Aggregates delivered records into component stats, p95s, the

@@ -118,6 +118,37 @@ TEST(CacheFingerprint, SensitiveToEveryInput) {
   EXPECT_EQ(fp, ResultCache::fingerprint(relabeled, 0.3, config));
 }
 
+TEST(CacheFingerprint, SensitiveToFlowControlKnobs) {
+  // The flow-control axes change delivered results, so a point computed
+  // at one (scheme, depth, delay) must never satisfy a probe for another
+  // — each knob must move the address.
+  const SeriesSpec spec = tiny_spec();
+  const sim::SimConfig config = tiny_options().sim;
+  const std::string fp = ResultCache::fingerprint(spec, 0.3, config);
+
+  sim::SimConfig deeper = config;
+  deeper.buffer_depth = 4;
+  EXPECT_NE(fp, ResultCache::fingerprint(spec, 0.3, deeper));
+
+  sim::SimConfig onoff = config;
+  onoff.flow_control = sim::FlowControlScheme::kOnOff;
+  EXPECT_NE(fp, ResultCache::fingerprint(spec, 0.3, onoff));
+
+  sim::SimConfig vct = config;
+  vct.flow_control = sim::FlowControlScheme::kVirtualCutThrough;
+  EXPECT_NE(fp, ResultCache::fingerprint(spec, 0.3, vct));
+
+  sim::SimConfig delayed = config;
+  delayed.credit_delay = 2;
+  EXPECT_NE(fp, ResultCache::fingerprint(spec, 0.3, delayed));
+
+  // All three knobs are distinct axes, not aliases of one another.
+  sim::SimConfig deep_delayed = deeper;
+  deep_delayed.credit_delay = 2;
+  EXPECT_NE(ResultCache::fingerprint(spec, 0.3, deeper),
+            ResultCache::fingerprint(spec, 0.3, deep_delayed));
+}
+
 TEST(CacheFingerprint, ObservabilityTogglesDoNotSplitTheAddressSpace) {
   const SeriesSpec spec = tiny_spec();
   sim::SimConfig config = tiny_options().sim;

@@ -51,6 +51,8 @@ struct EngineTestPeer {
     return e.worms_in_flight_;
   }
   static std::uint64_t epoch(const Engine& e) { return e.epoch_; }
+  static std::uint64_t cycle(const Engine& e) { return e.cycle_; }
+  static FlowControlState& fc(Engine& e) { return e.fc_; }
   static EngineValidator& validator(Engine& e) { return *e.validator_; }
 };
 
@@ -317,6 +319,90 @@ TEST(BminCorruption, SkippedTurnTripsRoutingLegality) {
         EngineTestPeer::validator(engine).check_cycle_end();
       },
       "invariant 'routing-legality'.*skipped turn");
+}
+
+// ---- Flow-control corruptions ---------------------------------------------
+
+TEST_F(EngineCorruption, LeakedCreditTripsCreditConservation) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        const LaneId lane = buffered_lane();
+        ++EngineTestPeer::fc(engine_).credits[lane];
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'credit-conservation'.*!= depth");
+}
+
+TEST_F(EngineCorruption, OccupancyCounterTripsBufferBound) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        // Zero the fifo count under a lane whose head slot holds a flit —
+        // the books now claim an empty buffer that demonstrably is not.
+        const LaneId lane = buffered_lane();
+        EngineTestPeer::fc(engine_).count[lane] = 0;
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'buffer-occupancy'.*disagrees with the head slot");
+}
+
+TEST_F(EngineCorruption, OverdueCreditEventCaught) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  ASSERT_GT(EngineTestPeer::cycle(engine_), 0u);
+  EXPECT_DEATH(
+      {
+        // A credit whose due cycle already passed should have been
+        // drained at the top of step(); finding one means the calendar
+        // stopped advancing.
+        EngineTestPeer::fc(engine_).events.push_back({0, 0, false});
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'credit-conservation'.*already overdue");
+}
+
+TEST_F(EngineCorruption, PhantomStarvationIntervalCaught) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        // Open a starvation interval on a lane that can plainly accept a
+        // flit — the accounting would charge cycles nobody starved for.
+        auto& fc = EngineTestPeer::fc(engine_);
+        for (LaneId lane = 0; lane < fc.count.size(); ++lane) {
+          if (fc.can_accept(lane)) {
+            fc.starve_since[lane] = 0;
+            break;
+          }
+        }
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'starvation-accounting'.*can accept a flit");
+}
+
+TEST(OnOffCorruption, StuckStopBitTripsLiveness) {
+  const Network net = topology::build_network(
+      net_config(NetworkKind::kTMIN, "cube", 2, 3));
+  const auto router = routing::make_router(net);
+  SimConfig config;
+  config.seed = 7;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 1'000'000;
+  config.drain_cycles = 0;
+  config.validate = true;
+  config.buffer_depth = 8;
+  config.flow_control = FlowControlScheme::kOnOff;
+  config.credit_delay = 2;
+  Engine engine(net, *router, nullptr, config);
+  engine.inject_message(0, 7, 8);
+  for (int i = 0; i < 4; ++i) engine.step();
+  EXPECT_DEATH(
+      {
+        // Stop an empty lane with no GO in flight: the sender would wait
+        // forever on a resume signal nobody owes it.
+        EngineTestPeer::fc(engine).stopped[0] = 1;
+        EngineTestPeer::validator(engine).check_cycle_end();
+      },
+      "invariant 'onoff-liveness'.*no GO in flight");
 }
 
 // ---- Store-and-forward corruptions ----------------------------------------
