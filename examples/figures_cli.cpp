@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::int64_t seed = 20250707;
   std::int64_t threads = 0;
+  std::int64_t engine_threads = 0;
   std::string shard;
   std::string cache_dir;
   std::string out_dir;
@@ -52,6 +53,10 @@ int main(int argc, char** argv) {
                "worker threads for the point-granular sweep pool (0 = "
                "WORMSIM_THREADS env or sequential); results match the "
                "sequential run bitwise");
+  cli.add_flag("engine-threads", &engine_threads,
+               "advance-team width inside each simulated point (0 = "
+               "WORMSIM_ENGINE_THREADS env or sequential); bitwise "
+               "neutral, useful for single large simulations");
   cli.add_flag("shard", &shard,
                "with --all: run shard i of n (\"i/n\", 0-based) of the "
                "deterministic figure partition");
@@ -90,6 +95,9 @@ int main(int argc, char** argv) {
   options.quick = options.quick || quick;
   options.seed = static_cast<std::uint64_t>(seed);
   if (threads > 0) options.threads = static_cast<unsigned>(threads);
+  if (engine_threads > 0) {
+    options.engine_threads = static_cast<std::uint32_t>(engine_threads);
+  }
   if (!cache_dir.empty()) options.cache_dir = cache_dir;
   if (!json_dir.empty()) options.json_dir = json_dir;
   if (buffer_depth > 0) {

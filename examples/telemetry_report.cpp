@@ -273,7 +273,7 @@ int report_directory(const std::string& dir) {
     return 1;
   }
   util::Table table({"id", "schema", "seed", "git", "series", "points",
-                     "peak_accepted%", "cycles/s"});
+                     "peak_accepted%", "cycles/s", "engine"});
   std::size_t summarized = 0;
   for (const std::filesystem::path& path : files) {
     std::ifstream in(path);
@@ -293,6 +293,14 @@ int report_directory(const std::string& dir) {
         peak = std::max(peak, p.at("throughput").as_number());
       }
     }
+    // Advance-team width the run's points used; "-" for results written
+    // before the knob existed or runs that stayed sequential (the
+    // "engine" object is omitted in both cases).
+    const telemetry::JsonValue* engine = doc.find("engine");
+    const std::string engine_cell =
+        engine != nullptr
+            ? std::to_string(engine->at("threads").as_uint()) + "t"
+            : std::string("-");
     table.row()
         .cell(doc.at("id").as_string())
         .cell(doc.at("schema_version").as_uint())
@@ -301,7 +309,8 @@ int report_directory(const std::string& dir) {
         .cell(static_cast<std::uint64_t>(doc.at("series").items().size()))
         .cell(static_cast<std::uint64_t>(points))
         .cell(peak * 100.0, 1)
-        .cell(doc.at("cycles_per_second").as_number(), 0);
+        .cell(doc.at("cycles_per_second").as_number(), 0)
+        .cell(engine_cell);
     ++summarized;
   }
   // Every file skipped is as useless to a caller (or a CI step) as an
@@ -368,6 +377,7 @@ int main(int argc, char** argv) {
   std::int64_t buffer_depth = 0;
   std::string flow_control;
   std::int64_t credit_delay = -1;
+  std::int64_t engine_threads = 0;
   util::CliParser cli(
       "telemetry_report: channel heatmaps, trace export, results summary");
   cli.add_flag("figure", &figure, "figure id to run with telemetry on");
@@ -390,6 +400,10 @@ int main(int argc, char** argv) {
   cli.add_flag("credit-delay", &credit_delay,
                "credit/signal return delay in cycles (-1 = "
                "WORMSIM_CREDIT_DELAY env or 0)");
+  cli.add_flag("engine-threads", &engine_threads,
+               "advance-team width inside each simulated point (0 = "
+               "WORMSIM_ENGINE_THREADS env or sequential); bitwise "
+               "neutral");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -418,6 +432,9 @@ int main(int argc, char** argv) {
   }
   if (credit_delay >= 0) {
     options.credit_delay = static_cast<std::uint32_t>(credit_delay);
+  }
+  if (engine_threads > 0) {
+    options.engine_threads = static_cast<std::uint32_t>(engine_threads);
   }
   options.json_dir.clear();  // reporting only; never writes results
   if (stalls || !worm_trace_dir.empty()) {

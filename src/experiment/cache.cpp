@@ -172,6 +172,9 @@ std::string ResultCache::fingerprint(const SeriesSpec& spec, double load,
   key.field("sim.flow_control",
             std::string(sim::to_string(sim_config.flow_control)));
   key.field("sim.credit_delay", sim_config.credit_delay);
+  // engine_threads / engine_threads_exact are deliberately NOT keyed:
+  // the advance team is bitwise neutral (tests/golden_test.cpp pins it),
+  // so points computed at any width answer for every width.
 
   // Materialize the workload exactly as run_point will: the factory may
   // depend on the built network (clusterings need its address space).

@@ -38,6 +38,7 @@ sim::SimConfig RunOptions::sim_config() const {
   config.buffer_depth = buffer_depth;
   config.flow_control = flow_control;
   config.credit_delay = credit_delay;
+  config.engine_threads = engine_threads;
   return config;
 }
 
@@ -84,6 +85,13 @@ RunOptions RunOptions::from_env() {
   if (const char* delay = std::getenv("WORMSIM_CREDIT_DELAY")) {
     options.credit_delay =
         static_cast<std::uint32_t>(std::strtoul(delay, nullptr, 10));
+  }
+  // The Engine constructor reads the same variable itself; resolving it
+  // here as well keeps the value visible in sweep fingerprints and JSON
+  // manifests rather than appearing only inside the engine.
+  if (const char* engine = std::getenv("WORMSIM_ENGINE_THREADS")) {
+    options.engine_threads =
+        static_cast<std::uint32_t>(std::strtoul(engine, nullptr, 10));
   }
   return options;
 }
@@ -709,6 +717,9 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
     manifest.points_computed = pool_stats.computed;
     manifest.points_cached = pool_stats.cache_hits;
     manifest.points_speculated = pool_stats.speculated;
+    manifest.engine_threads = pool_stats.engine_threads;
+    manifest.engine_domain_busy_seconds =
+        pool_stats.engine_domain_busy_seconds;
     manifest.cache_used = result.cache_used;
     manifest.cache_hits = result.cache_stats.hits;
     manifest.cache_misses = result.cache_stats.misses;

@@ -39,6 +39,13 @@ struct RunOptions {
   sim::FlowControlScheme flow_control = sim::FlowControlScheme::kCredit;
   std::uint32_t credit_delay = 0;
 
+  /// Advance-team width WITHIN each simulated point (SimConfig::
+  /// engine_threads; bitwise neutral at every width), as opposed to
+  /// `threads` above, which parallelizes ACROSS points.  The paper-sized
+  /// 64-node figures clamp back to sequential; the knob exists for
+  /// large-N studies.
+  std::uint32_t engine_threads = 1;
+
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
@@ -46,8 +53,8 @@ struct RunOptions {
 
   /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>,
   /// WORMSIM_JSON_DIR=<dir>, WORMSIM_CACHE_DIR=<dir>,
-  /// WORMSIM_BUFFER_DEPTH=<flits>, WORMSIM_FLOW_CONTROL=<scheme>, and
-  /// WORMSIM_CREDIT_DELAY=<cycles>.
+  /// WORMSIM_BUFFER_DEPTH=<flits>, WORMSIM_FLOW_CONTROL=<scheme>,
+  /// WORMSIM_CREDIT_DELAY=<cycles>, and WORMSIM_ENGINE_THREADS=<n>.
   static RunOptions from_env();
 };
 

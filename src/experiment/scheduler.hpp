@@ -57,6 +57,15 @@ struct PoolStats {
                ? busy_seconds / (wall_seconds * threads)
                : 0.0;
   }
+  /// Widest advance team any computed point actually ran with (1 when
+  /// every point was sequential — small nets clamp, BMIN falls back).
+  /// Orthogonal to `threads` above: the pool parallelizes ACROSS points,
+  /// the advance team WITHIN one.
+  unsigned engine_threads = 1;
+  /// Element-wise sum over computed points of each advance domain's busy
+  /// time in the parallel decide phase; empty when every point ran
+  /// sequentially.
+  std::vector<double> engine_domain_busy_seconds;
 };
 
 /// Runs every series of `specs` over the pool; returns one Series per

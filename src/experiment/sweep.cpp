@@ -36,6 +36,9 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
     sf_config.buffer_packets = sim_config.buffer_depth;
     sf_config.flits_per_microsecond = sim_config.flits_per_microsecond;
     sf_config.telemetry = sim_config.telemetry;
+    // Accepted-but-ignored (the reference engine is sequential); set for
+    // config symmetry so mixed wormhole/SF sweeps share one knob.
+    sf_config.engine_threads = sim_config.engine_threads;
     sim::StoreForwardEngine engine(network, *router, &traffic, sf_config);
     result = engine.run();
   } else {

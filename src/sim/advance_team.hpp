@@ -1,0 +1,100 @@
+// Persistent worker team for the domain-partitioned advance phase.
+//
+// The engine runs up to ~6 fixpoint passes per cycle, so launching threads
+// per pass would drown the work in creation overhead.  The team keeps
+// N-1 workers parked on a generation counter; run(job) publishes the job,
+// bumps the generation (release), executes domain 0 on the calling thread,
+// and waits for the workers' done-count (acquire) — a full happens-before
+// edge in each direction, so the engine's plain (non-atomic) hot arrays
+// are safely visible to the workers during the job and back to the caller
+// after it.  Workers spin briefly before falling back to a futex wait
+// (C++20 atomic wait), which keeps pass latency low while a blocked
+// simulation costs no CPU.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace wormsim::sim {
+
+class AdvanceTeam {
+ public:
+  using Job = std::function<void(unsigned)>;
+
+  /// Spawns `domains - 1` workers; the calling thread always runs
+  /// domain 0 itself inside run().
+  explicit AdvanceTeam(unsigned domains) {
+    workers_.reserve(domains > 0 ? domains - 1 : 0);
+    for (unsigned d = 1; d < domains; ++d) {
+      workers_.emplace_back([this, d] { worker_loop(d); });
+    }
+  }
+
+  AdvanceTeam(const AdvanceTeam&) = delete;
+  AdvanceTeam& operator=(const AdvanceTeam&) = delete;
+
+  ~AdvanceTeam() {
+    stop_.store(true, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Runs job(d) for every domain d in [0, domains), domain 0 on the
+  /// calling thread, and returns after all domains finish.
+  void run(const Job& job) {
+    const auto expect = static_cast<std::uint32_t>(workers_.size());
+    job_ = &job;
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    job(0);
+    // Spin briefly (passes are tens of microseconds), then futex-wait.
+    for (int i = 0; i < 4096; ++i) {
+      if (done_.load(std::memory_order_acquire) == expect) {
+        done_.store(0, std::memory_order_relaxed);
+        return;
+      }
+    }
+    std::uint32_t done = done_.load(std::memory_order_acquire);
+    while (done != expect) {
+      done_.wait(done, std::memory_order_acquire);
+      done = done_.load(std::memory_order_acquire);
+    }
+    done_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop(unsigned domain) {
+    // Start from generation 0 (gen_'s initial value), NOT a fresh load:
+    // the caller may already have published generation 1 before this
+    // thread first runs, and loading it here would silently mark that
+    // generation consumed — the caller would then wait forever.
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t cur = gen_.load(std::memory_order_acquire);
+      for (int i = 0; cur == seen && i < 4096; ++i) {
+        cur = gen_.load(std::memory_order_acquire);
+      }
+      while (cur == seen) {
+        gen_.wait(seen, std::memory_order_acquire);
+        cur = gen_.load(std::memory_order_acquire);
+      }
+      seen = cur;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      (*job_)(domain);
+      done_.fetch_add(1, std::memory_order_release);
+      done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  const Job* job_ = nullptr;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace wormsim::sim

@@ -78,6 +78,19 @@ struct SimConfig {
   /// SimResult::telemetry_counters / telemetry_samples.
   telemetry::TelemetryConfig telemetry;
 
+  /// Advance-team width for THIS simulation point (distinct from the
+  /// sweep scheduler's worker pool, which parallelizes across points).
+  /// 1 = sequential (default); 0 = one domain per hardware thread; N > 1
+  /// is clamped to the hardware concurrency.  Results are bitwise
+  /// identical at every width (DESIGN.md §12); networks that are not
+  /// feed-forward in channel ids (BMIN) silently fall back to
+  /// sequential.  Also settable via WORMSIM_ENGINE_THREADS /
+  /// --engine-threads.
+  std::uint32_t engine_threads = 1;
+  /// Testing hook: skip the hardware-concurrency clamp so determinism
+  /// tests exercise real multi-domain teams on any host.
+  bool engine_threads_exact = false;
+
   /// Runtime invariant checking (src/sim/validate.hpp): a read-only
   /// structural sweep every cycle plus an end-of-run reconcile, aborting
   /// with a precise diagnostic on the first violation.  Also enabled by

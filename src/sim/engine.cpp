@@ -1,9 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "sim/validate.hpp"
 #include "telemetry/worm_trace.hpp"
@@ -22,6 +25,10 @@ namespace {
 /// First integer cycle at which `next_arrival <= cycle` holds.
 std::uint64_t fire_cycle(double next_arrival) {
   return static_cast<std::uint64_t>(std::ceil(next_arrival));
+}
+
+std::uint32_t hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 }  // namespace
@@ -45,19 +52,41 @@ Engine::Engine(const topology::Network& network,
   vc_rr_.assign(channels, 0);
   channel_faulty_.assign(channels, 0);
   channel_sources_.assign(channels, 0);
-  seed_stamp_.assign(channels, 0);
-  channel_pass_stamp_.assign(channels, 0);
+  seed_bits_.resize(channels);
+  cur_pass_.resize(channels);
+  next_pass_.resize(channels);
   fc_.configure(lanes, config_.flow_control, config_.buffer_depth,
                 config_.credit_delay);
 
-  nodes_.resize(network_.node_count());
-  tx_pending_flag_.assign(network_.node_count(), 0);
-  for (NodeId node = 0; node < network_.node_count(); ++node) {
-    NodeState& state = nodes_[node];
-    state.active = traffic_ != nullptr && traffic_->node_active(node);
-    if (state.active) {
-      state.next_arrival = traffic_->next_gap(node, rng_);
-      arrival_calendar_.emplace(fire_cycle(state.next_arrival), node);
+  // Flatten the per-channel topology fields the advance loop reads, so a
+  // transmit decision never decodes a PhysChannel/Endpoint pair.
+  ch_first_lane_.assign(channels, kInvalidId);
+  ch_num_lanes_.assign(channels, 0);
+  ch_src_node_.assign(channels, kInvalidId);
+  ch_dst_is_switch_.assign(channels, 0);
+  lane_channel_.assign(lanes, kInvalidId);
+  for (const PhysChannel& ch : network_.channels()) {
+    ch_first_lane_[ch.id] = ch.first_lane;
+    ch_num_lanes_[ch.id] = static_cast<std::uint8_t>(ch.num_lanes);
+    if (ch.src.is_node()) {
+      ch_src_node_[ch.id] = static_cast<std::uint32_t>(ch.src.id);
+    }
+    ch_dst_is_switch_[ch.id] = ch.dst.is_switch() ? 1 : 0;
+    for (unsigned v = 0; v < ch.num_lanes; ++v) {
+      lane_channel_[ch.first_lane + v] = ch.id;
+    }
+  }
+
+  const std::size_t node_count = network_.node_count();
+  node_queue_.resize(node_count);
+  node_tx_packet_.assign(node_count, kNoPacket);
+  node_tx_sent_.assign(node_count, 0);
+  node_next_arrival_.assign(node_count, 0.0);
+  tx_pending_flag_.assign(node_count, 0);
+  for (NodeId node = 0; node < node_count; ++node) {
+    if (traffic_ != nullptr && traffic_->node_active(node)) {
+      node_next_arrival_[node] = traffic_->next_gap(node, rng_);
+      arrival_calendar_.emplace(fire_cycle(node_next_arrival_[node]), node);
     }
   }
 
@@ -71,6 +100,75 @@ Engine::Engine(const topology::Network& network,
       lane_dst_switch_[lane.id] = static_cast<std::uint32_t>(
           network_.channel(lane.channel).dst.id);
     }
+  }
+  header_bits_.resize(switch_input_lanes_.size());
+
+  cand_pkt_.assign(lanes, kNoPacket);
+  cand_len_.assign(lanes, 0);
+  cand_store_.assign(lanes * kCandStride, kInvalidId);
+
+  // Feed-forward check for the parallel advance: every switch's incoming
+  // channel ids must all be lower than its outgoing ones, so a move can
+  // only unblock a strictly lower channel (DESIGN.md §12).  The
+  // unidirectional MIN builders lay channels out stage by stage and
+  // satisfy this; BMIN's turnaround wiring does not and falls back to the
+  // sequential path.
+  {
+    const std::size_t switches = network_.switches().size();
+    std::vector<std::int64_t> in_max(switches, -1);
+    std::vector<std::int64_t> out_min(switches,
+                                      static_cast<std::int64_t>(channels));
+    for (const PhysChannel& ch : network_.channels()) {
+      if (ch.dst.is_switch()) {
+        in_max[ch.dst.id] =
+            std::max(in_max[ch.dst.id], static_cast<std::int64_t>(ch.id));
+      }
+      if (ch.src.is_switch()) {
+        out_min[ch.src.id] =
+            std::min(out_min[ch.src.id], static_cast<std::int64_t>(ch.id));
+      }
+    }
+    feed_forward_ = true;
+    for (std::size_t sw = 0; sw < switches; ++sw) {
+      if (in_max[sw] >= out_min[sw]) {
+        feed_forward_ = false;
+        break;
+      }
+    }
+  }
+
+  // Environment override, lowest-friction knob for existing drivers.
+  // Exact-width engines (determinism tests) pin their width in config.
+  if (!config_.engine_threads_exact) {
+    if (const char* env = std::getenv("WORMSIM_ENGINE_THREADS")) {
+      config_.engine_threads =
+          static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  std::uint32_t threads = config_.engine_threads;
+  if (threads == 0) threads = hardware_threads();
+  if (!config_.engine_threads_exact) {
+    threads = std::min(threads, hardware_threads());
+  }
+  if (!feed_forward_) threads = 1;
+  // Domains are word-aligned slices of the channel-id bitsets; more
+  // domains than words cannot be given disjoint words.
+  threads = std::min<std::uint32_t>(
+      threads,
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     seed_bits_.word_count())));
+  engine_threads_ = std::max(1u, threads);
+  if (engine_threads_ > 1) {
+    const std::uint64_t words = seed_bits_.word_count();
+    domain_begin_.resize(engine_threads_ + 1);
+    for (std::uint32_t d = 0; d <= engine_threads_; ++d) {
+      domain_begin_[d] = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(channels, words * d / engine_threads_ * 64));
+    }
+    domain_begin_[engine_threads_] = static_cast<std::uint32_t>(channels);
+    domain_moves_.resize(engine_threads_);
+    domain_busy_seconds_.assign(engine_threads_, 0.0);
+    team_ = std::make_unique<AdvanceTeam>(engine_threads_);
   }
 
   result_.measure_cycles = config_.measure_cycles;
@@ -130,18 +228,18 @@ PacketId Engine::inject_message(NodeId src, std::uint64_t dst,
 }
 
 void Engine::enqueue_packet(NodeId src, PacketId id) {
-  NodeState& node = nodes_[src];
-  if (node.queue.size() >= config_.queue_capacity) {
+  std::deque<PacketId>& queue = node_queue_[src];
+  if (queue.size() >= config_.queue_capacity) {
     ++result_.dropped_messages;
     packets_[id].deliver_cycle = kNoCycle;
     return;
   }
-  node.queue.push_back(id);
+  queue.push_back(id);
   ++queued_messages_;
-  if (node.tx_packet == kNoPacket) mark_tx_pending(src);
+  if (node_tx_packet_[src] == kNoPacket) mark_tx_pending(src);
   if (in_measure_window()) {
     result_.max_source_queue =
-        std::max<std::uint64_t>(result_.max_source_queue, node.queue.size());
+        std::max<std::uint64_t>(result_.max_source_queue, queue.size());
   }
 }
 
@@ -159,8 +257,8 @@ void Engine::generate_arrivals() {
   if (due_nodes_.empty()) return;
   std::sort(due_nodes_.begin(), due_nodes_.end());
   for (NodeId node : due_nodes_) {
-    NodeState& state = nodes_[node];
-    while (state.next_arrival <= now) {
+    double next = node_next_arrival_[node];
+    while (next <= now) {
       const std::uint64_t dst = traffic_->next_destination(node, rng_);
       WORMSIM_DCHECK(dst != node);
       const std::uint32_t length = traffic_->next_length(node, rng_);
@@ -169,9 +267,10 @@ void Engine::generate_arrivals() {
         ++result_.generated_messages_in_window;
         result_.generated_flits_in_window += packets_[id].length;
       }
-      state.next_arrival += std::max(traffic_->next_gap(node, rng_), 1e-9);
+      next += std::max(traffic_->next_gap(node, rng_), 1e-9);
     }
-    arrival_calendar_.emplace(fire_cycle(state.next_arrival), node);
+    node_next_arrival_[node] = next;
+    arrival_calendar_.emplace(fire_cycle(next), node);
   }
 }
 
@@ -180,16 +279,16 @@ void Engine::start_transmissions() {
   // nodes marked pending (new queue head, or a transmission that just
   // finished with more queued) can change state.
   if (tx_pending_.empty()) return;
-  for (NodeId node_id : tx_pending_) {
-    tx_pending_flag_[node_id] = 0;
-    NodeState& node = nodes_[node_id];
-    if (node.tx_packet == kNoPacket && !node.queue.empty()) {
-      node.tx_packet = node.queue.front();
-      node.queue.pop_front();
+  for (NodeId node : tx_pending_) {
+    tx_pending_flag_[node] = 0;
+    std::deque<PacketId>& queue = node_queue_[node];
+    if (node_tx_packet_[node] == kNoPacket && !queue.empty()) {
+      node_tx_packet_[node] = queue.front();
+      queue.pop_front();
       --queued_messages_;
-      node.tx_sent = 0;
+      node_tx_sent_[node] = 0;
       ++transmitting_nodes_;
-      activate_channel(network_.injection_channel(node_id));
+      activate_channel(network_.injection_channel(node));
     }
   }
   tx_pending_.clear();
@@ -213,45 +312,57 @@ void Engine::route_and_allocate() {
     case ArbitrationOrder::kFixed:
       break;
   }
-  if (header_lanes_.empty()) return;
-  // Visit exactly the lanes holding an unrouted header, in the same
-  // rotated scan order the full sweep over switch_input_lanes_ used.
-  std::sort(header_lanes_.begin(), header_lanes_.end(),
-            [&](LaneId a, LaneId b) {
-              const std::size_t pa = lane_scan_pos_[a];
-              const std::size_t pb = lane_scan_pos_[b];
-              const std::size_t ka =
-                  pa >= offset ? pa - offset : pa + count - offset;
-              const std::size_t kb =
-                  pb >= offset ? pb - offset : pb + count - offset;
-              return ka < kb;
-            });
-  header_scratch_.swap(header_lanes_);
-  header_lanes_.clear();
-  routing::CandidateList candidates;
+  if (header_count_ == 0) return;
+  const bool vct =
+      config_.flow_control == FlowControlScheme::kVirtualCutThrough;
+  routing::CandidateList fresh;
   routing::CandidateList free_lanes;
-  for (const LaneId u : header_scratch_) {
+  // Visit exactly the set positions, rotated: [offset, count) then
+  // [0, offset) — the same order the old rotated sort produced.  A grant
+  // clears its own bit; blocked headers keep theirs for next cycle.
+  const auto serve = [&](std::uint32_t pos) {
+    const LaneId u = switch_input_lanes_[pos];
     WORMSIM_DCHECK(buf_packet_[u] != kNoPacket);
     WORMSIM_DCHECK(buf_seq_[u] == 0);
     WORMSIM_DCHECK(route_out_[u] == kInvalidId);
-    const PacketState& pkt = packets_[buf_packet_[u]];
-    routing::RouteQuery query;
-    query.src = pkt.src;
-    query.dst = pkt.dst;
-    query.turn_stage = pkt.turn_stage;
-    candidates.clear();
-    router_.candidates(query, u, candidates);
+    const PacketId pid = buf_packet_[u];
+    const PacketState& pkt = packets_[pid];
+    // Router::candidates is pure in (packet, lane) and packet ids are
+    // unique per run, so a blocked header re-arbitrating every cycle
+    // reuses its memoized list instead of re-walking the topology.
+    const LaneId* cand = nullptr;
+    std::size_t cand_count = 0;
+    if (cand_pkt_[u] == pid && cand_len_[u] != kCandOverflow) {
+      cand = &cand_store_[std::size_t{u} * kCandStride];
+      cand_count = cand_len_[u];
+    } else {
+      routing::RouteQuery query;
+      query.src = pkt.src;
+      query.dst = pkt.dst;
+      query.turn_stage = pkt.turn_stage;
+      fresh.clear();
+      router_.candidates(query, u, fresh);
+      cand_pkt_[u] = pid;
+      if (fresh.size() <= kCandStride) {
+        cand_len_[u] = static_cast<std::uint8_t>(fresh.size());
+        std::copy(fresh.begin(), fresh.end(),
+                  &cand_store_[std::size_t{u} * kCandStride]);
+      } else {
+        cand_len_[u] = kCandOverflow;
+      }
+      cand = fresh.begin();
+      cand_count = fresh.size();
+    }
     free_lanes.clear();
     // Virtual cut-through only grants a switch-destined lane whose buffer
     // can absorb the whole packet (ejection lanes consume instantly and
     // are exempt); the first such credit-gated lane is remembered for
     // starvation attribution.
-    const bool vct =
-        config_.flow_control == FlowControlScheme::kVirtualCutThrough;
     LaneId credit_gated = kInvalidId;
-    for (LaneId lane : candidates) {
+    for (std::size_t i = 0; i < cand_count; ++i) {
+      const LaneId lane = cand[i];
       if (alloc_owner_[lane] != kInvalidId) continue;
-      if (channel_faulty_[network_.lane(lane).channel]) continue;
+      if (channel_faulty_[lane_channel_[lane]]) continue;
       if (vct && lane_scan_pos_[lane] != kInvalidId &&
           !fc_.can_accept_packet(lane, pkt.length)) {
         if (credit_gated == kInvalidId) credit_gated = lane;
@@ -259,8 +370,7 @@ void Engine::route_and_allocate() {
       }
       free_lanes.push_back(lane);
     }
-    if (free_lanes.empty()) {  // blocked; stays in the set for next cycle
-      header_lanes_.push_back(u);
+    if (free_lanes.empty()) {  // blocked; the bit stays for next cycle
       if (tel_window_ != nullptr) {
         ++tel_window_->lane_blocked[u];
         ++tel_window_->switch_denials[lane_dst_switch_[u]];
@@ -272,11 +382,11 @@ void Engine::route_and_allocate() {
         // is a credit-dry lane is credit-starved, not contending; with
         // every candidate faulty, the first faulty lane — there is no
         // worm to blame.
-        LaneId culprit = candidates.empty() ? kInvalidId : candidates[0];
+        LaneId culprit = cand_count == 0 ? kInvalidId : cand[0];
         bool busy = false;
-        for (LaneId lane : candidates) {
-          if (alloc_owner_[lane] != kInvalidId) {
-            culprit = lane;
+        for (std::size_t i = 0; i < cand_count; ++i) {
+          if (alloc_owner_[cand[i]] != kInvalidId) {
+            culprit = cand[i];
             busy = true;
             break;
           }
@@ -289,27 +399,31 @@ void Engine::route_and_allocate() {
           }
         }
         if (wtrace_ != nullptr) {
-          wtrace_->on_blocked(buf_packet_[u], u, culprit, cycle_, starved);
+          wtrace_->on_blocked(pid, u, culprit, cycle_, starved);
         }
       }
-      continue;
+      return;
     }
     const LaneId chosen =
         config_.lane_selection == LaneSelection::kFirstFree
             ? free_lanes[0]
             : free_lanes[static_cast<std::size_t>(
                   rng_.below(free_lanes.size()))];
+    header_bits_.clear(pos);
+    --header_count_;
     route_out_[u] = chosen;
     alloc_owner_[chosen] = u;
-    activate_channel(network_.lane(chosen).channel);
+    activate_channel(lane_channel_[chosen]);
     if (tel_window_ != nullptr) {
       ++tel_window_->switch_grants[lane_dst_switch_[u]];
     }
     if (wtrace_ != nullptr) {
-      wtrace_->on_granted(buf_packet_[u], u, chosen, cycle_);
+      wtrace_->on_granted(pid, u, chosen, cycle_);
     }
-    trace(TraceEvent::Kind::kRouted, buf_packet_[u], 0, chosen);
-  }
+    trace(TraceEvent::Kind::kRouted, pid, 0, chosen);
+  };
+  header_bits_.for_each_in(offset, count, serve);
+  header_bits_.for_each_in(0, offset, serve);
 }
 
 void Engine::fail_channel(ChannelId channel) {
@@ -320,49 +434,59 @@ void Engine::fail_channel(ChannelId channel) {
   channel_faulty_[channel] = 1;
 }
 
-bool Engine::try_channel(ChannelId ch_id) {
+int Engine::decide_channel(ChannelId ch_id) {
   if (channel_used_epoch_[ch_id] == epoch_ || channel_faulty_[ch_id]) {
-    return false;
+    return -1;
   }
-  const PhysChannel& ch = network_.channel(ch_id);
+  const LaneId first = ch_first_lane_[ch_id];
+  const unsigned num = ch_num_lanes_[ch_id];
+  const std::uint32_t src_node = ch_src_node_[ch_id];
 
   // Gather the lanes of this physical channel that could transmit a flit
   // right now, then let the round-robin pointer pick among them.
   std::uint32_t ready_mask = 0;
-  for (unsigned v = 0; v < ch.num_lanes; ++v) {
-    const LaneId lane = ch.first_lane + v;
-    if (ch.src.is_node()) {
-      // Injection channel: the node pushes flits of its active message.
-      const NodeState& node = nodes_[ch.src.id];
-      if (node.tx_packet == kNoPacket) continue;
-      if (!fc_.can_accept(lane)) {  // no credit / stopped / buffer full
-        fc_open_starve(lane);
-        continue;
+  if (src_node != kInvalidId) {
+    // Injection channel: the node pushes flits of its active message.
+    if (node_tx_packet_[src_node] != kNoPacket) {
+      for (unsigned v = 0; v < num; ++v) {
+        const LaneId lane = first + v;
+        if (!fc_.can_accept(lane)) {  // no credit / stopped / buffer full
+          fc_open_starve(lane);
+          continue;
+        }
+        ready_mask |= 1u << v;
       }
-      ready_mask |= 1u << v;
-    } else {
+    }
+  } else {
+    const bool dst_switch = ch_dst_is_switch_[ch_id] != 0;
+    for (unsigned v = 0; v < num; ++v) {
+      const LaneId lane = first + v;
       const LaneId u = alloc_owner_[lane];
       if (u == kInvalidId) continue;
       if (buf_packet_[u] == kNoPacket || arrived_epoch_[u] == epoch_) {
         continue;
       }
       WORMSIM_DCHECK(route_out_[u] == lane);
-      if (ch.dst.is_switch() && !fc_.can_accept(lane)) {
+      if (dst_switch && !fc_.can_accept(lane)) {
         fc_open_starve(lane);
         continue;
       }
       ready_mask |= 1u << v;
     }
   }
-  if (ready_mask == 0) return false;
+  if (ready_mask == 0) return -1;
 
-  unsigned pick = vc_rr_[ch_id] % ch.num_lanes;
-  while ((ready_mask & (1u << pick)) == 0) pick = (pick + 1) % ch.num_lanes;
-  vc_rr_[ch_id] = static_cast<std::uint8_t>((pick + 1) % ch.num_lanes);
+  unsigned pick = vc_rr_[ch_id] % num;
+  while ((ready_mask & (1u << pick)) == 0) pick = (pick + 1) % num;
+  vc_rr_[ch_id] = static_cast<std::uint8_t>((pick + 1) % num);
+  return static_cast<int>(pick);
+}
 
-  const LaneId lane = ch.first_lane + pick;
-  if (ch.src.is_node()) {
-    move_from_node(ch.src.id, lane);
+void Engine::apply_move(ChannelId ch_id, unsigned pick) {
+  const LaneId lane = ch_first_lane_[ch_id] + pick;
+  const std::uint32_t src_node = ch_src_node_[ch_id];
+  if (src_node != kInvalidId) {
+    move_from_node(src_node, lane);
   } else {
     move_from_switch(alloc_owner_[lane], lane);
   }
@@ -374,39 +498,39 @@ bool Engine::try_channel(ChannelId ch_id) {
     ++tel_window_->lane_flits[lane];
   }
   last_move_cycle_ = cycle_;
-  return true;
 }
 
 void Engine::move_from_node(NodeId node_id, LaneId lane) {
-  NodeState& node = nodes_[node_id];
-  PacketState& pkt = packets_[node.tx_packet];
-  const bool was_head = fc_push(lane, node.tx_packet, node.tx_sent);
+  const PacketId tx = node_tx_packet_[node_id];
+  const std::uint32_t sent = node_tx_sent_[node_id];
+  PacketState& pkt = packets_[tx];
+  const bool was_head = fc_push(lane, tx, sent);
   // The arrived flit can cross its (already routed) next hop next cycle.
   // A flit landing behind the head changes nothing about readiness.
   if (was_head && route_out_[lane] != kInvalidId) {
-    schedule_channel(network_.lane(route_out_[lane]).channel);
+    schedule_channel(lane_channel_[route_out_[lane]]);
   }
-  if (node.tx_sent == 0) {
+  if (sent == 0) {
     pkt.inject_cycle = cycle_;
     ++worms_in_flight_;
-    if (wtrace_ != nullptr) wtrace_->on_injected(node.tx_packet, cycle_);
+    if (wtrace_ != nullptr) wtrace_->on_injected(tx, cycle_);
     // A header behind an earlier worm's flits becomes routable only when
     // it reaches the head slot (the tail-pop in fc_pop promotes it).
     if (was_head) {
-      header_lanes_.push_back(lane);  // injection channels end at switches
+      add_header_lane(lane);  // injection channels end at switches
       if (wtrace_ != nullptr) {
-        wtrace_->on_header_arrival(node.tx_packet, lane, cycle_);
+        wtrace_->on_header_arrival(tx, lane, cycle_);
       }
     }
   }
-  trace(TraceEvent::Kind::kFlitMoved, node.tx_packet, node.tx_sent, lane);
-  ++node.tx_sent;
-  if (node.tx_sent == pkt.length) {
-    node.tx_packet = kNoPacket;
-    node.tx_sent = 0;
+  trace(TraceEvent::Kind::kFlitMoved, tx, sent, lane);
+  node_tx_sent_[node_id] = sent + 1;
+  if (sent + 1 == pkt.length) {
+    node_tx_packet_[node_id] = kNoPacket;
+    node_tx_sent_[node_id] = 0;
     --transmitting_nodes_;
-    deactivate_channel(network_.lane(lane).channel);
-    if (!node.queue.empty()) mark_tx_pending(node_id);
+    deactivate_channel(lane_channel_[lane]);
+    if (!node_queue_[node_id].empty()) mark_tx_pending(node_id);
   }
 }
 
@@ -415,26 +539,26 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
   const std::uint32_t seq = buf_seq_[in_lane];
   const PacketState& pkt = packets_[pkt_id];
   const bool tail = seq + 1 == pkt.length;
-  const PhysChannel& out_ch = network_.lane_channel(out_lane);
+  const ChannelId out_ch = lane_channel_[out_lane];
 
   fc_pop(in_lane);
   // The channel feeding in_lane's buffer may now transmit its next flit;
   // the worklist re-tries it at the scan position this move sits at.
-  unblocked_ = network_.lane(in_lane).channel;
+  unblocked_ = lane_channel_[in_lane];
   trace(TraceEvent::Kind::kFlitMoved, pkt_id, seq, out_lane);
-  if (out_ch.dst.is_node()) {
+  if (ch_dst_is_switch_[out_ch] == 0) {
     deliver_flit(pkt_id, seq);
   } else {
     const bool was_head = fc_push(out_lane, pkt_id, seq);
     if (was_head && seq == 0) {
-      header_lanes_.push_back(out_lane);
+      add_header_lane(out_lane);
       if (wtrace_ != nullptr) {
         wtrace_->on_header_arrival(pkt_id, out_lane, cycle_);
       }
     }
     // The arrived flit can cross its (already routed) next hop next cycle.
     if (was_head && route_out_[out_lane] != kInvalidId) {
-      schedule_channel(network_.lane(route_out_[out_lane]).channel);
+      schedule_channel(lane_channel_[route_out_[out_lane]]);
     }
   }
   if (tail) {
@@ -442,12 +566,12 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
     // route and the output lane for the next worm.
     route_out_[in_lane] = kInvalidId;
     alloc_owner_[out_lane] = kInvalidId;
-    deactivate_channel(out_ch.id);
+    deactivate_channel(out_ch);
     if (wtrace_ != nullptr) wtrace_->on_lane_released(out_lane);
     // A deeper FIFO can already hold the next worm's header; it becomes
     // routable the moment the previous tail clears the head slot.
     if (fc_.count[in_lane] > 0 && buf_seq_[in_lane] == 0) {
-      header_lanes_.push_back(in_lane);
+      add_header_lane(in_lane);
       if (wtrace_ != nullptr) {
         wtrace_->on_header_arrival(buf_packet_[in_lane], in_lane, cycle_);
       }
@@ -559,7 +683,7 @@ void Engine::drain_flow_control_events() {
       // Wake the sender: schedule its channel for this cycle's advance
       // (the drain runs before the phases).  Source-less channels have
       // nothing to send; skipping them keeps the seed set exact.
-      const ChannelId ch = network_.lane(ev.lane).channel;
+      const ChannelId ch = lane_channel_[ev.lane];
       if (channel_sources_[ch] != 0) schedule_channel(ch);
     }
   }
@@ -577,10 +701,10 @@ void Engine::fc_close_starve(LaneId lane) {
     // Blame the worm whose flit sat waiting for the gate to lift: the
     // transmitting node's packet on an injection lane, the upstream
     // FIFO's head worm otherwise.
-    const PhysChannel& ch = network_.lane_channel(lane);
+    const std::uint32_t src_node = ch_src_node_[lane_channel_[lane]];
     PacketId worm = kNoPacket;
-    if (ch.src.is_node()) {
-      worm = nodes_[ch.src.id].tx_packet;
+    if (src_node != kInvalidId) {
+      worm = node_tx_packet_[src_node];
     } else if (alloc_owner_[lane] != kInvalidId) {
       worm = buf_packet_[alloc_owner_[lane]];
     }
@@ -589,8 +713,10 @@ void Engine::fc_close_starve(LaneId lane) {
 }
 
 bool Engine::upstream_has_flit(LaneId lane) const {
-  const PhysChannel& ch = network_.lane_channel(lane);
-  if (ch.src.is_node()) return nodes_[ch.src.id].tx_packet != kNoPacket;
+  const std::uint32_t src_node = ch_src_node_[lane_channel_[lane]];
+  if (src_node != kInvalidId) {
+    return node_tx_packet_[src_node] != kNoPacket;
+  }
   const LaneId owner = alloc_owner_[lane];
   return owner != kInvalidId && buf_packet_[owner] != kNoPacket;
 }
@@ -633,11 +759,9 @@ void Engine::advance_flits() {
   // advance — by a grant, a transmission start, a flit arrival onto a
   // routed lane, or its own move last cycle.  This is a superset of the
   // channels that can move at pass one (see DESIGN.md for the induction),
-  // and sorted ascending it visits them exactly like pass one of the
+  // and the ascending bit scan visits them exactly like pass one of the
   // original full scan.
-  worklist_.swap(seed_);
-  seed_.clear();
-  std::sort(worklist_.begin(), worklist_.end());
+  cur_pass_.swap(seed_bits_);
 
   // Resolve movement to a fixpoint: a move can free a buffer that enables
   // another move in the same cycle, which is exactly how an unblocked worm
@@ -647,41 +771,83 @@ void Engine::advance_flits() {
   // yet) and in the *next* pass otherwise.  Readiness only ever arises
   // from such unblocks — every other state change during advance removes
   // readiness — so skipping never-seeded channels drops no move.
-  std::uint64_t pass = ++pass_seq_;
-  for (ChannelId ch : worklist_) channel_pass_stamp_[ch] = pass;
-  while (!worklist_.empty()) {
-    next_pass_.clear();
-    for (std::size_t i = 0; i < worklist_.size(); ++i) {
-      const ChannelId ch = worklist_[i];
+  if (engine_threads_ > 1) {
+    while (cur_pass_.any()) advance_pass_parallel();
+  } else {
+    while (cur_pass_.any()) advance_pass_sequential();
+  }
+}
+
+void Engine::advance_pass_sequential() {
+  cur_pass_.consume([&](std::uint32_t ch) {
+    unblocked_ = kInvalidId;
+    if (!try_channel(ch)) return;
+    // A multi-lane channel may still hold another ready lane, and a
+    // streaming channel wants its next flit: a mover is always a
+    // candidate again next cycle.
+    schedule_channel(ch);
+    const ChannelId u = unblocked_;
+    if (u == kInvalidId || channel_sources_[u] == 0 ||
+        channel_used_epoch_[u] == epoch_) {
+      // Nothing upstream, or it already transmitted this cycle (in
+      // which case its own move rescheduled it for the next one).
+      return;
+    }
+    if (u > ch) {
+      cur_pass_.set(u);  // the ascending scan has not reached u yet
+    } else {
+      next_pass_.set(u);
+    }
+  });
+  cur_pass_.swap(next_pass_);
+}
+
+void Engine::advance_pass_parallel() {
+  // Phase A: every domain records the transmit decision for each worklist
+  // channel in its own channel-id slice, against the immutable pre-pass
+  // state (no move has been applied; see DESIGN.md §12 for why each
+  // decision sees exactly what the sequential ascending scan would).
+  // Writes are confined to the domain's own channels (vc_rr_, recs) and
+  // own lanes (starve_since), so domains never race.
+  team_->run([this](unsigned d) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<MoveRec>& recs = domain_moves_[d];
+    recs.clear();
+    cur_pass_.for_each_in(domain_begin_[d], domain_begin_[d + 1],
+                          [this, &recs](std::uint32_t ch) {
+                            const int pick = decide_channel(ch);
+                            if (pick >= 0) {
+                              recs.push_back(
+                                  {ch, static_cast<std::uint8_t>(pick)});
+                            }
+                          });
+    domain_busy_seconds_[d] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+  // Phase B: apply the recorded moves sequentially in canonical ascending
+  // channel order (domains are id-contiguous and each domain's records are
+  // in scan order), merging boundary effects — buffer pops that re-arm an
+  // upstream domain's channel, header arrivals, telemetry — exactly as
+  // the sequential pass would.  Feed-forward topology guarantees a move
+  // only unblocks a strictly lower channel, so the current pass's bitmap
+  // never changes mid-scan and every re-arm lands in the next pass.
+  cur_pass_.reset();
+  for (std::uint32_t d = 0; d < engine_threads_; ++d) {
+    for (const MoveRec& rec : domain_moves_[d]) {
       unblocked_ = kInvalidId;
-      if (!try_channel(ch)) continue;
-      // A multi-lane channel may still hold another ready lane, and a
-      // streaming channel wants its next flit: a mover is always a
-      // candidate again next cycle.
-      schedule_channel(ch);
+      apply_move(rec.channel, rec.pick);
+      schedule_channel(rec.channel);
       const ChannelId u = unblocked_;
       if (u == kInvalidId || channel_sources_[u] == 0 ||
           channel_used_epoch_[u] == epoch_) {
-        // Nothing upstream, or it already transmitted this cycle (in
-        // which case its own move rescheduled it for the next one).
         continue;
       }
-      if (u > ch) {
-        if (channel_pass_stamp_[u] == pass) continue;  // scheduled ahead
-        channel_pass_stamp_[u] = pass;
-        worklist_.insert(
-            std::lower_bound(worklist_.begin() + i + 1, worklist_.end(), u),
-            u);
-      } else {
-        if (channel_pass_stamp_[u] == pass + 1) continue;
-        channel_pass_stamp_[u] = pass + 1;
-        next_pass_.push_back(u);
-      }
+      WORMSIM_DCHECK(u < rec.channel);
+      next_pass_.set(u);
     }
-    std::sort(next_pass_.begin(), next_pass_.end());
-    worklist_.swap(next_pass_);
-    pass = ++pass_seq_;
   }
+  cur_pass_.swap(next_pass_);
 }
 
 void Engine::record_sample() {
@@ -691,7 +857,7 @@ void Engine::record_sample() {
   sample.flits_in_flight = occupied_;
   sample.worms_in_flight = worms_in_flight_;
   sample.mean_queue_depth = static_cast<double>(queued_messages_) /
-                            static_cast<double>(nodes_.size());
+                            static_cast<double>(node_queue_.size());
   sampler_.record(sample);
 }
 
@@ -731,7 +897,7 @@ void Engine::report_deadlock() const {
                "  active sets: %zu channels with sources, %zu seeded for "
                "next cycle, %zu unrouted headers, %zu tx-pending nodes, "
                "%zu calendar entries\n",
-               sourced, seed_.size(), header_lanes_.size(),
+               sourced, seed_bits_.count(), header_count_,
                tx_pending_.size(), arrival_calendar_.size());
   for (LaneId lane = 0; lane < buf_packet_.size(); ++lane) {
     if (buf_packet_[lane] == kNoPacket) continue;
@@ -778,6 +944,8 @@ SimResult Engine::run() {
     }
   }
   result_.telemetry_samples = sampler_.ordered();
+  result_.engine_threads_used = engine_threads_;
+  result_.engine_domain_busy_seconds = domain_busy_seconds_;
   if (validator_ != nullptr) validator_->check_final(result_);
   return result_;
 }

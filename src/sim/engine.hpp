@@ -30,13 +30,28 @@
 // tests/golden_test.cpp).
 //
 // The hot loop is event-driven (DESIGN.md "Engine hot loop"): each phase
-// visits only the entities that can make progress — the worklist of
-// channels with a potential transmit source, the set of switch input
+// visits only the entities that can make progress — the bitmap of
+// channels with a potential transmit source, the bitmap of switch input
 // lanes holding an unrouted header, the calendar of pending arrival
-// times — instead of scanning the whole network every cycle.  The
-// schedule is provably equivalent to the original full scans (same moves,
-// same round-robin picks, same RNG draw order), pinned bitwise by
+// times — instead of scanning the whole network every cycle.  All hot
+// state lives in flat structure-of-arrays form (DESIGN.md §12): per-lane
+// arrays, per-channel arrays, per-node arrays, and dense bitsets whose
+// ascending count-trailing-zeros scan reproduces the original sorted
+// visitation order without any per-pass std::sort.  The schedule is
+// provably equivalent to the original full scans (same moves, same
+// round-robin picks, same RNG draw order), pinned bitwise by
 // tests/golden_test.cpp.
+//
+// With SimConfig::engine_threads > 1 the advance fixpoint additionally
+// runs domain-partitioned: channels are split into stage-contiguous
+// id ranges, a persistent thread team computes every channel's transmit
+// decision against the immutable pre-pass snapshot (phase A), and the
+// recorded moves are applied sequentially in canonical ascending channel
+// order (phase B) — bitwise identical to the sequential engine at any
+// thread count (DESIGN.md §12 has the proof sketch; tests/golden_test.cpp
+// pins it for 1/2/4/8 threads).  Networks whose wiring is not
+// feed-forward in channel ids (BMIN turnaround) fall back to the
+// sequential path automatically.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +62,7 @@
 #include <vector>
 
 #include "routing/router.hpp"
+#include "sim/advance_team.hpp"
 #include "sim/config.hpp"
 #include "sim/flow_control/state.hpp"
 #include "sim/metrics.hpp"
@@ -55,6 +71,7 @@
 #include "sim/traffic_source.hpp"
 #include "telemetry/sampler.hpp"
 #include "topology/network.hpp"
+#include "util/bitset.hpp"
 #include "util/rng.hpp"
 
 namespace wormsim::telemetry {
@@ -109,7 +126,7 @@ class Engine {
   }
 
   std::uint64_t source_queue_length(topology::NodeId node) const {
-    return nodes_.at(node).queue.size();
+    return node_queue_.at(node).size();
   }
 
   /// Total flits currently buffered in the network.
@@ -146,24 +163,53 @@ class Engine {
   /// credits, stop bits, and the in-flight backpressure calendar.
   const FlowControlState& flow_control() const { return fc_; }
 
+  /// Effective advance-team width after the hardware/topology clamps
+  /// (1 = sequential).  Deterministic promise: the simulation results are
+  /// bitwise identical for every value of this.
+  std::uint32_t engine_threads() const { return engine_threads_; }
+
+  /// Seconds each advance domain spent in its parallel decide phase
+  /// (empty when sequential); feeds the RunManifest "engine" object.
+  const std::vector<double>& domain_busy_seconds() const {
+    return domain_busy_seconds_;
+  }
+
  private:
   /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
   /// tests reach private state through EngineTestPeer.
   friend class EngineValidator;
   friend struct EngineTestPeer;
-  struct NodeState {
-    std::deque<PacketId> queue;
-    PacketId tx_packet = kNoPacket;
-    std::uint32_t tx_sent = 0;
-    double next_arrival = 0.0;
-    bool active = false;
+
+  /// One granted transmit decision recorded by the parallel decide phase:
+  /// channel plus the round-robin lane pick, replayed in ascending
+  /// channel order by the sequential apply phase.
+  struct MoveRec {
+    topology::ChannelId channel;
+    std::uint8_t pick;
   };
 
   void generate_arrivals();
   void start_transmissions();
   void route_and_allocate();
   void advance_flits();
-  bool try_channel(topology::ChannelId ch);
+  void advance_pass_sequential();
+  void advance_pass_parallel();
+  /// Transmit decision for one channel against current state: gathers the
+  /// ready lanes, advances the round-robin pointer, opens starvation
+  /// intervals on gated lanes.  Returns the picked lane index or -1.
+  /// Reads only the channel's own state plus upstream lane state that is
+  /// stable for the whole pass (DESIGN.md §12), so it is safe to run
+  /// concurrently for channels of disjoint domains.
+  int decide_channel(topology::ChannelId ch);
+  /// Applies a granted decision: moves the flit, stamps the channel used,
+  /// fires the telemetry hooks.  Always runs sequentially.
+  void apply_move(topology::ChannelId ch, unsigned pick);
+  bool try_channel(topology::ChannelId ch) {
+    const int pick = decide_channel(ch);
+    if (pick < 0) return false;
+    apply_move(ch, static_cast<unsigned>(pick));
+    return true;
+  }
   void move_from_node(topology::NodeId node, topology::LaneId lane);
   void move_from_switch(topology::LaneId in_lane, topology::LaneId out_lane);
   void deliver_flit(PacketId pkt, std::uint32_t seq);
@@ -214,12 +260,9 @@ class Engine {
   /// cycle's when called mid-advance).  Every event that can newly make a
   /// channel ready calls this: a grant, a transmission start, a flit
   /// arriving onto a lane with a route, or a buffer freed behind a
-  /// channel that already transmitted this cycle.
-  void schedule_channel(topology::ChannelId ch) {
-    if (seed_stamp_[ch] == epoch_ + 1) return;
-    seed_stamp_[ch] = epoch_ + 1;
-    seed_.push_back(ch);
-  }
+  /// channel that already transmitted this cycle.  Setting a bit is the
+  /// dedup (the old epoch-stamp array is gone).
+  void schedule_channel(topology::ChannelId ch) { seed_bits_.set(ch); }
 
   /// Registers one more potential transmit source for a channel (a node
   /// that started transmitting, or an output-lane allocation).
@@ -232,6 +275,17 @@ class Engine {
   void deactivate_channel(topology::ChannelId ch) {
     WORMSIM_DCHECK(channel_sources_[ch] > 0);
     --channel_sources_[ch];
+  }
+
+  /// Adds a switch-input lane to the unrouted-header set.  Exactness
+  /// invariant (validated): a lane enters exactly once per header arrival
+  /// and leaves on grant, so the count stays in lockstep with the bits.
+  void add_header_lane(topology::LaneId lane) {
+    const std::uint32_t pos = lane_scan_pos_[lane];
+    WORMSIM_DCHECK(pos != topology::kInvalidId);
+    WORMSIM_DCHECK(!header_bits_.test(pos));
+    header_bits_.set(pos);
+    ++header_count_;
   }
 
   /// Marks a node as possibly able to start transmitting (queue head
@@ -282,12 +336,21 @@ class Engine {
   std::uint64_t queued_messages_ = 0;     ///< sum of source-queue lengths
 
   std::vector<PacketState> packets_;
-  std::vector<NodeState> nodes_;
+
+  // Per-node state, structure-of-arrays (DESIGN.md §12).  The hot advance
+  // loop touches only node_tx_packet_ (is the source streaming?); the
+  // queue deques — by far the widest field — live in their own cold
+  // array so a transmit-readiness probe never drags a deque header
+  // through the cache.
+  std::vector<std::deque<PacketId>> node_queue_;
+  std::vector<PacketId> node_tx_packet_;
+  std::vector<std::uint32_t> node_tx_sent_;
+  std::vector<double> node_next_arrival_;
 
   // Per-lane state, indexed by LaneId.  buf_packet_/buf_seq_/
   // arrived_epoch_ are the *head slot* of each lane's input FIFO; the
   // slots behind it (buffer_depth > 1) and all sender-side gating live
-  // in fc_.
+  // in fc_ (itself lane-major structure-of-arrays).
   std::vector<PacketId> buf_packet_;
   std::vector<std::uint32_t> buf_seq_;
   std::vector<std::uint64_t> arrived_epoch_;   // epoch the buffer was filled
@@ -295,7 +358,15 @@ class Engine {
   std::vector<topology::LaneId> alloc_owner_;  // output-lane allocation
   FlowControlState fc_;                        // buffers + backpressure
 
-  // Per-physical-channel state, indexed by ChannelId.
+  // Per-physical-channel state, indexed by ChannelId.  The first five are
+  // flattened copies of the topology fields the advance loop needs, so a
+  // transmit decision never decodes a PhysChannel/Endpoint pair.
+  std::vector<topology::LaneId> ch_first_lane_;
+  std::vector<std::uint8_t> ch_num_lanes_;
+  std::vector<std::uint32_t> ch_src_node_;  // source node id, kInvalidId
+                                            // when the source is a switch
+  std::vector<std::uint8_t> ch_dst_is_switch_;
+  std::vector<topology::ChannelId> lane_channel_;  // lane -> owning channel
   std::vector<std::uint64_t> channel_used_epoch_;  // epoch of last transmit
   std::vector<std::uint8_t> vc_rr_;                // round-robin lane pointer
   std::vector<std::uint8_t> channel_faulty_;       // failed channels
@@ -309,7 +380,19 @@ class Engine {
   // lanes); flattens the lane->channel->dst chase in the telemetry hooks.
   std::vector<std::uint32_t> lane_dst_switch_;
 
-  // ---- Active sets (see DESIGN.md "Engine hot loop") -------------------
+  // Memoized routing candidates per switch-input lane, keyed by the
+  // header packet occupying it.  Router::candidates is pure in
+  // (packet, lane), and packet ids are unique per run, so a blocked
+  // header re-arbitrating every cycle reuses its list instead of
+  // re-walking the topology.  Lists longer than kCandStride (possible
+  // only at extreme dilation*vcs) mark the lane uncacheable.
+  static constexpr std::uint32_t kCandStride = 16;
+  static constexpr std::uint8_t kCandOverflow = 0xFF;
+  std::vector<PacketId> cand_pkt_;
+  std::vector<std::uint8_t> cand_len_;
+  std::vector<topology::LaneId> cand_store_;
+
+  // ---- Active sets (see DESIGN.md "Engine hot loop" and §12) -----------
   // Epoch counter bumped once per advance_flits(); comparing a stamp to it
   // replaces the per-cycle std::fill over channel_used_ / arrived_.
   std::uint64_t epoch_ = 0;
@@ -319,26 +402,26 @@ class Engine {
   // and are dropped.
   std::vector<std::uint32_t> channel_sources_;
 
-  // Event frontier: channels scheduled for the next advance's first pass
-  // (sorted at consumption), with an epoch stamp for O(1) dedup.
-  std::vector<topology::ChannelId> seed_;
-  std::vector<std::uint64_t> seed_stamp_;
-
-  // Fixpoint worklist state: the current pass (kept sorted ascending so
-  // moves happen in the original scan order), the next pass, and a pass
-  // stamp per channel for O(1) dedup.  `unblocked_` carries the channel
-  // whose downstream buffer the current move freed.
-  std::vector<topology::ChannelId> worklist_;
-  std::vector<topology::ChannelId> next_pass_;
-  std::vector<std::uint64_t> channel_pass_stamp_;
-  std::uint64_t pass_seq_ = 0;
+  // Event frontier and fixpoint worklists as dense channel-id bitsets.
+  // seed_bits_ collects channels scheduled for the next advance's first
+  // pass; cur_pass_/next_pass_ are the fixpoint worklists.  The ascending
+  // ctz scan replaces the per-pass std::sort (bit order == id order), and
+  // bit idempotency replaces the seed/pass epoch-stamp dedup arrays.
+  // `unblocked_` carries the channel whose downstream buffer the current
+  // move freed.
+  util::DenseBitset seed_bits_;
+  util::DenseBitset cur_pass_;
+  util::DenseBitset next_pass_;
   topology::ChannelId unblocked_ = topology::kInvalidId;
 
   // Switch input lanes holding an unrouted header (exact set: a header
-  // enters on arrival and leaves on grant; blocked headers persist).
-  // Re-sorted by rotated scan position every routing cycle.
-  std::vector<topology::LaneId> header_lanes_;
-  std::vector<topology::LaneId> header_scratch_;
+  // enters on arrival and leaves on grant; blocked headers persist),
+  // as a bitset over *scan positions* — walking it from the rotated
+  // arbitration offset in two ascending ranges reproduces the old
+  // rotated-comparator sort order with no sort.  header_count_ tracks the
+  // popcount so the RNG-preserving early-out stays O(1).
+  util::DenseBitset header_bits_;
+  std::size_t header_count_ = 0;
 
   // Nodes whose idle port may start transmitting this cycle.
   std::vector<topology::NodeId> tx_pending_;
@@ -352,6 +435,18 @@ class Engine {
                       std::greater<>>
       arrival_calendar_;
   std::vector<topology::NodeId> due_nodes_;
+
+  // ---- Domain-partitioned parallel advance (DESIGN.md §12) -------------
+  // Effective team width after clamping to hardware concurrency and the
+  // feed-forward topology check; 1 means fully sequential.  Domains are
+  // stage-contiguous channel-id ranges [domain_begin_[d], domain_begin_[d+1])
+  // aligned to bitset words so each domain scans its own words only.
+  std::uint32_t engine_threads_ = 1;
+  bool feed_forward_ = false;
+  std::vector<std::uint32_t> domain_begin_;
+  std::vector<std::vector<MoveRec>> domain_moves_;
+  std::vector<double> domain_busy_seconds_;
+  std::unique_ptr<AdvanceTeam> team_;
 
   std::unique_ptr<EngineValidator> validator_;
 

@@ -56,6 +56,14 @@ struct SimResult {
   /// of the golden digests — tracing never perturbs the simulation.
   std::shared_ptr<telemetry::WormTracer> worm_trace;
 
+  /// Effective advance-team width (after the hardware / feed-forward
+  /// clamps) and wall seconds each domain spent in its parallel decide
+  /// phase (empty when sequential).  Diagnostics only — never part of the
+  /// golden digests; simulation results are bitwise identical at every
+  /// width.
+  std::uint32_t engine_threads_used = 1;
+  std::vector<double> engine_domain_busy_seconds;
+
   /// Accepted throughput as a fraction of the theoretical maximum of one
   /// flit per node per cycle (the one-port ejection bound).
   double throughput_fraction() const {

@@ -57,6 +57,11 @@ struct StoreForwardConfig {
   /// Only `worm_trace` is honored here (the counter/sampling hooks are a
   /// wormhole-engine feature); also enabled by WORMSIM_TRACE=1.
   telemetry::TelemetryConfig telemetry;
+  /// Accepted for experiment-config symmetry with SimConfig and ignored:
+  /// the event-driven reference engine is inherently sequential.  Sweeps
+  /// can therefore set one engine-thread knob for a mixed wormhole/SF
+  /// point list without special-casing.
+  std::uint32_t engine_threads = 1;
 };
 
 class StoreForwardEngine {

@@ -240,9 +240,9 @@ void EngineValidator::check_buffers_and_counters() {
       }
       ++j;
     }
-    const Engine::NodeState& src = e_.nodes_[pkt.src];
-    const std::uint32_t sent =
-        src.tx_packet == pid ? src.tx_sent : pkt.length;
+    const std::uint32_t sent = e_.node_tx_packet_[pkt.src] == pid
+                                   ? e_.node_tx_sent_[pkt.src]
+                                   : pkt.length;
     const auto newest = static_cast<std::uint32_t>(buffered_[j - 1].first);
     if (newest + 1 != sent) {
       engine_fail("worm-contiguity", cycle, buffered_[j - 1].second,
@@ -258,9 +258,9 @@ void EngineValidator::check_buffers_and_counters() {
   // still in flight.  Impossible at depth 1 / delay 0 — a gated sender
   // implies a full (hence occupied) downstream buffer — but routine under
   // delayed credit returns.
-  for (NodeId node = 0; node < e_.nodes_.size(); ++node) {
-    const PacketId pid = e_.nodes_[node].tx_packet;
-    if (pid == kNoPacket || e_.nodes_[node].tx_sent == 0) continue;
+  for (NodeId node = 0; node < e_.node_tx_packet_.size(); ++node) {
+    const PacketId pid = e_.node_tx_packet_[node];
+    if (pid == kNoPacket || e_.node_tx_sent_[node] == 0) continue;
     const auto probe =
         std::make_pair(static_cast<std::uint64_t>(pid) << 32, LaneId{0});
     const auto it =
@@ -279,18 +279,15 @@ void EngineValidator::check_buffers_and_counters() {
 
   std::uint64_t transmitting = 0;
   std::uint64_t queued = 0;
-  for (NodeId node = 0; node < e_.nodes_.size(); ++node) {
-    const Engine::NodeState& state = e_.nodes_[node];
-    queued += state.queue.size();
-    if (state.tx_packet == kNoPacket) continue;
+  for (NodeId node = 0; node < e_.node_tx_packet_.size(); ++node) {
+    const PacketId tx = e_.node_tx_packet_[node];
+    queued += e_.node_queue_[node].size();
+    if (tx == kNoPacket) continue;
     ++transmitting;
-    if (state.tx_packet >= e_.packets_.size() ||
-        e_.packets_[state.tx_packet].delivered()) {
+    if (tx >= e_.packets_.size() || e_.packets_[tx].delivered()) {
       engine_fail("flit-conservation", cycle, kInvalidId,
-                  "node %u is transmitting packet %u which is %s", node,
-                  state.tx_packet,
-                  state.tx_packet >= e_.packets_.size() ? "unknown"
-                                                        : "already delivered");
+                  "node %u is transmitting packet %u which is %s", node, tx,
+                  tx >= e_.packets_.size() ? "unknown" : "already delivered");
     }
   }
   if (transmitting != e_.transmitting_nodes_) {
@@ -518,18 +515,19 @@ void EngineValidator::check_routing_legality() {
 void EngineValidator::check_active_sets() {
   const std::uint64_t cycle = e_.cycle_;
 
-  // header_lanes_ must be EXACTLY the set of switch-input lanes holding a
-  // buffered, unrouted header flit — no duplicates, nothing missing.
-  for (const LaneId lane : e_.header_lanes_) {
-    if (lane >= lane_mark_.size()) {
-      engine_fail("header-set", cycle, lane, "bad lane id in header set");
-    }
-    if (lane_mark_[lane] == sweeps_) {
-      engine_fail("header-set", cycle, lane, "lane listed twice");
-    }
-    lane_mark_[lane] = sweeps_;
-    if (e_.buf_packet_[lane] == kNoPacket || e_.buf_seq_[lane] != 0 ||
-        e_.route_out_[lane] != kInvalidId) {
+  // header_bits_ must be EXACTLY the set of switch-input lanes holding a
+  // buffered, unrouted header flit, and header_count_ its popcount.  The
+  // bitmap cannot hold duplicates, so exactness is a direct per-position
+  // biconditional.
+  std::size_t header_bits_set = 0;
+  for (std::size_t pos = 0; pos < e_.switch_input_lanes_.size(); ++pos) {
+    const LaneId lane = e_.switch_input_lanes_[pos];
+    const bool is_header = e_.buf_packet_[lane] != kNoPacket &&
+                           e_.buf_seq_[lane] == 0 &&
+                           e_.route_out_[lane] == kInvalidId;
+    const bool listed = e_.header_bits_.test(pos);
+    header_bits_set += listed ? 1 : 0;
+    if (listed && !is_header) {
       engine_fail("header-set", cycle, lane,
                   "listed as an unrouted header but holds %s",
                   e_.buf_packet_[lane] == kNoPacket
@@ -537,14 +535,16 @@ void EngineValidator::check_active_sets() {
                       : (e_.buf_seq_[lane] != 0 ? "a body flit"
                                                 : "an already-routed header"));
     }
-  }
-  for (const LaneId lane : e_.switch_input_lanes_) {
-    if (e_.buf_packet_[lane] != kNoPacket && e_.buf_seq_[lane] == 0 &&
-        e_.route_out_[lane] == kInvalidId && lane_mark_[lane] != sweeps_) {
+    if (!listed && is_header) {
       engine_fail("header-set", cycle, lane,
                   "unrouted header of packet %u missing from header_lanes_",
                   e_.buf_packet_[lane]);
     }
+  }
+  if (header_bits_set != e_.header_count_) {
+    engine_fail("header-set", cycle, kInvalidId,
+                "%zu header bits set but the count says %zu", header_bits_set,
+                e_.header_count_);
   }
 
   // tx_pending_ entries and flags must agree exactly.
@@ -566,32 +566,15 @@ void EngineValidator::check_active_sets() {
     }
   }
 
-  // The seed_ event frontier: entries stamped for the next epoch, no
-  // duplicates.
-  for (const ChannelId ch : e_.seed_) {
-    if (ch >= chan_mark_.size() || chan_mark_[ch] == sweeps_) {
-      engine_fail("event-frontier", cycle, kInvalidId,
-                  "channel %u %s in the seed list", ch,
-                  ch < chan_mark_.size() ? "listed twice" : "is a bad id");
-    }
-    chan_mark_[ch] = sweeps_;
-    if (e_.seed_stamp_[ch] != e_.epoch_ + 1) {
-      engine_fail("event-frontier", cycle, kInvalidId,
-                  "seeded channel %u carries stamp %llu, expected %llu", ch,
-                  static_cast<unsigned long long>(e_.seed_stamp_[ch]),
-                  static_cast<unsigned long long>(e_.epoch_ + 1));
-    }
+  // The advance-phase worklists are empty between cycles; a leftover bit
+  // would replay a move next advance.
+  if (e_.cur_pass_.any() || e_.next_pass_.any()) {
+    engine_fail("event-frontier", cycle, kInvalidId,
+                "advance worklist bits survived past the fixpoint");
   }
 
   for (ChannelId ch_id = 0; ch_id < e_.network_.channels().size(); ++ch_id) {
     const PhysChannel& ch = e_.network_.channel(ch_id);
-    if (e_.seed_stamp_[ch_id] > e_.epoch_ + 1) {
-      engine_fail("stale-epoch-stamp", cycle, kInvalidId,
-                  "channel %u's seed stamp %llu is ahead of epoch %llu",
-                  ch_id,
-                  static_cast<unsigned long long>(e_.seed_stamp_[ch_id]),
-                  static_cast<unsigned long long>(e_.epoch_));
-    }
     if (e_.channel_used_epoch_[ch_id] > e_.epoch_) {
       engine_fail("stale-epoch-stamp", cycle, kInvalidId,
                   "channel %u's transmit stamp %llu is ahead of epoch %llu",
@@ -605,14 +588,14 @@ void EngineValidator::check_active_sets() {
     // lanes plus a transmitting node on an injection channel.
     std::uint32_t sources = 0;
     if (ch.src.is_node() &&
-        e_.nodes_[ch.src.id].tx_packet != kNoPacket) {
+        e_.node_tx_packet_[ch.src.id] != kNoPacket) {
       ++sources;
     }
     bool ready = false;
     for (unsigned v = 0; v < ch.num_lanes; ++v) {
       const LaneId lane = ch.first_lane + v;
       if (ch.src.is_node()) {
-        if (e_.nodes_[ch.src.id].tx_packet != kNoPacket &&
+        if (e_.node_tx_packet_[ch.src.id] != kNoPacket &&
             e_.fc_.can_accept(lane)) {
           ready = true;
         }
@@ -632,14 +615,81 @@ void EngineValidator::check_active_sets() {
                   ch_id, sources, e_.channel_sources_[ch_id]);
     }
     // Active-set completeness: a channel that can transmit next cycle
-    // must already sit in the event frontier, else the engine would skip
-    // its move (the bug class golden digests cannot localize).
-    if (ready && !e_.channel_faulty_[ch_id] &&
-        (e_.seed_stamp_[ch_id] != e_.epoch_ + 1 ||
-         chan_mark_[ch_id] != sweeps_)) {
+    // must already sit in the seed_bits_ event frontier, else the engine
+    // would skip its move (the bug class golden digests cannot localize).
+    if (ready && !e_.channel_faulty_[ch_id] && !e_.seed_bits_.test(ch_id)) {
       engine_fail("event-frontier", cycle, ch.first_lane,
                   "channel %u can transmit next cycle but is not scheduled",
                   ch_id);
+    }
+  }
+
+  check_domain_partition();
+}
+
+void EngineValidator::check_domain_partition() {
+  const std::uint64_t cycle = e_.cycle_;
+  const std::size_t channels = e_.network_.channels().size();
+  if (e_.engine_threads_ <= 1) return;
+
+  // The domain boundaries must tile [0, channels) in nondecreasing,
+  // word-aligned slices — the parallel decide phase relies on each domain
+  // owning whole bitset words.
+  if (e_.domain_begin_.size() != e_.engine_threads_ + 1 ||
+      e_.domain_begin_.front() != 0 ||
+      e_.domain_begin_.back() != channels) {
+    engine_fail("domain-boundary", cycle, kInvalidId,
+                "domain table does not tile the %zu channels", channels);
+  }
+  for (std::size_t d = 0; d + 1 < e_.domain_begin_.size(); ++d) {
+    if (e_.domain_begin_[d] > e_.domain_begin_[d + 1]) {
+      engine_fail("domain-boundary", cycle, kInvalidId,
+                  "domain %zu boundary %u exceeds domain %zu's %u", d,
+                  e_.domain_begin_[d], d + 1, e_.domain_begin_[d + 1]);
+    }
+    if (e_.domain_begin_[d] % 64 != 0) {
+      engine_fail("domain-boundary", cycle, kInvalidId,
+                  "domain %zu starts at channel %u, not word-aligned", d,
+                  e_.domain_begin_[d]);
+    }
+  }
+
+  // Re-derive the feed-forward property the two-phase merge depends on:
+  // every switch's incoming channel ids strictly below its outgoing ones,
+  // so a phase-B move can only unblock a strictly lower channel and the
+  // current pass's bitmap stays immutable during phase A.  Also check it
+  // on the live allocation state: every held route must cross upward.
+  const std::size_t switches = e_.network_.switches().size();
+  std::vector<std::int64_t> in_max(switches, -1);
+  std::vector<std::int64_t> out_min(switches,
+                                    static_cast<std::int64_t>(channels));
+  for (const PhysChannel& ch : e_.network_.channels()) {
+    if (ch.dst.is_switch()) {
+      in_max[ch.dst.id] =
+          std::max(in_max[ch.dst.id], static_cast<std::int64_t>(ch.id));
+    }
+    if (ch.src.is_switch()) {
+      out_min[ch.src.id] =
+          std::min(out_min[ch.src.id], static_cast<std::int64_t>(ch.id));
+    }
+  }
+  for (std::size_t sw = 0; sw < switches; ++sw) {
+    if (in_max[sw] >= out_min[sw]) {
+      engine_fail("domain-boundary", cycle, kInvalidId,
+                  "switch %zu breaks the feed-forward order: incoming "
+                  "channel %lld >= outgoing channel %lld (parallel advance "
+                  "requires the sequential fallback)",
+                  sw, static_cast<long long>(in_max[sw]),
+                  static_cast<long long>(out_min[sw]));
+    }
+  }
+  for (LaneId in = 0; in < e_.route_out_.size(); ++in) {
+    const LaneId out = e_.route_out_[in];
+    if (out == kInvalidId) continue;
+    if (e_.lane_channel_[in] >= e_.lane_channel_[out]) {
+      engine_fail("domain-boundary", cycle, in,
+                  "held route crosses downward from channel %u to %u",
+                  e_.lane_channel_[in], e_.lane_channel_[out]);
     }
   }
 }
@@ -834,8 +884,8 @@ void EngineValidator::check_final(const SimResult& result) {
     }
   }
   std::vector<std::uint8_t> queued(e_.packets_.size(), 0);
-  for (const Engine::NodeState& node : e_.nodes_) {
-    for (const PacketId pid : node.queue) queued[pid] = 1;
+  for (const std::deque<PacketId>& queue : e_.node_queue_) {
+    for (const PacketId pid : queue) queued[pid] = 1;
   }
 
   // Message and flit conservation over every packet ever generated:
@@ -860,8 +910,8 @@ void EngineValidator::check_final(const SimResult& result) {
     }
     if (pkt.measured) ++unfinished_measured;
     std::uint32_t sent = 0;
-    if (e_.nodes_[pkt.src].tx_packet == pid) {
-      sent = e_.nodes_[pkt.src].tx_sent;
+    if (e_.node_tx_packet_[pkt.src] == pid) {
+      sent = e_.node_tx_sent_[pkt.src];
     } else if (pkt.inject_cycle != kNoCycle) {
       sent = pkt.length;  // fully injected, partially delivered
     } else if (!queued[pid]) {

@@ -81,10 +81,17 @@ class EngineValidator {
   ///     credit conservation (credits + buffered + in-flight returns ==
   ///     depth), buffer-occupancy bounds, on/off signal consistency, and
   ///     backpressure-calendar ordering;
-  ///   * active sets: header_lanes_ is exactly the unrouted-header set,
-  ///     channel_sources_ matches a recount, epoch stamps never point to
-  ///     the future, and every channel ready to transmit next cycle is in
-  ///     the seed_ event frontier;
+  ///   * active sets: the header bitmap is exactly the unrouted-header
+  ///     set (and header_count_ its popcount), channel_sources_ matches a
+  ///     recount, epoch stamps never point to the future, every channel
+  ///     ready to transmit next cycle has its seed bit set, and the
+  ///     advance worklist bitmaps are empty between cycles;
+  ///   * domain partition (engine_threads > 1): the domain table tiles
+  ///     the channel ids in word-aligned slices, the topology is
+  ///     feed-forward (every switch's incoming channel ids strictly below
+  ///     its outgoing ones), and every held route crosses channel ids
+  ///     upward — the properties the two-phase parallel advance's
+  ///     determinism proof rests on;
   ///   * deadlock watchdog: halfway to the engine's watchdog, build the
   ///     wait-for graph and abort early on a true cycle.
   void check_cycle_end();
@@ -110,6 +117,7 @@ class EngineValidator {
   void check_allocation();
   void check_routing_legality();
   void check_active_sets();
+  void check_domain_partition();
   void maybe_probe_deadlock();
 
   const Engine& e_;

@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "telemetry/json.hpp"
 
@@ -55,6 +56,15 @@ struct RunManifest {
                ? pool_busy_seconds / (wall_seconds * pool_threads)
                : 0.0;
   }
+
+  // Intra-simulation advance-team stats (sim/advance_team.hpp): the
+  // engine-thread count used for single points and the summed busy time
+  // each domain spent in the parallel decide phase.  engine_threads <= 1
+  // means the points ran sequentially; the "engine" object is then
+  // omitted from the JSON (additive, no version bump) — distinct from
+  // the "pool" object, which counts workers ACROSS points.
+  unsigned engine_threads = 0;
+  std::vector<double> engine_domain_busy_seconds;
 
   // Result-cache counters (experiment/cache.hpp), emitted as a "cache"
   // object only when a cache was attached to the run.

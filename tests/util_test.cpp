@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/bitset.hpp"
 #include "util/cli.hpp"
 #include "util/inline_vector.hpp"
 #include "util/radix.hpp"
@@ -363,6 +364,145 @@ TEST(ParseShard, AcceptsWellFormedShards) {
   ASSERT_TRUE(parse_shard("15/16", &index, &count));
   EXPECT_EQ(index, 15u);
   EXPECT_EQ(count, 16u);
+}
+
+TEST(DenseBitset, SetTestClearCountAcrossWords) {
+  DenseBitset bits(200);  // 4 words, last one partial
+  EXPECT_EQ(bits.size(), 200u);
+  EXPECT_EQ(bits.word_count(), 4u);
+  EXPECT_FALSE(bits.any());
+  for (std::size_t i : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                        std::size_t{127}, std::size_t{128},
+                        std::size_t{199}}) {
+    bits.set(i);
+    bits.set(i);  // idempotent
+    EXPECT_TRUE(bits.test(i));
+  }
+  EXPECT_EQ(bits.count(), 6u);
+  bits.clear(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 5u);
+  bits.reset();
+  EXPECT_FALSE(bits.any());
+  EXPECT_EQ(bits.size(), 200u);
+}
+
+TEST(DenseBitset, ConsumeVisitsAscendingAndClears) {
+  DenseBitset bits(130);
+  const std::vector<std::uint32_t> members = {3, 62, 63, 64, 65, 127, 129};
+  for (std::uint32_t m : members) bits.set(m);
+  std::vector<std::uint32_t> seen;
+  bits.consume([&](std::uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, members);
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DenseBitset, ConsumeSeesInPassInsertAheadOfCursor) {
+  // The engine's fixpoint re-arm: a callback at channel c may set a bit
+  // u > c (same word or a later one) and it must be visited in this same
+  // sweep, in ascending position — exactly where a sorted insert would
+  // have put it.
+  DenseBitset bits(192);
+  bits.set(10);
+  std::vector<std::uint32_t> seen;
+  bits.consume([&](std::uint32_t i) {
+    seen.push_back(i);
+    if (i == 10) {
+      bits.set(11);   // same word, just ahead of the cursor
+      bits.set(70);   // next word
+      bits.set(190);  // last word
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{10, 11, 70, 190}));
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DenseBitset, ConsumeReReadsCurrentWordButNotEarlierWords) {
+  // The word re-read means a bit set at or below the cursor *within the
+  // current word* is picked up again this sweep (ascending within the
+  // re-read), while a bit set in an already-finished word survives to the
+  // next sweep.  The engine never relies on the same-word case — its
+  // re-arms go to next_pass_ when u <= c — but the contract is pinned
+  // here so a rewrite cannot silently change it.
+  DenseBitset bits(128);
+  bits.set(20);
+  bits.set(70);
+  bool reinserted = false;
+  std::vector<std::uint32_t> first_sweep;
+  bits.consume([&](std::uint32_t i) {
+    first_sweep.push_back(i);
+    if (!reinserted) {
+      reinserted = true;
+      bits.set(5);   // current word, below cursor: revisited this sweep
+      bits.set(20);  // current word, at cursor: revisited this sweep
+    }
+    if (i == 70) bits.set(3);  // earlier word: NOT revisited this sweep
+  });
+  EXPECT_EQ(first_sweep, (std::vector<std::uint32_t>{20, 5, 20, 70}));
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(DenseBitset, ForEachInMasksPartialBoundaryWords) {
+  DenseBitset bits(256);
+  for (std::size_t i = 0; i < 256; ++i) bits.set(i);
+  const auto collect = [&](std::size_t first, std::size_t last) {
+    std::vector<std::uint32_t> seen;
+    bits.for_each_in(first, last, [&](std::uint32_t i) { seen.push_back(i); });
+    return seen;
+  };
+  // Empty and degenerate ranges.
+  EXPECT_TRUE(collect(10, 10).empty());
+  EXPECT_TRUE(collect(10, 5).empty());
+  // Within one word, word-straddling, and word-aligned ranges all visit
+  // exactly [first, last).
+  for (const auto& [first, last] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{5, 9},
+                                                        {60, 70},
+                                                        {0, 64},
+                                                        {64, 128},
+                                                        {63, 65},
+                                                        {0, 256},
+                                                        {191, 256},
+                                                        {255, 256}}) {
+    SCOPED_TRACE(testing::Message() << first << ".." << last);
+    const std::vector<std::uint32_t> seen = collect(first, last);
+    ASSERT_EQ(seen.size(), last - first);
+    for (std::size_t k = 0; k < seen.size(); ++k) {
+      EXPECT_EQ(seen[k], first + k);
+    }
+    EXPECT_EQ(bits.count(), 256u);  // non-destructive
+  }
+}
+
+TEST(DenseBitset, ForEachInSparseAndDomainDecomposition) {
+  // Word-aligned domain slices — the parallel engine's partition — must
+  // tile the full scan: concatenating per-domain walks equals for_each.
+  DenseBitset bits(320);
+  const std::vector<std::uint32_t> members = {0, 1, 63, 64, 100, 191, 192,
+                                              255, 256, 319};
+  for (std::uint32_t m : members) bits.set(m);
+  std::vector<std::uint32_t> tiled;
+  for (std::size_t begin = 0; begin < 320; begin += 64) {
+    bits.for_each_in(begin, begin + 64,
+                     [&](std::uint32_t i) { tiled.push_back(i); });
+  }
+  EXPECT_EQ(tiled, members);
+  std::vector<std::uint32_t> whole;
+  bits.for_each([&](std::uint32_t i) { whole.push_back(i); });
+  EXPECT_EQ(whole, members);
+}
+
+TEST(DenseBitset, SwapIsConstantTimeContentExchange) {
+  DenseBitset a(128);
+  DenseBitset b(128);
+  a.set(7);
+  b.set(100);
+  a.swap(b);
+  EXPECT_TRUE(a.test(100));
+  EXPECT_FALSE(a.test(7));
+  EXPECT_TRUE(b.test(7));
+  EXPECT_FALSE(b.test(100));
 }
 
 TEST(ParseShard, RejectsMalformedInput) {

@@ -35,15 +35,14 @@ struct EngineTestPeer {
   static std::vector<topology::LaneId>& alloc_owner(Engine& e) {
     return e.alloc_owner_;
   }
-  static std::vector<topology::LaneId>& header_lanes(Engine& e) {
-    return e.header_lanes_;
-  }
+  static util::DenseBitset& header_bits(Engine& e) { return e.header_bits_; }
+  static std::size_t header_count(const Engine& e) { return e.header_count_; }
   static std::vector<std::uint32_t>& channel_sources(Engine& e) {
     return e.channel_sources_;
   }
-  static std::vector<topology::ChannelId>& seed(Engine& e) { return e.seed_; }
-  static std::vector<std::uint64_t>& seed_stamp(Engine& e) {
-    return e.seed_stamp_;
+  static util::DenseBitset& seed_bits(Engine& e) { return e.seed_bits_; }
+  static std::vector<std::uint32_t>& domain_begin(Engine& e) {
+    return e.domain_begin_;
   }
   static std::vector<PacketState>& packets(Engine& e) { return e.packets_; }
   static std::int64_t& occupied(Engine& e) { return e.occupied_; }
@@ -255,10 +254,18 @@ TEST_F(EngineCorruption, WrongOutputPortTripsRoutingLegality) {
 }
 
 TEST_F(EngineCorruption, MissingHeaderEntryCaught) {
-  step_until([&] { return !EngineTestPeer::header_lanes(engine_).empty(); });
+  step_until([&] { return EngineTestPeer::header_count(engine_) > 0; });
   EXPECT_DEATH(
       {
-        EngineTestPeer::header_lanes(engine_).pop_back();
+        // Drop one set bit from the header bitmap: the engine would never
+        // arbitrate that header again.
+        auto& bits = EngineTestPeer::header_bits(engine_);
+        for (std::size_t pos = 0; pos < bits.size(); ++pos) {
+          if (bits.test(pos)) {
+            bits.clear(pos);
+            break;
+          }
+        }
         EngineTestPeer::validator(engine_).check_cycle_end();
       },
       "invariant 'header-set'.*missing from header_lanes_");
@@ -274,18 +281,59 @@ TEST_F(EngineCorruption, ChannelSourceCounterCaught) {
       "invariant 'channel-sources'.*counter says");
 }
 
-TEST_F(EngineCorruption, CorruptSeedStampCaught) {
-  step_until([&] { return !EngineTestPeer::seed(engine_).empty(); });
+TEST_F(EngineCorruption, DroppedSeedBitCaught) {
+  // Wait until an ejection channel is allocated with a flit waiting:
+  // that channel can certainly transmit next cycle (an ejecting lane
+  // needs no downstream credit), so it must carry a seed bit.
+  const auto ready_ejection = [&]() -> topology::ChannelId {
+    const auto& route = EngineTestPeer::route_out(engine_);
+    const auto& buf = EngineTestPeer::buf_packet(engine_);
+    for (LaneId in = 0; in < route.size(); ++in) {
+      if (route[in] == kInvalidId || buf[in] == kNoPacket) continue;
+      const auto& ch = net_.lane_channel(route[in]);
+      if (ch.dst.is_node()) return ch.id;
+    }
+    return kInvalidId;
+  };
+  step_until([&] { return ready_ejection() != kInvalidId; });
   EXPECT_DEATH(
       {
-        // Regress a scheduled channel's stamp: the engine would silently
-        // skip its move next epoch.
-        const topology::ChannelId ch = EngineTestPeer::seed(engine_).front();
-        EngineTestPeer::seed_stamp(engine_)[ch] =
-            EngineTestPeer::epoch(engine_);
+        // Clear the scheduled channel's seed bit: the engine would
+        // silently skip its move next epoch.
+        EngineTestPeer::seed_bits(engine_).clear(ready_ejection());
         EngineTestPeer::validator(engine_).check_cycle_end();
       },
-      "invariant 'event-frontier'.*carries stamp");
+      "invariant 'event-frontier'.*not scheduled");
+}
+
+TEST(DomainCorruption, MisalignedDomainBoundaryCaught) {
+  // The engine under test owns a live worker team, so the default
+  // fork-style death test can deadlock if the fork lands while a worker
+  // holds a libc-internal lock; fork+exec re-runs the test fresh in the
+  // child instead.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A 64-node TMIN has 256 channels (4 bitset words), enough for two
+  // word-aligned advance domains; engine_threads_exact forces a real
+  // team regardless of the host's core count.
+  const Network net = topology::build_network(
+      net_config(NetworkKind::kTMIN, "cube", 4, 3));
+  const auto router = routing::make_router(net);
+  SimConfig config = validating_config();
+  config.engine_threads = 2;
+  config.engine_threads_exact = true;
+  Engine engine(net, *router, nullptr, config);
+  ASSERT_EQ(engine.engine_threads(), 2u);
+  engine.inject_message(0, 7, 8);
+  for (int i = 0; i < 4; ++i) engine.step();
+  EXPECT_DEATH(
+      {
+        // Shift the interior boundary off its word: two domains would
+        // scan overlapping words and the merge order would no longer be
+        // canonical.
+        ++EngineTestPeer::domain_begin(engine)[1];
+        EngineTestPeer::validator(engine).check_cycle_end();
+      },
+      "invariant 'domain-boundary'.*not word-aligned");
 }
 
 TEST(BminCorruption, SkippedTurnTripsRoutingLegality) {
