@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     experiment::SeriesSpec spec;
     spec.label = config.describe();
     spec.net = config;
-    spec.workload = [](const topology::Network& net, double load) {
+    spec.workload = [](const topology::NetView& net, double load) {
       traffic::WorkloadSpec workload;
       workload.offered = load;
       workload.clustering =

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   std::int64_t seed = 20250707;
   std::int64_t threads = 0;
   std::int64_t engine_threads = 0;
+  bool implicit_topology = false;
   std::string shard;
   std::string cache_dir;
   std::string out_dir;
@@ -57,6 +58,10 @@ int main(int argc, char** argv) {
                "advance-team width inside each simulated point (0 = "
                "WORMSIM_ENGINE_THREADS env or sequential); bitwise "
                "neutral, useful for single large simulations");
+  cli.add_flag("implicit-topology", &implicit_topology,
+               "compute topology records on the fly instead of "
+               "materializing the graph (bitwise neutral; the million-node "
+               "memory lever — see DESIGN.md §13)");
   cli.add_flag("shard", &shard,
                "with --all: run shard i of n (\"i/n\", 0-based) of the "
                "deterministic figure partition");
@@ -98,6 +103,7 @@ int main(int argc, char** argv) {
   if (engine_threads > 0) {
     options.engine_threads = static_cast<std::uint32_t>(engine_threads);
   }
+  options.implicit_topology = options.implicit_topology || implicit_topology;
   if (!cache_dir.empty()) options.cache_dir = cache_dir;
   if (!json_dir.empty()) options.json_dir = json_dir;
   if (buffer_depth > 0) {

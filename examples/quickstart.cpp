@@ -8,12 +8,15 @@
 // Usage:  quickstart [--load=0.4] [--seed=1] [--cycles=100000]
 //                    [--buffer-depth=4] [--flow-control=credit]
 //                    [--credit-delay=2] [--engine-threads=4]
+//                    [--implicit-topology]
 
 #include <iostream>
+#include <memory>
 
 #include "experiment/figures.hpp"
 #include "routing/router.hpp"
 #include "sim/engine.hpp"
+#include "topology/implicit.hpp"
 #include "topology/network.hpp"
 #include "traffic/workload.hpp"
 #include "util/cli.hpp"
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
   std::string flow_control = "credit";
   std::int64_t credit_delay = 0;
   std::int64_t engine_threads = 1;
+  bool implicit_topology = false;
   util::CliParser cli(
       "quickstart: simulate the paper's four wormhole MINs at one load");
   cli.add_flag("load", &load, "offered load as a fraction of capacity");
@@ -43,6 +47,9 @@ int main(int argc, char** argv) {
   cli.add_flag("engine-threads", &engine_threads,
                "advance-team width inside the simulation (0 = one domain "
                "per hardware thread); results are identical at any width");
+  cli.add_flag("implicit-topology", &implicit_topology,
+               "compute topology records on the fly instead of "
+               "materializing the graph; results are identical");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -75,7 +82,20 @@ int main(int argc, char** argv) {
   util::Table table({"network", "accepted%", "latency_us", "net_lat_us",
                      "sustainable", "max_queue"});
   for (const topology::NetworkConfig& config : configs) {
-    const topology::Network network = topology::build_network(config);
+    const bool implicit =
+        implicit_topology && topology::ImplicitTopology::supports(config);
+    std::unique_ptr<const topology::Network> materialized;
+    topology::ImplicitTopologyPtr implicit_topo;
+    if (implicit) {
+      implicit_topo =
+          std::make_shared<const topology::ImplicitTopology>(config);
+    } else {
+      materialized = std::make_unique<const topology::Network>(
+          topology::build_network(config));
+    }
+    const topology::NetView network =
+        implicit ? topology::NetView(implicit_topo)
+                 : topology::NetView(*materialized);
     const auto router = routing::make_router(network);
 
     traffic::WorkloadSpec workload;
@@ -92,6 +112,7 @@ int main(int argc, char** argv) {
     sim_config.flow_control = *scheme;
     sim_config.credit_delay = static_cast<std::uint32_t>(credit_delay);
     sim_config.engine_threads = static_cast<std::uint32_t>(engine_threads);
+    sim_config.implicit_topology = implicit_topology;
 
     sim::Engine engine(network, *router, &traffic, sim_config);
     const sim::SimResult result = engine.run();

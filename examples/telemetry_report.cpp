@@ -378,6 +378,7 @@ int main(int argc, char** argv) {
   std::string flow_control;
   std::int64_t credit_delay = -1;
   std::int64_t engine_threads = 0;
+  bool implicit_topology = false;
   util::CliParser cli(
       "telemetry_report: channel heatmaps, trace export, results summary");
   cli.add_flag("figure", &figure, "figure id to run with telemetry on");
@@ -404,6 +405,9 @@ int main(int argc, char** argv) {
                "advance-team width inside each simulated point (0 = "
                "WORMSIM_ENGINE_THREADS env or sequential); bitwise "
                "neutral");
+  cli.add_flag("implicit-topology", &implicit_topology,
+               "compute topology records on the fly instead of "
+               "materializing the graph (bitwise neutral)");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -436,6 +440,7 @@ int main(int argc, char** argv) {
   if (engine_threads > 0) {
     options.engine_threads = static_cast<std::uint32_t>(engine_threads);
   }
+  options.implicit_topology = options.implicit_topology || implicit_topology;
   options.json_dir.clear();  // reporting only; never writes results
   if (stalls || !worm_trace_dir.empty()) {
     return report_stalls(figure, load, options, worm_trace_dir);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -12,6 +13,7 @@
 
 #include "experiment/results_json.hpp"
 #include "telemetry/json.hpp"
+#include "topology/implicit.hpp"
 #include "topology/network.hpp"
 #include "util/check.hpp"
 
@@ -174,11 +176,30 @@ std::string ResultCache::fingerprint(const SeriesSpec& spec, double load,
   key.field("sim.credit_delay", sim_config.credit_delay);
   // engine_threads / engine_threads_exact are deliberately NOT keyed:
   // the advance team is bitwise neutral (tests/golden_test.cpp pins it),
-  // so points computed at any width answer for every width.
+  // so points computed at any width answer for every width.  The same
+  // holds for implicit_topology: both backends produce bitwise-identical
+  // results (tests/implicit_test.cpp pins it), so a point computed on
+  // either backend answers for both.
 
-  // Materialize the workload exactly as run_point will: the factory may
+  // Resolve the workload exactly as run_point will: the factory may
   // depend on the built network (clusterings need its address space).
-  const topology::Network network = topology::build_network(spec.net);
+  // Fingerprinting must not materialize the graph when run_point would
+  // not — at 2M nodes that allocation is the whole point of the
+  // implicit backend.
+  const bool implicit = sim_config.implicit_topology &&
+                        topology::ImplicitTopology::supports(spec.net);
+  std::unique_ptr<const topology::Network> materialized;
+  topology::ImplicitTopologyPtr implicit_topo;
+  if (implicit) {
+    implicit_topo =
+        std::make_shared<const topology::ImplicitTopology>(spec.net);
+  } else {
+    materialized = std::make_unique<const topology::Network>(
+        topology::build_network(spec.net));
+  }
+  const topology::NetView network =
+      implicit ? topology::NetView(implicit_topo)
+               : topology::NetView(*materialized);
   const traffic::WorkloadSpec workload = spec.workload(network, load);
   key.field("load", load);
   key.field("wl.pattern", static_cast<unsigned>(workload.pattern));

@@ -13,6 +13,7 @@
 #include "experiment/scheduler.hpp"
 
 #include "util/check.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace wormsim::experiment {
@@ -39,6 +40,7 @@ sim::SimConfig RunOptions::sim_config() const {
   config.flow_control = flow_control;
   config.credit_delay = credit_delay;
   config.engine_threads = engine_threads;
+  config.implicit_topology = implicit_topology;
   return config;
 }
 
@@ -60,12 +62,10 @@ RunOptions RunOptions::from_env() {
   if (const char* quick = std::getenv("WORMSIM_QUICK")) {
     options.quick = quick[0] != '\0' && quick[0] != '0';
   }
-  if (const char* seed = std::getenv("WORMSIM_SEED")) {
-    options.seed = std::strtoull(seed, nullptr, 10);
-  }
-  if (const char* threads = std::getenv("WORMSIM_THREADS")) {
-    const unsigned long n = std::strtoul(threads, nullptr, 10);
-    if (n >= 1) options.threads = static_cast<unsigned>(n);
+  options.seed = util::env_u64_or("WORMSIM_SEED", options.seed);
+  {
+    const std::uint32_t n = util::env_u32_or("WORMSIM_THREADS", 0);
+    if (n >= 1) options.threads = n;
   }
   if (auto dir = telemetry::json_dir_from_env()) {
     options.json_dir = *dir;
@@ -73,25 +73,24 @@ RunOptions RunOptions::from_env() {
   if (auto dir = cache_dir_from_env()) {
     options.cache_dir = *dir;
   }
-  if (const char* depth = std::getenv("WORMSIM_BUFFER_DEPTH")) {
-    const unsigned long n = std::strtoul(depth, nullptr, 10);
-    if (n >= 1) options.buffer_depth = static_cast<std::uint32_t>(n);
+  {
+    const std::uint32_t n = util::env_u32_or("WORMSIM_BUFFER_DEPTH", 0);
+    if (n >= 1) options.buffer_depth = n;
   }
   if (const char* scheme = std::getenv("WORMSIM_FLOW_CONTROL")) {
     if (auto parsed = sim::parse_flow_control(scheme)) {
       options.flow_control = *parsed;
     }
   }
-  if (const char* delay = std::getenv("WORMSIM_CREDIT_DELAY")) {
-    options.credit_delay =
-        static_cast<std::uint32_t>(std::strtoul(delay, nullptr, 10));
-  }
+  options.credit_delay =
+      util::env_u32_or("WORMSIM_CREDIT_DELAY", options.credit_delay);
   // The Engine constructor reads the same variable itself; resolving it
   // here as well keeps the value visible in sweep fingerprints and JSON
   // manifests rather than appearing only inside the engine.
-  if (const char* engine = std::getenv("WORMSIM_ENGINE_THREADS")) {
-    options.engine_threads =
-        static_cast<std::uint32_t>(std::strtoul(engine, nullptr, 10));
+  options.engine_threads =
+      util::env_u32_or("WORMSIM_ENGINE_THREADS", options.engine_threads);
+  if (const char* implicit = std::getenv("WORMSIM_IMPLICIT_TOPOLOGY")) {
+    options.implicit_topology = implicit[0] != '\0' && implicit[0] != '0';
   }
   return options;
 }
@@ -145,7 +144,7 @@ namespace {
 
 enum class ClusterKind { kGlobal, kTop16, kLow16, kHalf32 };
 
-Clustering make_clustering(const topology::Network& net, ClusterKind kind) {
+Clustering make_clustering(const topology::NetView& net, ClusterKind kind) {
   switch (kind) {
     case ClusterKind::kGlobal:
       return Clustering::global(net.node_count());
@@ -162,7 +161,7 @@ Clustering make_clustering(const topology::Network& net, ClusterKind kind) {
 /// Uniform traffic within each cluster, optional per-cluster rate weights.
 auto uniform_workload(ClusterKind kind, std::vector<double> weights = {},
                       LengthSpec length = LengthSpec{}) {
-  return [kind, weights, length](const topology::Network& net, double load) {
+  return [kind, weights, length](const topology::NetView& net, double load) {
     WorkloadSpec spec;
     spec.pattern = WorkloadSpec::Pattern::kUniform;
     spec.offered = load;
@@ -174,7 +173,7 @@ auto uniform_workload(ClusterKind kind, std::vector<double> weights = {},
 }
 
 auto hotspot_workload(double extra, ClusterKind kind = ClusterKind::kGlobal) {
-  return [extra, kind](const topology::Network& net, double load) {
+  return [extra, kind](const topology::NetView& net, double load) {
     WorkloadSpec spec;
     spec.pattern = WorkloadSpec::Pattern::kHotspot;
     spec.hotspot_extra = extra;
@@ -185,7 +184,7 @@ auto hotspot_workload(double extra, ClusterKind kind = ClusterKind::kGlobal) {
 }
 
 auto shuffle_workload() {
-  return [](const topology::Network& net, double load) {
+  return [](const topology::NetView& net, double load) {
     WorkloadSpec spec;
     spec.pattern = WorkloadSpec::Pattern::kShuffle;
     spec.offered = load;
@@ -195,7 +194,7 @@ auto shuffle_workload() {
 }
 
 auto butterfly_workload(unsigned index) {
-  return [index](const topology::Network& net, double load) {
+  return [index](const topology::NetView& net, double load) {
     WorkloadSpec spec;
     spec.pattern = WorkloadSpec::Pattern::kButterfly;
     spec.butterfly_index = index;
@@ -389,7 +388,7 @@ FigureDef define_figure(const std::string& id) {
     topology::NetworkConfig x2 = tmin_config();
     x2.extra_stages = 2;
     const bool uniform = id == "ablation_extra_stage_uniform";
-    auto factory = [uniform](const topology::Network& net, double load) {
+    auto factory = [uniform](const topology::NetView& net, double load) {
       WorkloadSpec spec;
       if (uniform) {
         spec.pattern = WorkloadSpec::Pattern::kUniform;

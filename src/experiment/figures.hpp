@@ -46,6 +46,12 @@ struct RunOptions {
   /// large-N studies.
   std::uint32_t engine_threads = 1;
 
+  /// Compute topology records on the fly instead of materializing the
+  /// graph (SimConfig::implicit_topology; bitwise neutral).  The
+  /// paper-sized 64-node figures don't need it; the knob exists for the
+  /// million-node studies (DESIGN.md §13).
+  bool implicit_topology = false;
+
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
@@ -54,7 +60,8 @@ struct RunOptions {
   /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>,
   /// WORMSIM_JSON_DIR=<dir>, WORMSIM_CACHE_DIR=<dir>,
   /// WORMSIM_BUFFER_DEPTH=<flits>, WORMSIM_FLOW_CONTROL=<scheme>,
-  /// WORMSIM_CREDIT_DELAY=<cycles>, and WORMSIM_ENGINE_THREADS=<n>.
+  /// WORMSIM_CREDIT_DELAY=<cycles>, WORMSIM_ENGINE_THREADS=<n>, and
+  /// WORMSIM_IMPLICIT_TOPOLOGY=1.
   static RunOptions from_env();
 };
 

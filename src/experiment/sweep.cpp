@@ -1,8 +1,11 @@
 #include "experiment/sweep.hpp"
 
+#include <memory>
+
 #include "routing/router.hpp"
 #include "sim/engine.hpp"
 #include "sim/store_forward.hpp"
+#include "topology/implicit.hpp"
 #include "util/check.hpp"
 
 namespace wormsim::experiment {
@@ -15,7 +18,25 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
   // whatever SweepOptions::sim carries.
   sim::SimConfig sim_config = base_sim_config;
   if (spec.tweak_sim) spec.tweak_sim(sim_config);
-  const topology::Network network = topology::build_network(spec.net);
+  // Backend selection: the implicit backend computes topology records on
+  // the fly (O(stages) state) and is bitwise identical to the
+  // materialized graph; networks it cannot express (random
+  // multibutterfly wiring) fall back to materializing.
+  const bool implicit = sim_config.implicit_topology &&
+                        topology::ImplicitTopology::supports(spec.net);
+  std::unique_ptr<const topology::Network> materialized;
+  topology::ImplicitTopologyPtr implicit_topo;
+  if (implicit) {
+    implicit_topo = std::make_shared<const topology::ImplicitTopology>(
+        spec.net);
+  } else {
+    materialized =
+        std::make_unique<const topology::Network>(
+            topology::build_network(spec.net));
+  }
+  const topology::NetView network =
+      implicit ? topology::NetView(implicit_topo)
+               : topology::NetView(*materialized);
   const auto router = routing::make_router(network);
   traffic::WorkloadSpec workload = spec.workload(network, load);
   WORMSIM_CHECK_MSG(workload.offered == load,

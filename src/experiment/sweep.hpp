@@ -13,7 +13,7 @@
 
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
-#include "topology/network.hpp"
+#include "topology/net_view.hpp"
 #include "traffic/workload.hpp"
 
 namespace wormsim::experiment {
@@ -40,12 +40,12 @@ struct Series {
 };
 
 /// One curve of a figure: a network plus a workload generator.  The
-/// workload factory receives the built network (clusterings need its
-/// address space) and the offered load for the point being run.
+/// workload factory receives a view of the built network (clusterings
+/// need its address space) and the offered load for the point being run.
 struct SeriesSpec {
   std::string label;
   topology::NetworkConfig net;
-  std::function<traffic::WorkloadSpec(const topology::Network&, double load)>
+  std::function<traffic::WorkloadSpec(const topology::NetView&, double load)>
       workload;
   /// Switching technique: wormhole (the paper's subject) or the
   /// store-and-forward reference engine (Section 1's comparison).

@@ -7,11 +7,10 @@ namespace wormsim::routing {
 using topology::ChannelRole;
 using topology::Endpoint;
 using topology::LaneId;
-using topology::Network;
+using topology::NetView;
 using topology::PhysChannel;
-using topology::Switch;
 
-DestinationTagRouter::DestinationTagRouter(const Network& network)
+DestinationTagRouter::DestinationTagRouter(const NetView& network)
     : network_(network) {
   WORMSIM_CHECK_MSG(!network.bidirectional(),
                     "destination-tag routing applies to unidirectional MINs");
@@ -20,22 +19,18 @@ DestinationTagRouter::DestinationTagRouter(const Network& network)
 void DestinationTagRouter::candidates(const RouteQuery& query,
                                       LaneId in_lane,
                                       CandidateList& out) const {
-  const PhysChannel& ch = network_.lane_channel(in_lane);
+  const PhysChannel ch = network_.lane_channel(in_lane);
   WORMSIM_CHECK_MSG(ch.dst.is_switch(),
                     "routing queried for a lane that ends at a node");
-  const Switch& sw = network_.switch_ref(ch.dst.id);
-  if (sw.stage < network_.extra_stages()) {
+  const unsigned stage = network_.switch_stage(ch.dst.id);
+  if (stage < network_.extra_stages()) {
     // Adaptive extra stage: any output port works — the remaining Delta
     // network is self-routing from any of its entry channels.
-    for (const auto& port_lanes : sw.right.out_lanes) {
-      for (LaneId lane : port_lanes) out.push_back(lane);
-    }
+    network_.append_all_right_out_lanes(ch.dst.id, out);
   } else {
     const unsigned port = network_.topology().output_port(
-        sw.stage - network_.extra_stages(), query.dst);
-    for (LaneId lane : sw.right.out_lanes[port]) {
-      out.push_back(lane);
-    }
+        stage - network_.extra_stages(), query.dst);
+    network_.append_right_out_lanes(ch.dst.id, port, out);
   }
   WORMSIM_CHECK_MSG(!out.empty(), "switch output port has no lanes");
 }

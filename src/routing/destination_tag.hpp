@@ -14,7 +14,7 @@ namespace wormsim::routing {
 
 class DestinationTagRouter final : public Router {
  public:
-  explicit DestinationTagRouter(const topology::Network& network);
+  explicit DestinationTagRouter(const topology::NetView& network);
 
   void candidates(const RouteQuery& query, topology::LaneId in_lane,
                   CandidateList& out) const override;
@@ -23,7 +23,7 @@ class DestinationTagRouter final : public Router {
   unsigned path_length(const RouteQuery& query) const override;
 
  private:
-  const topology::Network& network_;
+  const topology::NetView network_;
 };
 
 }  // namespace wormsim::routing

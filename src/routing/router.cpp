@@ -6,14 +6,14 @@
 
 namespace wormsim::routing {
 
-std::unique_ptr<Router> make_router(const topology::Network& network) {
+std::unique_ptr<Router> make_router(const topology::NetView& network) {
   if (network.bidirectional()) {
     return std::make_unique<TurnaroundRouter>(network);
   }
   return std::make_unique<DestinationTagRouter>(network);
 }
 
-RouteQuery make_query(const topology::Network& network, std::uint64_t src,
+RouteQuery make_query(const topology::NetView& network, std::uint64_t src,
                       std::uint64_t dst) {
   RouteQuery query;
   query.src = src;

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "topology/network.hpp"
+#include "topology/net_view.hpp"
 #include "util/inline_vector.hpp"
 
 namespace wormsim::routing {
@@ -47,13 +47,14 @@ class Router {
 };
 
 /// Creates the canonical router for the network's kind: destination-tag for
-/// unidirectional MINs, turnaround for BMINs.  The network must outlive the
+/// unidirectional MINs, turnaround for BMINs.  The view's backing storage
+/// (materialized Network or shared ImplicitTopology) must outlive the
 /// router.
-std::unique_ptr<Router> make_router(const topology::Network& network);
+std::unique_ptr<Router> make_router(const topology::NetView& network);
 
 /// Builds the route query for a packet, computing the turnaround stage for
 /// bidirectional networks.
-RouteQuery make_query(const topology::Network& network, std::uint64_t src,
+RouteQuery make_query(const topology::NetView& network, std::uint64_t src,
                       std::uint64_t dst);
 
 }  // namespace wormsim::routing

@@ -6,12 +6,11 @@ namespace wormsim::routing {
 
 using topology::ChannelRole;
 using topology::LaneId;
-using topology::Network;
+using topology::NetView;
 using topology::PhysChannel;
 using topology::Side;
-using topology::Switch;
 
-TurnaroundRouter::TurnaroundRouter(const Network& network)
+TurnaroundRouter::TurnaroundRouter(const NetView& network)
     : network_(network) {
   WORMSIM_CHECK_MSG(network.bidirectional(),
                     "turnaround routing applies to BMINs");
@@ -19,19 +18,16 @@ TurnaroundRouter::TurnaroundRouter(const Network& network)
 
 void TurnaroundRouter::candidates(const RouteQuery& query, LaneId in_lane,
                                   CandidateList& out) const {
-  const PhysChannel& ch = network_.lane_channel(in_lane);
+  const PhysChannel ch = network_.lane_channel(in_lane);
   WORMSIM_CHECK_MSG(ch.dst.is_switch(),
                     "routing queried for a lane that ends at a node");
-  const Switch& sw = network_.switch_ref(ch.dst.id);
-  const unsigned stage = sw.stage;
+  const unsigned stage = network_.switch_stage(ch.dst.id);
   const bool moving_up = ch.role == ChannelRole::kInjection ||
                          ch.role == ChannelRole::kForward;
 
   if (moving_up && stage < query.turn_stage) {
     // Step 3 of Fig. 7: forward connection to any port r_i.
-    for (const auto& port_lanes : sw.right.out_lanes) {
-      for (LaneId lane : port_lanes) out.push_back(lane);
-    }
+    network_.append_all_right_out_lanes(ch.dst.id, out);
     WORMSIM_CHECK_MSG(!out.empty(), "no forward lanes below the turn stage");
     return;
   }
@@ -53,9 +49,7 @@ void TurnaroundRouter::candidates(const RouteQuery& query, LaneId in_lane,
     WORMSIM_DCHECK(stage < query.turn_stage);
   }
   const unsigned port = network_.address_spec().digit(query.dst, stage);
-  for (LaneId lane : sw.left.out_lanes[port]) {
-    out.push_back(lane);
-  }
+  network_.append_left_out_lanes(ch.dst.id, port, out);
   WORMSIM_CHECK_MSG(!out.empty(), "no backward lanes on the destination port");
 }
 

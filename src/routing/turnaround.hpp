@@ -13,7 +13,7 @@ namespace wormsim::routing {
 
 class TurnaroundRouter final : public Router {
  public:
-  explicit TurnaroundRouter(const topology::Network& network);
+  explicit TurnaroundRouter(const topology::NetView& network);
 
   void candidates(const RouteQuery& query, topology::LaneId in_lane,
                   CandidateList& out) const override;
@@ -22,7 +22,7 @@ class TurnaroundRouter final : public Router {
   unsigned path_length(const RouteQuery& query) const override;
 
  private:
-  const topology::Network& network_;
+  const topology::NetView network_;
 };
 
 }  // namespace wormsim::routing

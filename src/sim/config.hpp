@@ -98,6 +98,18 @@ struct SimConfig {
   /// simulation speed; simulation results are bitwise unchanged.
   bool validate = false;
 
+  /// Compute topology records on the fly from digit-permutation
+  /// arithmetic instead of materializing the O(N log N) Network graph
+  /// (src/topology/implicit.hpp, DESIGN.md §13) — the 2M-node memory
+  /// lever.  Simulation results are bitwise identical to the
+  /// materialized backend (pinned by tests/implicit_test.cpp), so this
+  /// knob is excluded from result-cache fingerprints like
+  /// engine_threads.  Networks the implicit backend cannot express
+  /// (random multibutterfly wiring) silently fall back to the
+  /// materialized graph.  Also settable via WORMSIM_IMPLICIT_TOPOLOGY /
+  /// --implicit-topology.
+  bool implicit_topology = false;
+
   std::uint64_t total_cycles() const {
     return warmup_cycles + measure_cycles + drain_cycles;
   }

@@ -11,6 +11,7 @@
 #include "sim/validate.hpp"
 #include "telemetry/worm_trace.hpp"
 #include "util/check.hpp"
+#include "util/cli.hpp"
 
 namespace wormsim::sim {
 
@@ -33,7 +34,7 @@ std::uint32_t hardware_threads() {
 
 }  // namespace
 
-Engine::Engine(const topology::Network& network,
+Engine::Engine(const topology::NetView& network,
                const routing::Router& router, TrafficSource* traffic,
                SimConfig config)
     : network_(network),
@@ -42,7 +43,7 @@ Engine::Engine(const topology::Network& network,
       config_(config),
       rng_(config.seed) {
   const std::size_t lanes = network_.lane_count();
-  const std::size_t channels = network_.channels().size();
+  const std::size_t channels = network_.channel_count();
   buf_packet_.assign(lanes, kNoPacket);
   buf_seq_.assign(lanes, 0);
   arrived_epoch_.assign(lanes, 0);
@@ -50,7 +51,7 @@ Engine::Engine(const topology::Network& network,
   alloc_owner_.assign(lanes, kInvalidId);
   channel_used_epoch_.assign(channels, 0);
   vc_rr_.assign(channels, 0);
-  channel_faulty_.assign(channels, 0);
+  channel_faulty_.resize(channels);
   channel_sources_.assign(channels, 0);
   seed_bits_.resize(channels);
   cur_pass_.resize(channels);
@@ -59,23 +60,41 @@ Engine::Engine(const topology::Network& network,
                 config_.credit_delay);
 
   // Flatten the per-channel topology fields the advance loop reads, so a
-  // transmit decision never decodes a PhysChannel/Endpoint pair.
+  // transmit decision never decodes a PhysChannel/Endpoint pair.  One
+  // pass over the channel records also collects the switch-input lane
+  // scan order — with an implicit backend each record is recomputed on
+  // the fly, so visiting it twice would double the construction cost.
+  // Lane ids are allocated contiguously per channel in ascending channel
+  // order by both backends, so the channel-major walk pushes
+  // switch_input_lanes_ in the same ascending lane order the old
+  // lane-major walk produced.
   ch_first_lane_.assign(channels, kInvalidId);
   ch_num_lanes_.assign(channels, 0);
   ch_src_node_.assign(channels, kInvalidId);
-  ch_dst_is_switch_.assign(channels, 0);
+  ch_dst_is_switch_.resize(channels);
   lane_channel_.assign(lanes, kInvalidId);
-  for (const PhysChannel& ch : network_.channels()) {
+  lane_scan_pos_.assign(lanes, kInvalidId);
+  lane_dst_switch_.assign(lanes, 0);
+  network_.for_each_channel([&](const PhysChannel& ch) {
     ch_first_lane_[ch.id] = ch.first_lane;
     ch_num_lanes_[ch.id] = static_cast<std::uint8_t>(ch.num_lanes);
     if (ch.src.is_node()) {
       ch_src_node_[ch.id] = static_cast<std::uint32_t>(ch.src.id);
     }
-    ch_dst_is_switch_[ch.id] = ch.dst.is_switch() ? 1 : 0;
+    const bool dst_switch = ch.dst.is_switch();
+    if (dst_switch) ch_dst_is_switch_.set(ch.id);
     for (unsigned v = 0; v < ch.num_lanes; ++v) {
-      lane_channel_[ch.first_lane + v] = ch.id;
+      const LaneId lane = ch.first_lane + v;
+      lane_channel_[lane] = ch.id;
+      if (dst_switch) {
+        lane_scan_pos_[lane] =
+            static_cast<std::uint32_t>(switch_input_lanes_.size());
+        switch_input_lanes_.push_back(lane);
+        lane_dst_switch_[lane] = static_cast<std::uint32_t>(ch.dst.id);
+      }
     }
-  }
+  });
+  header_bits_.resize(switch_input_lanes_.size());
 
   const std::size_t node_count = network_.node_count();
   node_queue_.resize(node_count);
@@ -90,35 +109,28 @@ Engine::Engine(const topology::Network& network,
     }
   }
 
-  lane_scan_pos_.assign(lanes, kInvalidId);
-  lane_dst_switch_.assign(lanes, 0);
-  for (const topology::Lane& lane : network_.lanes()) {
-    if (network_.channel(lane.channel).dst.is_switch()) {
-      lane_scan_pos_[lane.id] =
-          static_cast<std::uint32_t>(switch_input_lanes_.size());
-      switch_input_lanes_.push_back(lane.id);
-      lane_dst_switch_[lane.id] = static_cast<std::uint32_t>(
-          network_.channel(lane.channel).dst.id);
-    }
-  }
-  header_bits_.resize(switch_input_lanes_.size());
-
+  cand_stride_ =
+      std::min<std::uint32_t>(kCandStrideMax, network_.max_route_fanout());
   cand_pkt_.assign(lanes, kNoPacket);
   cand_len_.assign(lanes, 0);
-  cand_store_.assign(lanes * kCandStride, kInvalidId);
+  cand_store_.assign(lanes * cand_stride_, kInvalidId);
 
   // Feed-forward check for the parallel advance: every switch's incoming
   // channel ids must all be lower than its outgoing ones, so a move can
   // only unblock a strictly lower channel (DESIGN.md §12).  The
   // unidirectional MIN builders lay channels out stage by stage and
   // satisfy this; BMIN's turnaround wiring does not and falls back to the
-  // sequential path.
-  {
-    const std::size_t switches = network_.switches().size();
+  // sequential path.  The implicit backend allocates channel ids stage
+  // by stage in closed form, so the property holds by construction for
+  // every unidirectional layout and the O(channels) scan is skipped.
+  if (!network_.materialized()) {
+    feed_forward_ = !network_.bidirectional();
+  } else {
+    const std::size_t switches = network_.switch_count();
     std::vector<std::int64_t> in_max(switches, -1);
     std::vector<std::int64_t> out_min(switches,
                                       static_cast<std::int64_t>(channels));
-    for (const PhysChannel& ch : network_.channels()) {
+    network_.for_each_channel([&](const PhysChannel& ch) {
       if (ch.dst.is_switch()) {
         in_max[ch.dst.id] =
             std::max(in_max[ch.dst.id], static_cast<std::int64_t>(ch.id));
@@ -127,7 +139,7 @@ Engine::Engine(const topology::Network& network,
         out_min[ch.src.id] =
             std::min(out_min[ch.src.id], static_cast<std::int64_t>(ch.id));
       }
-    }
+    });
     feed_forward_ = true;
     for (std::size_t sw = 0; sw < switches; ++sw) {
       if (in_max[sw] >= out_min[sw]) {
@@ -140,10 +152,8 @@ Engine::Engine(const topology::Network& network,
   // Environment override, lowest-friction knob for existing drivers.
   // Exact-width engines (determinism tests) pin their width in config.
   if (!config_.engine_threads_exact) {
-    if (const char* env = std::getenv("WORMSIM_ENGINE_THREADS")) {
-      config_.engine_threads =
-          static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
-    }
+    config_.engine_threads =
+        util::env_u32_or("WORMSIM_ENGINE_THREADS", config_.engine_threads);
   }
   std::uint32_t threads = config_.engine_threads;
   if (threads == 0) threads = hardware_threads();
@@ -175,11 +185,11 @@ Engine::Engine(const topology::Network& network,
   result_.node_count = network_.node_count();
   result_.flits_per_microsecond = config_.flits_per_microsecond;
   if (config_.record_channel_utilization) {
-    result_.channel_busy_cycles.assign(network_.channels().size(), 0);
+    result_.channel_busy_cycles.assign(network_.channel_count(), 0);
   }
   if (config_.telemetry.counters) {
     result_.telemetry_counters.resize_for(network_.lane_count(),
-                                          network_.switches().size());
+                                          network_.switch_count());
     tel_ = &result_.telemetry_counters;
   }
   if (config_.telemetry.sampling) {
@@ -333,7 +343,7 @@ void Engine::route_and_allocate() {
     const LaneId* cand = nullptr;
     std::size_t cand_count = 0;
     if (cand_pkt_[u] == pid && cand_len_[u] != kCandOverflow) {
-      cand = &cand_store_[std::size_t{u} * kCandStride];
+      cand = &cand_store_[std::size_t{u} * cand_stride_];
       cand_count = cand_len_[u];
     } else {
       routing::RouteQuery query;
@@ -343,10 +353,10 @@ void Engine::route_and_allocate() {
       fresh.clear();
       router_.candidates(query, u, fresh);
       cand_pkt_[u] = pid;
-      if (fresh.size() <= kCandStride) {
+      if (fresh.size() <= cand_stride_) {
         cand_len_[u] = static_cast<std::uint8_t>(fresh.size());
         std::copy(fresh.begin(), fresh.end(),
-                  &cand_store_[std::size_t{u} * kCandStride]);
+                  &cand_store_[std::size_t{u} * cand_stride_]);
       } else {
         cand_len_[u] = kCandOverflow;
       }
@@ -362,7 +372,7 @@ void Engine::route_and_allocate() {
     for (std::size_t i = 0; i < cand_count; ++i) {
       const LaneId lane = cand[i];
       if (alloc_owner_[lane] != kInvalidId) continue;
-      if (channel_faulty_[lane_channel_[lane]]) continue;
+      if (channel_faulty_.test(lane_channel_[lane])) continue;
       if (vct && lane_scan_pos_[lane] != kInvalidId &&
           !fc_.can_accept_packet(lane, pkt.length)) {
         if (credit_gated == kInvalidId) credit_gated = lane;
@@ -428,14 +438,14 @@ void Engine::route_and_allocate() {
 
 void Engine::fail_channel(ChannelId channel) {
   WORMSIM_CHECK_MSG(cycle_ == 0, "fail channels before the first step");
-  const PhysChannel& ch = network_.channel(channel);
+  const PhysChannel ch = network_.channel(channel);
   WORMSIM_CHECK_MSG(ch.src.is_switch() && ch.dst.is_switch(),
                     "failing a node link disconnects a one-port node");
-  channel_faulty_[channel] = 1;
+  channel_faulty_.set(channel);
 }
 
 int Engine::decide_channel(ChannelId ch_id) {
-  if (channel_used_epoch_[ch_id] == epoch_ || channel_faulty_[ch_id]) {
+  if (channel_used_epoch_[ch_id] == epoch_ || channel_faulty_.test(ch_id)) {
     return -1;
   }
   const LaneId first = ch_first_lane_[ch_id];
@@ -458,7 +468,7 @@ int Engine::decide_channel(ChannelId ch_id) {
       }
     }
   } else {
-    const bool dst_switch = ch_dst_is_switch_[ch_id] != 0;
+    const bool dst_switch = ch_dst_is_switch_.test(ch_id);
     for (unsigned v = 0; v < num; ++v) {
       const LaneId lane = first + v;
       const LaneId u = alloc_owner_[lane];
@@ -546,7 +556,7 @@ void Engine::move_from_switch(LaneId in_lane, LaneId out_lane) {
   // the worklist re-tries it at the scan position this move sits at.
   unblocked_ = lane_channel_[in_lane];
   trace(TraceEvent::Kind::kFlitMoved, pkt_id, seq, out_lane);
-  if (ch_dst_is_switch_[out_ch] == 0) {
+  if (!ch_dst_is_switch_.test(out_ch)) {
     deliver_flit(pkt_id, seq);
   } else {
     const bool was_head = fc_push(out_lane, pkt_id, seq);
@@ -902,7 +912,7 @@ void Engine::report_deadlock() const {
   for (LaneId lane = 0; lane < buf_packet_.size(); ++lane) {
     if (buf_packet_[lane] == kNoPacket) continue;
     const PacketState& pkt = packets_[buf_packet_[lane]];
-    const PhysChannel& ch = network_.lane_channel(lane);
+    const PhysChannel ch = network_.lane_channel(lane);
     std::fprintf(stderr,
                  "  lane %u (channel %u role %d) holds packet %u seq %u "
                  "(src %llu dst %llu len %u)\n",

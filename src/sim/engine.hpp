@@ -70,7 +70,7 @@
 #include "sim/trace.hpp"
 #include "sim/traffic_source.hpp"
 #include "telemetry/sampler.hpp"
-#include "topology/network.hpp"
+#include "topology/net_view.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"
 
@@ -88,7 +88,7 @@ class Engine {
   /// `traffic` may be null for manually driven runs (tests inject messages
   /// with inject_message()).  All referenced objects must outlive the
   /// engine.
-  Engine(const topology::Network& network, const routing::Router& router,
+  Engine(const topology::NetView& network, const routing::Router& router,
          TrafficSource* traffic, SimConfig config);
   /// Out of line: EngineValidator is incomplete here.
   ~Engine();
@@ -117,7 +117,7 @@ class Engine {
 
   const PacketState& packet(PacketId id) const { return packets_.at(id); }
   std::size_t packet_count() const { return packets_.size(); }
-  const topology::Network& network() const { return network_; }
+  const topology::NetView& network() const { return network_; }
 
   /// Lane occupancy introspection for tests: packet in the lane's buffer,
   /// or kNoPacket.
@@ -303,7 +303,7 @@ class Engine {
     trace_->on_event(TraceEvent{kind, cycle_, packet, seq, lane});
   }
 
-  const topology::Network& network_;
+  const topology::NetView network_;
   const routing::Router& router_;
   TrafficSource* traffic_;
   SimConfig config_;
@@ -365,11 +365,12 @@ class Engine {
   std::vector<std::uint8_t> ch_num_lanes_;
   std::vector<std::uint32_t> ch_src_node_;  // source node id, kInvalidId
                                             // when the source is a switch
-  std::vector<std::uint8_t> ch_dst_is_switch_;
+  util::DenseBitset ch_dst_is_switch_;  // bit-packed: 1 bit/channel keeps
+                                        // the 2M-node footprint down
   std::vector<topology::ChannelId> lane_channel_;  // lane -> owning channel
   std::vector<std::uint64_t> channel_used_epoch_;  // epoch of last transmit
   std::vector<std::uint8_t> vc_rr_;                // round-robin lane pointer
-  std::vector<std::uint8_t> channel_faulty_;       // failed channels
+  util::DenseBitset channel_faulty_;               // failed channels
 
   // Lanes whose buffer sits at a switch, in scan order for routing, and
   // the inverse map (lane -> scan position, kInvalidId for others).
@@ -384,10 +385,15 @@ class Engine {
   // header packet occupying it.  Router::candidates is pure in
   // (packet, lane), and packet ids are unique per run, so a blocked
   // header re-arbitrating every cycle reuses its list instead of
-  // re-walking the topology.  Lists longer than kCandStride (possible
-  // only at extreme dilation*vcs) mark the lane uncacheable.
-  static constexpr std::uint32_t kCandStride = 16;
+  // re-walking the topology.  The per-lane slot width is the network's
+  // maximum routing fan-out capped at kCandStrideMax — a TMIN needs one
+  // slot per lane, not sixteen, and at 2M nodes that is the difference
+  // between an 8 MB and a 1 GB memo table.  Lists longer than the
+  // stride (possible only at extreme dilation*vcs) mark the lane
+  // uncacheable.
+  static constexpr std::uint32_t kCandStrideMax = 16;
   static constexpr std::uint8_t kCandOverflow = 0xFF;
+  std::uint32_t cand_stride_ = kCandStrideMax;
   std::vector<PacketId> cand_pkt_;
   std::vector<std::uint8_t> cand_len_;
   std::vector<topology::LaneId> cand_store_;

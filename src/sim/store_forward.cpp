@@ -16,7 +16,7 @@ using topology::LaneId;
 using topology::NodeId;
 using topology::PhysChannel;
 
-StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
+StoreForwardEngine::StoreForwardEngine(const topology::NetView& network,
                                        const routing::Router& router,
                                        TrafficSource* traffic,
                                        StoreForwardConfig config)
@@ -28,16 +28,16 @@ StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
   WORMSIM_CHECK(config_.buffer_packets >= 1);
   nodes_.resize(network_.node_count());
   lanes_.resize(network_.lane_count());
-  channel_free_at_.assign(network_.channels().size(), 0);
+  channel_free_at_.assign(network_.channel_count(), 0);
   node_pending_flag_.assign(network_.node_count(), 0);
   lane_pending_flag_.assign(network_.lane_count(), 0);
-  switch_feed_lanes_.resize(network_.switches().size());
-  for (const topology::Lane& lane : network_.lanes()) {
-    const PhysChannel& ch = network_.channel(lane.channel);
-    if (ch.dst.is_switch()) {
-      switch_feed_lanes_[ch.dst.id].push_back(lane.id);
+  switch_feed_lanes_.resize(network_.switch_count());
+  network_.for_each_channel([&](const PhysChannel& ch) {
+    if (!ch.dst.is_switch()) return;
+    for (unsigned v = 0; v < ch.num_lanes; ++v) {
+      switch_feed_lanes_[ch.dst.id].push_back(ch.first_lane + v);
     }
-  }
+  });
 
   result_.measure_cycles = config_.measure_cycles;
   result_.node_count = network_.node_count();
@@ -58,7 +58,7 @@ StoreForwardEngine::StoreForwardEngine(const topology::Network& network,
   if (config_.telemetry.worm_trace ||
       telemetry::worm_trace_enabled_from_env()) {
     worm_tracer_ = std::make_shared<telemetry::WormTracer>(
-        network_.lane_count(), network_.channels().size());
+        network_.lane_count(), network_.channel_count());
     wtrace_ = worm_tracer_.get();
     result_.worm_trace = worm_tracer_;
   }

@@ -28,7 +28,7 @@
 #include "sim/packet.hpp"
 #include "sim/traffic_source.hpp"
 #include "telemetry/config.hpp"
-#include "topology/network.hpp"
+#include "topology/net_view.hpp"
 #include "util/rng.hpp"
 
 namespace wormsim::telemetry {
@@ -66,7 +66,7 @@ struct StoreForwardConfig {
 
 class StoreForwardEngine {
  public:
-  StoreForwardEngine(const topology::Network& network,
+  StoreForwardEngine(const topology::NetView& network,
                      const routing::Router& router, TrafficSource* traffic,
                      StoreForwardConfig config);
   /// Out of line: StoreForwardValidator is incomplete here.
@@ -165,7 +165,7 @@ class StoreForwardEngine {
   bool lane_has_space(topology::LaneId lane) const;
   bool idle() const;
 
-  const topology::Network& network_;
+  const topology::NetView network_;
   const routing::Router& router_;
   TrafficSource* traffic_;
   StoreForwardConfig config_;

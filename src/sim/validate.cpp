@@ -35,16 +35,16 @@ namespace {
 /// (Section 4), the three turnaround phases on BMINs (Fig. 7).  Returns
 /// nullptr for a legal hop, else a static string naming the violation.
 /// Pass in_lane == kInvalidId for the injection hop out of a node.
-const char* illegal_hop_reason(const topology::Network& net,
+const char* illegal_hop_reason(const topology::NetView& net,
                                const PacketState& pkt, LaneId in_lane,
                                LaneId out_lane) {
-  const PhysChannel& out_ch = net.lane_channel(out_lane);
+  const PhysChannel out_ch = net.lane_channel(out_lane);
   if (in_lane == kInvalidId) {
     return out_ch.id == net.injection_channel(static_cast<NodeId>(pkt.src))
                ? nullptr
                : "injection onto a channel that is not the source's link";
   }
-  const PhysChannel& in_ch = net.lane_channel(in_lane);
+  const PhysChannel in_ch = net.lane_channel(in_lane);
   if (!in_ch.dst.is_switch()) return "input lane does not end at a switch";
   if (!out_ch.src.is_switch() || out_ch.src.id != in_ch.dst.id) {
     return "output lane does not leave the switch the input lane feeds";
@@ -53,14 +53,14 @@ const char* illegal_hop_reason(const topology::Network& net,
       out_ch.dst.id != static_cast<std::uint32_t>(pkt.dst)) {
     return "ejection channel of a node other than the destination";
   }
-  const Switch& sw = net.switch_ref(in_ch.dst.id);
+  const unsigned stage = net.switch_stage(in_ch.dst.id);
   if (!net.bidirectional()) {
     if (out_ch.src.side != Side::kRight) {
       return "unidirectional worm leaving through a left-side port";
     }
-    if (sw.stage >= net.extra_stages()) {
+    if (stage >= net.extra_stages()) {
       const unsigned port = net.topology().output_port(
-          sw.stage - net.extra_stages(), pkt.dst);
+          stage - net.extra_stages(), pkt.dst);
       if (out_ch.src.port != port) {
         return "output port disagrees with the destination-tag digit";
       }
@@ -71,21 +71,21 @@ const char* illegal_hop_reason(const topology::Network& net,
   // once at FirstDifference(src, dst), then descend on destination digits.
   const bool moving_up = in_ch.role == ChannelRole::kInjection ||
                          in_ch.role == ChannelRole::kForward;
-  if (moving_up && sw.stage < pkt.turn_stage) {
+  if (moving_up && stage < pkt.turn_stage) {
     return out_ch.src.side == Side::kRight
                ? nullptr
                : "forward-phase worm leaving through a left-side port";
   }
-  if (moving_up && sw.stage > pkt.turn_stage) {
+  if (moving_up && stage > pkt.turn_stage) {
     return "worm above its turnaround stage (skipped turn)";
   }
-  if (!moving_up && sw.stage >= pkt.turn_stage) {
+  if (!moving_up && stage >= pkt.turn_stage) {
     return "backward worm at or above its turnaround stage";
   }
   if (out_ch.src.side != Side::kLeft) {
     return "descending worm leaving through a right-side port (turned twice?)";
   }
-  const unsigned port = net.address_spec().digit(pkt.dst, sw.stage);
+  const unsigned port = net.address_spec().digit(pkt.dst, stage);
   if (out_ch.src.port != port) {
     return "left output port disagrees with the destination digit";
   }
@@ -124,7 +124,7 @@ namespace {
 EngineValidator::EngineValidator(const Engine& engine) : e_(engine) {
   lane_mark_.assign(e_.network_.lane_count(), 0);
   node_mark_.assign(e_.network_.node_count(), 0);
-  chan_mark_.assign(e_.network_.channels().size(), 0);
+  chan_mark_.assign(e_.network_.channel_count(), 0);
 }
 
 void EngineValidator::check_cycle_end() {
@@ -573,8 +573,8 @@ void EngineValidator::check_active_sets() {
                 "advance worklist bits survived past the fixpoint");
   }
 
-  for (ChannelId ch_id = 0; ch_id < e_.network_.channels().size(); ++ch_id) {
-    const PhysChannel& ch = e_.network_.channel(ch_id);
+  for (ChannelId ch_id = 0; ch_id < e_.network_.channel_count(); ++ch_id) {
+    const PhysChannel ch = e_.network_.channel(ch_id);
     if (e_.channel_used_epoch_[ch_id] > e_.epoch_) {
       engine_fail("stale-epoch-stamp", cycle, kInvalidId,
                   "channel %u's transmit stamp %llu is ahead of epoch %llu",
@@ -617,7 +617,8 @@ void EngineValidator::check_active_sets() {
     // Active-set completeness: a channel that can transmit next cycle
     // must already sit in the seed_bits_ event frontier, else the engine
     // would skip its move (the bug class golden digests cannot localize).
-    if (ready && !e_.channel_faulty_[ch_id] && !e_.seed_bits_.test(ch_id)) {
+    if (ready && !e_.channel_faulty_.test(ch_id) &&
+        !e_.seed_bits_.test(ch_id)) {
       engine_fail("event-frontier", cycle, ch.first_lane,
                   "channel %u can transmit next cycle but is not scheduled",
                   ch_id);
@@ -629,7 +630,7 @@ void EngineValidator::check_active_sets() {
 
 void EngineValidator::check_domain_partition() {
   const std::uint64_t cycle = e_.cycle_;
-  const std::size_t channels = e_.network_.channels().size();
+  const std::size_t channels = e_.network_.channel_count();
   if (e_.engine_threads_ <= 1) return;
 
   // The domain boundaries must tile [0, channels) in nondecreasing,
@@ -659,11 +660,11 @@ void EngineValidator::check_domain_partition() {
   // so a phase-B move can only unblock a strictly lower channel and the
   // current pass's bitmap stays immutable during phase A.  Also check it
   // on the live allocation state: every held route must cross upward.
-  const std::size_t switches = e_.network_.switches().size();
+  const std::size_t switches = e_.network_.switch_count();
   std::vector<std::int64_t> in_max(switches, -1);
   std::vector<std::int64_t> out_min(switches,
                                     static_cast<std::int64_t>(channels));
-  for (const PhysChannel& ch : e_.network_.channels()) {
+  e_.network_.for_each_channel([&](const PhysChannel& ch) {
     if (ch.dst.is_switch()) {
       in_max[ch.dst.id] =
           std::max(in_max[ch.dst.id], static_cast<std::int64_t>(ch.id));
@@ -672,7 +673,7 @@ void EngineValidator::check_domain_partition() {
       out_min[ch.src.id] =
           std::min(out_min[ch.src.id], static_cast<std::int64_t>(ch.id));
     }
-  }
+  });
   for (std::size_t sw = 0; sw < switches; ++sw) {
     if (in_max[sw] >= out_min[sw]) {
       engine_fail("domain-boundary", cycle, kInvalidId,
@@ -752,7 +753,7 @@ WaitForAnalysis EngineValidator::analyze_waiting() const {
         candidates.clear();
         e_.router_.candidates(query_for(lane), lane, candidates);
         for (const LaneId c : candidates) {
-          if (e_.channel_faulty_[e_.network_.lane(c).channel]) continue;
+          if (e_.channel_faulty_.test(e_.network_.lane(c).channel)) continue;
           if (e_.alloc_owner_[c] == kInvalidId) {
             progress = true;
             break;
@@ -786,7 +787,7 @@ WaitForAnalysis EngineValidator::analyze_waiting() const {
     candidates.clear();
     e_.router_.candidates(query_for(lane), lane, candidates);
     for (const LaneId c : candidates) {
-      if (e_.channel_faulty_[e_.network_.lane(c).channel]) continue;
+      if (e_.channel_faulty_.test(e_.network_.lane(c).channel)) continue;
       const LaneId blocker = blocker_of(c);
       if (blocker != kInvalidId && !can[blocker]) return blocker;
     }
@@ -1023,7 +1024,7 @@ namespace {
 
 StoreForwardValidator::StoreForwardValidator(const StoreForwardEngine& engine)
     : e_(engine) {
-  shadow_.resize(e_.network_.channels().size());
+  shadow_.resize(e_.network_.channel_count());
   lane_mark_.assign(e_.network_.lane_count(), 0);
   node_mark_.assign(e_.network_.node_count(), 0);
 }
@@ -1031,7 +1032,7 @@ StoreForwardValidator::StoreForwardValidator(const StoreForwardEngine& engine)
 void StoreForwardValidator::on_transfer_start(PacketId pkt, LaneId from,
                                               LaneId to) {
   const std::uint64_t now = e_.now_;
-  const PhysChannel& ch = e_.network_.lane_channel(to);
+  const PhysChannel ch = e_.network_.lane_channel(to);
   if (e_.channel_free_at_[ch.id] > now) {
     sf_fail("sf-channel-exclusivity", now, to,
             "transfer started on channel %u which is busy until %llu", ch.id,
@@ -1093,7 +1094,7 @@ void StoreForwardValidator::on_transfer_start(PacketId pkt, LaneId from,
 void StoreForwardValidator::on_transfer_finish(PacketId pkt, LaneId from,
                                                LaneId to) {
   const std::uint64_t now = e_.now_;
-  const PhysChannel& ch = e_.network_.lane_channel(to);
+  const PhysChannel ch = e_.network_.lane_channel(to);
   std::vector<ShadowTransfer>& shadows = shadow_[ch.id];
   for (std::size_t i = 0; i < shadows.size(); ++i) {
     const ShadowTransfer& shadow = shadows[i];

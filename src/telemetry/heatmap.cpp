@@ -85,8 +85,14 @@ namespace {
 char intensity_glyph(double utilization) {
   static constexpr char kRamp[] = " .:-=+*#%@";
   const int steps = static_cast<int>(sizeof(kRamp)) - 2;  // minus NUL, minus 1
-  int index = static_cast<int>(utilization * steps + 0.5);
-  index = std::clamp(index, 0, steps);
+  // Clamp in the double domain first: casting a value outside int's range
+  // (an inf/huge utilization from corrupted counters) is undefined
+  // behavior, and NaN compares false against everything, so it maps to
+  // the cold end rather than through the cast.
+  double scaled = utilization * steps + 0.5;
+  if (!(scaled > 0.0)) scaled = 0.0;
+  if (scaled > static_cast<double>(steps)) scaled = steps;
+  const int index = std::clamp(static_cast<int>(scaled), 0, steps);
   return kRamp[index];
 }
 

@@ -1,0 +1,212 @@
+#include "topology/implicit.hpp"
+
+#include "util/check.hpp"
+
+namespace wormsim::topology {
+
+namespace {
+
+Endpoint node_endpoint(NodeId node) {
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kNode;
+  ep.id = node;
+  return ep;
+}
+
+Endpoint switch_endpoint(SwitchId sw, Side side, unsigned port) {
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kSwitch;
+  ep.id = sw;
+  ep.side = side;
+  ep.port = static_cast<std::uint8_t>(port);
+  return ep;
+}
+
+}  // namespace
+
+ImplicitTopology::ImplicitTopology(NetworkConfig config)
+    : config_(std::move(config)),
+      spec_(config_.kind == NetworkKind::kBMIN
+                ? butterfly_topology(config_.radix, config_.stages)
+                : topology_by_name(config_.topology, config_.radix,
+                                   config_.stages)),
+      sigma_(DigitPerm::shuffle(config_.stages)),
+      exit_inverse_(spec_.connection(spec_.stages()).inverse()) {
+  WORMSIM_CHECK_MSG(supports(config_),
+                    "multibutterfly wiring is random; no implicit form");
+  if (config_.kind == NetworkKind::kBMIN) {
+    WORMSIM_CHECK_MSG(config_.extra_stages == 0,
+                      "extra stages apply to unidirectional MINs only");
+  }
+  k_ = spec_.radix();
+  n_ = spec_.stages();
+  extra_ = config_.kind == NetworkKind::kBMIN ? 0 : config_.extra_stages;
+  total_ = n_ + extra_;
+  nodes_ = spec_.nodes();
+  per_stage_ = static_cast<std::uint32_t>(nodes_ / k_);
+
+  if (config_.kind == NetworkKind::kBMIN) {
+    vcs_ = config_.vcs;
+    channel_count_ = 2 * nodes_ + 2 * (static_cast<std::uint64_t>(n_) - 1) *
+                                      nodes_;
+    lane_count_ =
+        2 * nodes_ +
+        2 * (static_cast<std::uint64_t>(n_) - 1) * nodes_ * vcs_;
+  } else {
+    dilation_ = config_.kind == NetworkKind::kDMIN ? config_.dilation : 1;
+    vcs_ = config_.kind == NetworkKind::kVMIN ? config_.vcs : 1;
+    ejection_lanes_ = config_.vc_node_links ? vcs_ : 1;
+    interstage_channels_ =
+        (static_cast<std::uint64_t>(total_) - 1) * nodes_ * dilation_;
+    ejection_lane_base_ = nodes_ + interstage_channels_ * vcs_;
+    channel_count_ = nodes_ + interstage_channels_ + nodes_;
+    lane_count_ = ejection_lane_base_ + nodes_ * ejection_lanes_;
+  }
+  // The 32-bit id space must hold every id with kInvalidId left over;
+  // beyond that the materialized Network could not represent the same
+  // network either (DESIGN.md §13, overflow-width policy).
+  WORMSIM_CHECK_MSG(lane_count_ < kInvalidId &&
+                        channel_count_ < kInvalidId &&
+                        switch_count() < kInvalidId,
+                    "network exceeds the 32-bit id space");
+}
+
+PhysChannel ImplicitTopology::channel(ChannelId id) const {
+  WORMSIM_DCHECK(id < channel_count_);
+  const util::RadixSpec& addr = address_spec();
+  PhysChannel ch;
+  ch.id = id;
+  const std::uint64_t c = id;
+
+  if (bidirectional()) {
+    if (c < 2 * nodes_) {
+      // Node links: injection 2s, ejection 2s+1, both C_0 / address s.
+      const auto s = static_cast<NodeId>(c / 2);
+      const SwitchId sw = switch_at(0, s / k_);
+      ch.num_lanes = 1;
+      ch.first_lane = static_cast<LaneId>(c);
+      ch.conn_index = 0;
+      ch.address = s;
+      if (c % 2 == 0) {
+        ch.src = node_endpoint(s);
+        ch.dst = switch_endpoint(sw, Side::kLeft, s % k_);
+        ch.role = ChannelRole::kInjection;
+      } else {
+        ch.src = switch_endpoint(sw, Side::kLeft, s % k_);
+        ch.dst = node_endpoint(s);
+        ch.role = ChannelRole::kEjection;
+      }
+      return ch;
+    }
+    const std::uint64_t idx = c - 2 * nodes_;
+    const std::uint64_t pair = idx / 2;
+    const bool backward = idx % 2 != 0;
+    const auto i = static_cast<std::uint32_t>(pair / nodes_ + 1);
+    const std::uint64_t a = pair % nodes_;
+    const std::uint64_t b = spec_.connection(i).apply(addr, a);
+    const SwitchId lower =
+        switch_at(i - 1, static_cast<std::uint32_t>(a / k_));
+    const SwitchId upper = switch_at(i, static_cast<std::uint32_t>(b / k_));
+    const Endpoint right_end = switch_endpoint(lower, Side::kRight, a % k_);
+    const Endpoint left_end = switch_endpoint(upper, Side::kLeft, b % k_);
+    ch.src = backward ? left_end : right_end;
+    ch.dst = backward ? right_end : left_end;
+    ch.role = backward ? ChannelRole::kBackward : ChannelRole::kForward;
+    ch.num_lanes = static_cast<std::uint8_t>(vcs_);
+    ch.first_lane = static_cast<LaneId>(2 * nodes_ + idx * vcs_);
+    ch.conn_index = i;
+    ch.address = b;
+    return ch;
+  }
+
+  if (c < nodes_) {
+    const auto s = static_cast<NodeId>(c);
+    const std::uint64_t a = connection_into(0).apply(addr, s);
+    ch.src = node_endpoint(s);
+    ch.dst = switch_endpoint(switch_at(0, static_cast<std::uint32_t>(a / k_)),
+                             Side::kLeft, a % k_);
+    ch.role = ChannelRole::kInjection;
+    ch.num_lanes = 1;
+    ch.first_lane = static_cast<LaneId>(c);
+    ch.conn_index = 0;
+    ch.address = a;
+    return ch;
+  }
+  const std::uint64_t idx = c - nodes_;
+  if (idx < interstage_channels_) {
+    const std::uint64_t dd = idx % dilation_;
+    const std::uint64_t a = (idx / dilation_) % nodes_;
+    const auto i =
+        static_cast<std::uint32_t>(idx / (dilation_ * nodes_) + 1);
+    const std::uint64_t b = connection_into(i).apply(addr, a);
+    ch.src = switch_endpoint(
+        switch_at(i - 1, static_cast<std::uint32_t>(a / k_)), Side::kRight,
+        a % k_);
+    ch.dst = switch_endpoint(switch_at(i, static_cast<std::uint32_t>(b / k_)),
+                             Side::kLeft, b % k_);
+    ch.role = ChannelRole::kForward;
+    ch.num_lanes = static_cast<std::uint8_t>(vcs_);
+    ch.first_lane = static_cast<LaneId>(nodes_ + idx * vcs_);
+    ch.conn_index = i;
+    ch.address = b;
+    (void)dd;  // which dilation duplicate; not part of the record
+    return ch;
+  }
+  const std::uint64_t a = idx - interstage_channels_;
+  const std::uint64_t d = spec_.connection(n_).apply(addr, a);
+  ch.src = switch_endpoint(
+      switch_at(total_ - 1, static_cast<std::uint32_t>(a / k_)), Side::kRight,
+      a % k_);
+  ch.dst = node_endpoint(static_cast<NodeId>(d));
+  ch.role = ChannelRole::kEjection;
+  ch.num_lanes = static_cast<std::uint8_t>(ejection_lanes_);
+  ch.first_lane =
+      static_cast<LaneId>(ejection_lane_base_ + a * ejection_lanes_);
+  ch.conn_index = total_;
+  ch.address = d;
+  return ch;
+}
+
+Lane ImplicitTopology::lane(LaneId id) const {
+  WORMSIM_DCHECK(id < lane_count_);
+  Lane lane;
+  lane.id = id;
+  const std::uint64_t l = id;
+  if (bidirectional()) {
+    if (l < 2 * nodes_) {
+      lane.channel = static_cast<ChannelId>(l);
+      lane.lane_in_channel = 0;
+      return lane;
+    }
+    const std::uint64_t idx = l - 2 * nodes_;
+    lane.channel = static_cast<ChannelId>(2 * nodes_ + idx / vcs_);
+    lane.lane_in_channel = static_cast<std::uint8_t>(idx % vcs_);
+    return lane;
+  }
+  if (l < nodes_) {
+    lane.channel = static_cast<ChannelId>(l);
+    lane.lane_in_channel = 0;
+    return lane;
+  }
+  if (l < ejection_lane_base_) {
+    const std::uint64_t idx = l - nodes_;
+    lane.channel = static_cast<ChannelId>(nodes_ + idx / vcs_);
+    lane.lane_in_channel = static_cast<std::uint8_t>(idx % vcs_);
+    return lane;
+  }
+  const std::uint64_t idx = l - ejection_lane_base_;
+  lane.channel = static_cast<ChannelId>(nodes_ + interstage_channels_ +
+                                        idx / ejection_lanes_);
+  lane.lane_in_channel = static_cast<std::uint8_t>(idx % ejection_lanes_);
+  return lane;
+}
+
+ChannelId ImplicitTopology::ejection_channel(NodeId node) const {
+  if (bidirectional()) return static_cast<ChannelId>(2 * node + 1);
+  // The ejection channel delivering to `node` sits at right-side address
+  // a = C_n^{-1}(node) of the last stage.
+  const std::uint64_t a = exit_inverse_.apply(address_spec(), node);
+  return static_cast<ChannelId>(nodes_ + interstage_channels_ + a);
+}
+
+}  // namespace wormsim::topology

@@ -1,0 +1,218 @@
+// Implicit (non-materialized) topology backend.
+//
+// Every Delta-network builder in network.cpp lays out switches, physical
+// channels, and lanes with closed-form arithmetic over digit-permutation
+// connections — the graph structure is fully determined by NetworkConfig.
+// This class re-derives any single switch/channel/lane record on demand
+// from that arithmetic, in O(stages) time and O(stages) total state,
+// instead of materializing the O(N log N) graph.  At k=8, n=7 (2,097,152
+// nodes) the materialized Network costs gigabytes of port tables; the
+// implicit backend costs a few hundred bytes.
+//
+// The id layouts reproduced here are the *same* closed forms the
+// materialized builders use (see DESIGN.md §13 for the full derivation):
+//
+//   unidirectional (TMIN/DMIN/VMIN, optional extra stages), with
+//   N = k^n nodes, total = n + extra physical stages, d = dilation
+//   (DMIN, else 1), m = lanes per forward channel (VMIN, else 1), and
+//   ej = vc_node_links ? m : 1 ejection lanes:
+//     injection  s in [0,N):  channel s, lane s
+//     interstage (i in [1,total), left address a, duplicate dd < d):
+//                channel N + ((i-1)·N + a)·d + dd
+//                first lane N + (((i-1)·N + a)·d + dd)·m
+//     ejection   (right address a): channel N + (total-1)·N·d + a
+//                first lane N + (total-1)·N·d·m + a·ej
+//
+//   bidirectional (BMIN, butterfly-wired, m = vcs lanes per channel):
+//     node links: injection channel/lane 2s, ejection channel/lane 2s+1
+//     interstage pair (i in [1,n), left address a):
+//                forward channel 2N + 2·((i-1)·N + a), backward +1,
+//                lanes in vcs-sized blocks: channel 2N+j starts at
+//                lane 2N + j·vcs
+//
+// Multibutterflies (splitter_dilation > 0) are *randomly* wired from an
+// RNG stream and have no closed form; supports() excludes them and the
+// caller falls back to the materialized graph.
+//
+// Overflow-width policy: every intermediate product here is computed in
+// std::uint64_t and only narrowed to the 32-bit id types after the
+// construction-time check that the largest id (lane_count) fits; see
+// DESIGN.md §13.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "topology/digit_perm.hpp"
+#include "topology/network.hpp"
+#include "topology/topology_spec.hpp"
+
+namespace wormsim::topology {
+
+class ImplicitTopology {
+ public:
+  /// True when `config` describes a network this backend can compute:
+  /// every deterministic Delta wiring (all four paper kinds, extra
+  /// stages, dilation, virtual channels).  Only the randomly wired
+  /// multibutterfly is excluded.
+  static bool supports(const NetworkConfig& config) {
+    return config.splitter_dilation == 0;
+  }
+
+  explicit ImplicitTopology(NetworkConfig config);
+
+  const NetworkConfig& config() const { return config_; }
+  NetworkKind kind() const { return config_.kind; }
+  const TopologySpec& topology() const { return spec_; }
+  const util::RadixSpec& address_spec() const { return spec_.address_spec(); }
+
+  unsigned radix() const { return k_; }
+  unsigned stages() const { return total_; }
+  unsigned extra_stages() const { return extra_; }
+  unsigned base_stages() const { return n_; }
+  std::uint64_t node_count() const { return nodes_; }
+  std::uint32_t switches_per_stage() const { return per_stage_; }
+  bool bidirectional() const { return config_.kind == NetworkKind::kBMIN; }
+
+  std::size_t switch_count() const {
+    return static_cast<std::size_t>(total_) * per_stage_;
+  }
+  std::size_t channel_count() const { return channel_count_; }
+  std::size_t lane_count() const { return lane_count_; }
+
+  SwitchId switch_at(unsigned stage, std::uint32_t index) const {
+    WORMSIM_DCHECK(stage < total_ && index < per_stage_);
+    return static_cast<SwitchId>(stage) * per_stage_ + index;
+  }
+  std::uint32_t switch_stage(SwitchId sw) const { return sw / per_stage_; }
+  std::uint32_t switch_index(SwitchId sw) const { return sw % per_stage_; }
+
+  /// Recomputes the full channel record; bit-identical to the
+  /// materialized Network's entry (equivalence pinned in
+  /// tests/implicit_test.cpp).
+  PhysChannel channel(ChannelId id) const;
+  Lane lane(LaneId id) const;
+  PhysChannel lane_channel(LaneId id) const { return channel(lane(id).channel); }
+
+  ChannelId injection_channel(NodeId node) const {
+    return bidirectional() ? static_cast<ChannelId>(2 * node)
+                           : static_cast<ChannelId>(node);
+  }
+  ChannelId ejection_channel(NodeId node) const;
+
+  /// Appends the lanes leaving `sw` through right-side port `port`, in
+  /// the materialized port table's order (dilation duplicates ascending,
+  /// lanes within a channel ascending).
+  template <typename Out>
+  void append_right_out_lanes(SwitchId sw, unsigned port, Out& out) const {
+    const std::uint32_t stage = switch_stage(sw);
+    const std::uint64_t a =
+        static_cast<std::uint64_t>(switch_index(sw)) * k_ + port;
+    if (bidirectional()) {
+      // Top-stage switches have no right-side channels.
+      if (stage + 1 >= n_) return;
+      const std::uint64_t base =
+          2 * nodes_ +
+          2 * (static_cast<std::uint64_t>(stage) * nodes_ + a) * vcs_;
+      for (unsigned v = 0; v < vcs_; ++v) {
+        out.push_back(static_cast<LaneId>(base + v));
+      }
+      return;
+    }
+    if (stage + 1 < total_) {
+      // Forward channels of stage `stage+1`: d·m consecutive lanes.
+      const std::uint64_t base =
+          nodes_ + (static_cast<std::uint64_t>(stage) * nodes_ + a) *
+                       dilation_ * vcs_;
+      for (unsigned v = 0; v < dilation_ * vcs_; ++v) {
+        out.push_back(static_cast<LaneId>(base + v));
+      }
+      return;
+    }
+    // Last stage: the ejection channel at right address `a`.
+    const std::uint64_t base = ejection_lane_base_ + a * ejection_lanes_;
+    for (unsigned v = 0; v < ejection_lanes_; ++v) {
+      out.push_back(static_cast<LaneId>(base + v));
+    }
+  }
+
+  /// Appends the lanes leaving `sw` through left-side port `port` (BMIN
+  /// only: the ejection link at stage 0, the backward channel above).
+  template <typename Out>
+  void append_left_out_lanes(SwitchId sw, unsigned port, Out& out) const {
+    WORMSIM_DCHECK(bidirectional());
+    const std::uint32_t stage = switch_stage(sw);
+    const std::uint64_t b =
+        static_cast<std::uint64_t>(switch_index(sw)) * k_ + port;
+    if (stage == 0) {
+      out.push_back(static_cast<LaneId>(2 * b + 1));
+      return;
+    }
+    // The backward mate of the forward channel entering left address `b`
+    // of this stage: its right-side address is a = beta_stage(b)
+    // (butterfly exchanges are self-inverse).
+    const std::uint64_t a = spec_.connection(stage).apply(address_spec(), b);
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(stage) - 1) * nodes_ + a;
+    const std::uint64_t base = 2 * nodes_ + (2 * pair + 1) * vcs_;
+    for (unsigned v = 0; v < vcs_; ++v) {
+      out.push_back(static_cast<LaneId>(base + v));
+    }
+  }
+
+  /// All right-side out lanes of `sw`, ports ascending — the adaptive
+  /// extra-stage / below-turnaround candidate set.
+  template <typename Out>
+  void append_all_right_out_lanes(SwitchId sw, Out& out) const {
+    for (unsigned port = 0; port < k_; ++port) {
+      append_right_out_lanes(sw, port, out);
+    }
+  }
+
+  /// Largest candidate list any router query can return on this network;
+  /// sizes the engine's per-lane route memo.
+  std::uint32_t max_route_fanout() const {
+    if (bidirectional()) {
+      // Below the turn a worm may take any of the k·m forward lanes.
+      return static_cast<std::uint32_t>(k_) * vcs_;
+    }
+    const std::uint32_t per_port = dilation_ * vcs_;
+    std::uint32_t fanout = std::max<std::uint32_t>(per_port, ejection_lanes_);
+    if (extra_ > 0) {
+      // Adaptive extra stages offer the whole right side.
+      fanout = std::max(fanout, static_cast<std::uint32_t>(k_) * per_port);
+    }
+    return fanout;
+  }
+
+ private:
+  const DigitPerm& connection_into(unsigned stage) const {
+    return stage < extra_ ? sigma_ : spec_.connection(stage - extra_);
+  }
+
+  NetworkConfig config_;
+  TopologySpec spec_;
+  DigitPerm sigma_;          ///< perfect shuffle wiring the extra stages
+  DigitPerm exit_inverse_;   ///< C_n^{-1}, for ejection_channel lookups
+
+  std::uint64_t nodes_ = 0;
+  std::uint32_t per_stage_ = 0;
+  unsigned k_ = 0;
+  unsigned n_ = 0;       ///< base (tag-routed) stages
+  unsigned extra_ = 0;
+  unsigned total_ = 0;   ///< physical stages, n_ + extra_
+  unsigned dilation_ = 1;        ///< effective: >1 for DMIN only
+  unsigned vcs_ = 1;             ///< lanes per interstage channel
+  unsigned ejection_lanes_ = 1;  ///< lanes per ejection channel
+  std::uint64_t interstage_channels_ = 0;  ///< (total-1)·N·d (uni only)
+  std::uint64_t ejection_lane_base_ = 0;   ///< N + (total-1)·N·d·m
+  std::uint64_t channel_count_ = 0;
+  std::uint64_t lane_count_ = 0;
+};
+
+/// Shared pointer, so NetView copies stay cheap while engines keep the
+/// state alive for their whole run.
+using ImplicitTopologyPtr = std::shared_ptr<const ImplicitTopology>;
+
+}  // namespace wormsim::topology

@@ -302,14 +302,20 @@ Network build_multibutterfly(const NetworkConfig& config) {
     net.set_injection_channel(s, inj);
   }
 
+  // Block arithmetic below runs in std::uint64_t: the products (b*k+v) *
+  // sub_size, b * block_size, and s * mbd are all bounded by per_stage
+  // (or per_stage * mbd) for valid configs, but per_stage itself
+  // approaches 2^32 for the largest radix-2 networks the config
+  // validator admits, and a silent u32 wraparound here would produce a
+  // structurally broken (and wrong-looking, not crashing) wiring.
   for (unsigned i = 0; i + 1 < n; ++i) {
-    const std::uint32_t blocks = static_cast<std::uint32_t>(util::ipow(k, i));
-    const std::uint32_t block_size = per_stage / blocks;
-    const std::uint32_t sub_size = block_size / k;
-    for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::uint64_t blocks = util::ipow(k, i);
+    const std::uint64_t block_size = per_stage / blocks;
+    const std::uint64_t sub_size = block_size / k;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
       for (unsigned v = 0; v < k; ++v) {
         // Senders: the block's switches; receivers: sub-block b*k + v.
-        const std::uint32_t recv_base = (b * k + v) * sub_size;
+        const std::uint64_t recv_base = (b * k + v) * sub_size;
         // `rounds[r][s]` = receiver offset for sender s in wiring round r,
         // balanced so each receiver appears exactly k times per round.
         // Re-draw until each sender's receivers are distinct (possible
@@ -339,19 +345,20 @@ Network build_multibutterfly(const NetworkConfig& config) {
           }
           if (ok) break;
         }
-        for (std::uint32_t s = 0; s < block_size; ++s) {
-          const SwitchId src =
-              net.switch_at(i, b * block_size + s);
+        for (std::uint64_t s = 0; s < block_size; ++s) {
+          const SwitchId src = net.switch_at(
+              i, static_cast<std::uint32_t>(b * block_size + s));
           for (unsigned r = 0; r < mbd; ++r) {
-            const std::uint32_t recv = recv_base + rounds[r][s];
-            const SwitchId dst = net.switch_at(i + 1, recv);
+            const std::uint64_t recv = recv_base + rounds[r][s];
+            const SwitchId dst =
+                net.switch_at(i + 1, static_cast<std::uint32_t>(recv));
             // Spread incoming channels across the receiver's input ports.
-            const unsigned in_port = (s * mbd + r) % k;
+            const unsigned in_port =
+                static_cast<unsigned>((s * mbd + r) % k);
             net.add_channel(
                 switch_endpoint(src, Side::kRight, v),
                 switch_endpoint(dst, Side::kLeft, in_port),
-                ChannelRole::kForward, 1, i + 1,
-                static_cast<std::uint64_t>(recv) * k + in_port);
+                ChannelRole::kForward, 1, i + 1, recv * k + in_port);
           }
         }
       }

@@ -120,7 +120,7 @@ std::string WorkloadSpec::describe() const {
   return os.str();
 }
 
-StandardTraffic::StandardTraffic(const topology::Network& network,
+StandardTraffic::StandardTraffic(const topology::NetView& network,
                                  WorkloadSpec spec)
     : network_(network), spec_(std::move(spec)) {
   const std::uint64_t N = network_.node_count();

@@ -13,7 +13,7 @@
 
 #include "partition/cluster.hpp"
 #include "sim/traffic_source.hpp"
-#include "topology/network.hpp"
+#include "topology/net_view.hpp"
 #include "util/rng.hpp"
 
 namespace wormsim::traffic {
@@ -77,7 +77,7 @@ struct WorkloadSpec {
 /// Concrete TrafficSource implementing WorkloadSpec for a given network.
 class StandardTraffic final : public sim::TrafficSource {
  public:
-  StandardTraffic(const topology::Network& network, WorkloadSpec spec);
+  StandardTraffic(const topology::NetView& network, WorkloadSpec spec);
 
   bool node_active(topology::NodeId node) const override;
   double next_gap(topology::NodeId node, util::Rng& rng) override;
@@ -92,7 +92,7 @@ class StandardTraffic final : public sim::TrafficSource {
   double mean_gap(topology::NodeId node) const;
 
  private:
-  const topology::Network& network_;
+  const topology::NetView network_;
   WorkloadSpec spec_;
   std::vector<double> node_mean_gap_;         // cycles; 0 => inactive
   std::vector<std::uint64_t> perm_target_;    // permutation patterns

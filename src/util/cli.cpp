@@ -1,7 +1,9 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -47,16 +49,24 @@ bool CliParser::assign(const Flag& flag, const std::string& value) {
       *static_cast<std::string*>(flag.target) = value;
       return true;
     case Kind::kInt: {
+      errno = 0;
       char* end = nullptr;
       const long long parsed = std::strtoll(value.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || value.empty()) return false;
+      if (end == nullptr || *end != '\0' || value.empty() ||
+          errno == ERANGE) {
+        return false;
+      }
       *static_cast<std::int64_t*>(flag.target) = parsed;
       return true;
     }
     case Kind::kDouble: {
+      errno = 0;
       char* end = nullptr;
       const double parsed = std::strtod(value.c_str(), &end);
-      if (end == nullptr || *end != '\0' || value.empty()) return false;
+      if (end == nullptr || *end != '\0' || value.empty() ||
+          errno == ERANGE) {
+        return false;
+      }
       *static_cast<double*>(flag.target) = parsed;
       return true;
     }
@@ -127,19 +137,70 @@ bool parse_shard(const std::string& text, unsigned* index, unsigned* count) {
       slash + 1 >= text.size()) {
     return false;
   }
-  const std::string index_text = text.substr(0, slash);
-  const std::string count_text = text.substr(slash + 1);
-  for (const std::string* part : {&index_text, &count_text}) {
-    for (const char c : *part) {
-      if (c < '0' || c > '9') return false;
-    }
+  std::uint32_t i = 0;
+  std::uint32_t n = 0;
+  if (!parse_u32(text.substr(0, slash), &i) ||
+      !parse_u32(text.substr(slash + 1), &n)) {
+    return false;
   }
-  const unsigned long i = std::strtoul(index_text.c_str(), nullptr, 10);
-  const unsigned long n = std::strtoul(count_text.c_str(), nullptr, 10);
   if (n == 0 || i >= n) return false;
-  *index = static_cast<unsigned>(i);
-  *count = static_cast<unsigned>(n);
+  *index = i;
+  *count = n;
   return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    // strtoull on its own accepts leading whitespace, a sign, and stops
+    // at the first junk character; the digits-only pre-pass rejects all
+    // of those so only overflow remains to be caught below.
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return false;
+  static_assert(sizeof(unsigned long long) >= sizeof(std::uint64_t));
+  *out = parsed;
+  return true;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(text, &wide) ||
+      wide > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+namespace {
+
+[[noreturn]] void die_bad_env(const char* name, const char* raw) {
+  std::fprintf(stderr,
+               "%s: expected a non-negative decimal integer, got '%s'\n",
+               name, raw);
+  std::abort();
+}
+
+}  // namespace
+
+std::uint32_t env_u32_or(const char* name, std::uint32_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint32_t value = 0;
+  if (!parse_u32(raw, &value)) die_bad_env(name, raw);
+  return value;
+}
+
+std::uint64_t env_u64_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint64_t value = 0;
+  if (!parse_u64(raw, &value)) die_bad_env(name, raw);
+  return value;
 }
 
 std::string CliParser::usage() const {

@@ -56,7 +56,21 @@ class CliParser {
 /// Parses "i/n" shard notation (as in --shard=2/4): 0-based index i and
 /// total count n with 0 <= i < n.  Returns false (leaving the outputs
 /// untouched) on malformed input — missing slash, trailing garbage,
-/// n == 0, or i >= n.
+/// values that overflow 32 bits, n == 0, or i >= n.
 bool parse_shard(const std::string& text, unsigned* index, unsigned* count);
+
+/// Parses a non-negative decimal integer.  Rejects empty input, any
+/// non-digit character (including sign, whitespace, and trailing
+/// garbage), and values that overflow the output type.  Returns false
+/// leaving `*out` untouched on failure.
+bool parse_u64(const std::string& text, std::uint64_t* out);
+bool parse_u32(const std::string& text, std::uint32_t* out);
+
+/// Reads an unsigned decimal environment knob.  Returns `fallback` when
+/// the variable is unset or empty; aborts with a diagnostic naming the
+/// variable when it is set to something parse_u32/parse_u64 rejects —
+/// a mistyped knob silently falling back is worse than a hard stop.
+std::uint32_t env_u32_or(const char* name, std::uint32_t fallback);
+std::uint64_t env_u64_or(const char* name, std::uint64_t fallback);
 
 }  // namespace wormsim::util

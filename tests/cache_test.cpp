@@ -28,7 +28,7 @@ SeriesSpec tiny_spec() {
   SeriesSpec spec;
   spec.label = "tmin cube";
   spec.net = tmin_config("cube", 2, 3);
-  spec.workload = [](const topology::Network& network, double load) {
+  spec.workload = [](const topology::NetView& network, double load) {
     traffic::WorkloadSpec workload;
     workload.offered = load;
     workload.length = traffic::LengthSpec::uniform(4, 32);

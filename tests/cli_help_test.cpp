@@ -40,6 +40,45 @@ TEST(CliExitStatus, UnknownFlagFails) {
             1);
 }
 
+// Regression: --shard fields and integer env knobs went through bare
+// strtoul, so "4x/8" ran as shard 4/8 and an overflowing value silently
+// truncated.  All of these must be loud failures now.
+TEST(CliExitStatus, ShardTrailingJunkFails) {
+  EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
+                " --all --quick --shard=4x/8 > /dev/null 2>&1"),
+            1);
+}
+
+TEST(CliExitStatus, ShardOverflowFails) {
+  EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
+                " --all --quick --shard=99999999999999999999/4"
+                " > /dev/null 2>&1"),
+            1);
+}
+
+TEST(CliExitStatus, OverflowingIntFlagFails) {
+  EXPECT_EQ(run(std::string(WORMSIM_FIGURES_CLI_PATH) +
+                " --seed=99999999999999999999 --list > /dev/null 2>&1"),
+            1);
+}
+
+TEST(CliExitStatus, GarbageEngineThreadsEnvDies) {
+  // The knob is read by RunOptions::from_env before any simulation; a
+  // garbage value must kill the run (abort -> shell exit 134), never be
+  // half-parsed as 4.
+  EXPECT_NE(run(std::string("WORMSIM_ENGINE_THREADS=4x ") +
+                WORMSIM_FIGURES_CLI_PATH +
+                " --quick --figure=fig18a > /dev/null 2>&1"),
+            0);
+}
+
+TEST(CliExitStatus, OverflowSeedEnvDies) {
+  EXPECT_NE(run(std::string("WORMSIM_SEED=18446744073709551616 ") +
+                WORMSIM_FIGURES_CLI_PATH +
+                " --quick --figure=fig18a > /dev/null 2>&1"),
+            0);
+}
+
 // telemetry_report --dir must fail loudly (exit 1) for every flavor of
 // useless directory — missing, empty, and "every file unparseable" (the
 // last used to print a bare table header and exit 0).

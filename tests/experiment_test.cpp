@@ -15,7 +15,7 @@ SeriesSpec tiny_tmin_spec() {
   SeriesSpec spec;
   spec.label = "tiny";
   spec.net = tmin_config("cube", 2, 3);
-  spec.workload = [](const topology::Network& net, double load) {
+  spec.workload = [](const topology::NetView& net, double load) {
     traffic::WorkloadSpec workload;
     workload.offered = load;
     workload.length = traffic::LengthSpec::uniform(4, 64);

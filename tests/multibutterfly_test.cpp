@@ -128,6 +128,37 @@ TEST(Multibutterfly, SimulationDeliversRandomTraffic) {
   }
 }
 
+// Regression for the splitter block arithmetic, which now runs in
+// std::uint64_t: products like (b*k + v) * sub_size and b * block_size
+// approach the top of the u32 range for the largest admissible networks,
+// and a silent wraparound would mis-wire blocks without crashing.  A
+// radix-8 build pushes blocks/block_size through several orders of
+// magnitude (4096 nodes, block_size 512 down to 8) and checks the wiring
+// invariants the closed forms guarantee at every scale.
+TEST(Multibutterfly, WideBlockArithmeticKeepsWiringBalanced) {
+  const unsigned k = 8, n = 4, mbd = 2;
+  const Network net = topology::build_network(mbmin_config(k, n, mbd));
+  EXPECT_EQ(net.node_count(), 4096u);
+  // Every output port fans out mbd channels; every receiving switch has
+  // in-degree k * mbd.  Both only hold when recv_base and the sender
+  // index b*block_size+s computed without wraparound.
+  std::map<topology::SwitchId, unsigned> in_degree;
+  std::uint64_t forward = 0;
+  for (const auto& ch : net.channels()) {
+    if (ch.role != topology::ChannelRole::kForward) continue;
+    ++forward;
+    ++in_degree[ch.dst.id];
+    // A receiver always sits one stage downstream of its sender.
+    EXPECT_EQ(net.switch_ref(ch.dst.id).stage,
+              net.switch_ref(ch.src.id).stage + 1);
+  }
+  // (n-1) inter-stage connections, N/k senders each with k ports x mbd.
+  EXPECT_EQ(forward, std::uint64_t{n - 1} * (4096 / k) * k * mbd);
+  for (const auto& [sw, degree] : in_degree) {
+    EXPECT_EQ(degree, k * mbd) << "switch " << sw;
+  }
+}
+
 TEST(MultibutterflyDeath, RequiresPlainTminBase) {
   NetworkConfig config = mbmin_config(2, 3, 2);
   config.kind = NetworkKind::kDMIN;

@@ -17,7 +17,7 @@ std::vector<SeriesSpec> tiny_specs() {
     SeriesSpec spec;
     spec.label = net.describe();
     spec.net = net;
-    spec.workload = [](const topology::Network& network, double load) {
+    spec.workload = [](const topology::NetView& network, double load) {
       traffic::WorkloadSpec workload;
       workload.offered = load;
       workload.length = traffic::LengthSpec::uniform(4, 32);

@@ -27,7 +27,7 @@ SweepPoint run(const topology::NetworkConfig& net,
   SeriesSpec spec;
   spec.label = net.describe();
   spec.net = net;
-  spec.workload = [=](const topology::Network& network, double l) {
+  spec.workload = [=](const topology::NetView& network, double l) {
     traffic::WorkloadSpec workload;
     workload.pattern = pattern;
     workload.offered = l;

@@ -46,7 +46,7 @@ SeriesSpec tiny_spec(const topology::NetworkConfig& net) {
   SeriesSpec spec;
   spec.label = net.describe();
   spec.net = net;
-  spec.workload = [](const topology::Network& network, double load) {
+  spec.workload = [](const topology::NetView& network, double load) {
     traffic::WorkloadSpec workload;
     workload.offered = load;
     workload.length = traffic::LengthSpec::uniform(4, 32);

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -199,6 +200,49 @@ TEST(Heatmap, UtilizationBoundedAndHottestConsistent) {
   print_heatmap(heatmap, os);
   EXPECT_NE(os.str().find("C_1"), std::string::npos);
   EXPECT_NE(os.str().find("hottest"), std::string::npos);
+}
+
+// The glyph ramp must survive out-of-domain utilizations: values outside
+// [0, 1] (including inf, NaN, and doubles too large for int) come from
+// corrupted or mismatched counters, and casting them to int before
+// clamping is undefined behavior.  Anything non-finite or negative maps
+// to the cold end; anything >= 1 maps to the hot end.
+TEST(Heatmap, PrintSurvivesOutOfDomainUtilization) {
+  ChannelHeatmap heatmap;
+  heatmap.cycles = 100;
+  StageRow row;
+  row.conn_index = 1;
+  const double values[] = {0.0,
+                           1.0,
+                           -1.0,
+                           1e300,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    ChannelCell cell;
+    cell.channel = static_cast<topology::ChannelId>(i);
+    cell.utilization = values[i];
+    row.cells.push_back(cell);
+  }
+  heatmap.stages.push_back(row);
+
+  std::ostringstream os;
+  print_heatmap(heatmap, os);
+  const std::string text = os.str();
+  const std::size_t open = text.find('[');
+  const std::size_t close = text.find(']');
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  const std::string glyphs = text.substr(open + 1, close - open - 1);
+  ASSERT_EQ(glyphs.size(), std::size(values));
+  EXPECT_EQ(glyphs[0], ' ');   // 0.0 -> cold end
+  EXPECT_EQ(glyphs[1], '@');   // 1.0 -> hot end
+  EXPECT_EQ(glyphs[2], ' ');   // negative clamps cold
+  EXPECT_EQ(glyphs[3], '@');   // huge clamps hot (no UB cast)
+  EXPECT_EQ(glyphs[4], '@');   // +inf clamps hot
+  EXPECT_EQ(glyphs[5], ' ');   // -inf clamps cold
+  EXPECT_EQ(glyphs[6], ' ');   // NaN maps cold, not through the cast
 }
 
 // ---- Interval sampling --------------------------------------------------
@@ -683,7 +727,7 @@ experiment::SeriesSpec tiny_spec() {
   experiment::SeriesSpec spec;
   spec.label = "tiny";
   spec.net = small_tmin();
-  spec.workload = [](const topology::Network& net, double load) {
+  spec.workload = [](const topology::NetView& net, double load) {
     traffic::WorkloadSpec workload;
     workload.offered = load;
     workload.length = traffic::LengthSpec::uniform(4, 16);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -519,6 +521,83 @@ TEST(ParseShard, RejectsMalformedInput) {
     EXPECT_EQ(index, 7u);
     EXPECT_EQ(count, 7u);
   }
+}
+
+// Regression: the shard fields went through bare strtoul with no endptr
+// or ERANGE check, so "4x/8" parsed as 4/8 and an overflowing index
+// silently truncated (on LP64, ULONG_MAX -> unsigned wraps to
+// 0xffffffff).  Both must now be hard rejects.
+TEST(ParseShard, RejectsTrailingJunkAndOverflow) {
+  unsigned index = 7;
+  unsigned count = 7;
+  for (const char* bad :
+       {"4x/8", "1/8x", "0x1/8",
+        // > UINT32_MAX and > UINT64_MAX: reject, never truncate.
+        "4294967296/4294967297", "99999999999999999999/4",
+        "1/18446744073709551616"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_shard(bad, &index, &count));
+    EXPECT_EQ(index, 7u);
+    EXPECT_EQ(count, 7u);
+  }
+}
+
+TEST(ParseUnsigned, AcceptsDecimalDigitsOnly) {
+  std::uint64_t u64 = 0;
+  ASSERT_TRUE(parse_u64("0", &u64));
+  EXPECT_EQ(u64, 0u);
+  ASSERT_TRUE(parse_u64("18446744073709551615", &u64));  // UINT64_MAX
+  EXPECT_EQ(u64, std::numeric_limits<std::uint64_t>::max());
+  std::uint32_t u32 = 0;
+  ASSERT_TRUE(parse_u32("4294967295", &u32));  // UINT32_MAX
+  EXPECT_EQ(u32, std::numeric_limits<std::uint32_t>::max());
+  ASSERT_TRUE(parse_u32("007", &u32));  // leading zeros are still decimal
+  EXPECT_EQ(u32, 7u);
+}
+
+TEST(ParseUnsigned, RejectsJunkSignsWhitespaceAndOverflow) {
+  std::uint64_t u64 = 42;
+  std::uint32_t u32 = 42;
+  for (const char* bad :
+       {"", "4x", "x4", "1 ", " 1", "+1", "-1", "1.0", "1e3", "0x10",
+        "18446744073709551616" /* UINT64_MAX + 1 */}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_u64(bad, &u64));
+    EXPECT_FALSE(parse_u32(bad, &u32));
+    EXPECT_EQ(u64, 42u);  // outputs untouched on failure
+    EXPECT_EQ(u32, 42u);
+  }
+  // Fits in 64 bits but not 32.
+  EXPECT_FALSE(parse_u32("4294967296", &u32));
+  EXPECT_TRUE(parse_u64("4294967296", &u64));
+}
+
+TEST(EnvKnobs, FallbackWhenUnsetOrEmpty) {
+  unsetenv("WORMSIM_TEST_KNOB");
+  EXPECT_EQ(env_u32_or("WORMSIM_TEST_KNOB", 5u), 5u);
+  EXPECT_EQ(env_u64_or("WORMSIM_TEST_KNOB", 9u), 9u);
+  setenv("WORMSIM_TEST_KNOB", "", 1);
+  EXPECT_EQ(env_u32_or("WORMSIM_TEST_KNOB", 5u), 5u);
+  setenv("WORMSIM_TEST_KNOB", "123", 1);
+  EXPECT_EQ(env_u32_or("WORMSIM_TEST_KNOB", 5u), 123u);
+  EXPECT_EQ(env_u64_or("WORMSIM_TEST_KNOB", 9u), 123u);
+  unsetenv("WORMSIM_TEST_KNOB");
+}
+
+// Regression: garbage env values ("4x", overflow) used to be silently
+// accepted via bare strtoul; they must now abort with a diagnostic that
+// names the variable, not limp on with a half-parsed number.
+TEST(EnvKnobsDeath, GarbageValueDiesWithDiagnostic) {
+  setenv("WORMSIM_TEST_KNOB", "4x", 1);
+  EXPECT_DEATH(env_u32_or("WORMSIM_TEST_KNOB", 1u),
+               "WORMSIM_TEST_KNOB.*non-negative decimal integer.*4x");
+  setenv("WORMSIM_TEST_KNOB", "18446744073709551616", 1);
+  EXPECT_DEATH(env_u64_or("WORMSIM_TEST_KNOB", 1u),
+               "non-negative decimal integer");
+  setenv("WORMSIM_TEST_KNOB", "4294967296", 1);  // u64-ok, u32-overflow
+  EXPECT_DEATH(env_u32_or("WORMSIM_TEST_KNOB", 1u),
+               "non-negative decimal integer");
+  unsetenv("WORMSIM_TEST_KNOB");
 }
 
 }  // namespace
