@@ -181,6 +181,33 @@ void BM_EngineCyclesTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCyclesTraced)->DenseRange(0, 3)->ArgNames({"kind"});
 
+// Degraded-mode operation: a live fault plan (5% of interior channels
+// dead since early warm-in) keeps the fault paths hot — faulty-lane
+// screens in routing/advance, termination drains, adaptive detours.  The
+// JSON trajectory tracks it as fault_check_overhead_x against the plain
+// engine; the zero-fault path needs no variant because the golden
+// digests already pin it bit for bit.
+void BM_EngineCyclesFaulted(benchmark::State& state) {
+  const auto kind = static_cast<topology::NetworkKind>(state.range(0));
+  const topology::Network net = topology::build_network(config_for(kind, 2));
+  const auto router = routing::make_router(net);
+  traffic::WorkloadSpec workload;
+  workload.offered = 0.5;
+  traffic::StandardTraffic traffic(net, workload);
+  sim::SimConfig config = engine_config(false);
+  config.fault_fraction = 0.05;
+  config.fault_seed = 1;
+  config.fault_at_cycle = 64;
+  sim::Engine engine(net, *router, &traffic, config);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineCyclesFaulted)->DenseRange(0, 3)->ArgNames({"kind"});
+
 // Large-N configuration for the domain-partitioned advance: a 4096-node
 // TMIN (k=8, n=4, ~20k channels) is big enough that a single cycle's
 // route/advance work dwarfs the per-pass barrier cost, which is the
@@ -286,7 +313,8 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
                   unsigned credit_delay, double* off_cps,
                   double* on_cps, double* overhead_pct,
                   double* validate_cps, double* validate_slowdown_x,
-                  double* trace_cps, double* trace_slowdown_x) {
+                  double* trace_cps, double* trace_slowdown_x,
+                  double* fault_cps, double* fault_overhead_x) {
   const topology::Network net =
       topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
@@ -305,11 +333,21 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
       engine_config(false, buffer_depth, credit_delay);
   trace_config.telemetry.worm_trace = true;
   sim::Engine trace_engine(net, *router, &traffic, trace_config);
+  // Degraded mode: 5% of interior channels die during warm-in, so the
+  // measured slices run the fault paths (faulty-lane screens, kill
+  // drains, terminations) at their steady-state cost.
+  sim::SimConfig fault_config =
+      engine_config(false, buffer_depth, credit_delay);
+  fault_config.fault_fraction = 0.05;
+  fault_config.fault_seed = 1;
+  fault_config.fault_at_cycle = 64;
+  sim::Engine fault_engine(net, *router, &traffic, fault_config);
   for (std::uint64_t i = 0; i < cycles / 10; ++i) {
     off_engine.step();
     on_engine.step();
     validate_engine.step();
     trace_engine.step();
+    fault_engine.step();
   }
   // Many short alternating slices: CPU-noise bursts outlast one slice,
   // so the best-slice rate per variant reflects the same quiet-machine
@@ -319,21 +357,26 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   *on_cps = 0.0;
   *validate_cps = 0.0;
   *trace_cps = 0.0;
+  *fault_cps = 0.0;
   std::vector<double> tel_ratios;
   std::vector<double> val_ratios;
   std::vector<double> trace_ratios;
+  std::vector<double> fault_ratios;
   for (int rep = 0; rep < 30; ++rep) {
     const double off = time_steps(off_engine, slice);
     const double on = time_steps(on_engine, slice);
     const double val = time_steps(validate_engine, slice);
     const double trace = time_steps(trace_engine, slice);
+    const double fault = time_steps(fault_engine, slice);
     *off_cps = std::max(*off_cps, off);
     *on_cps = std::max(*on_cps, on);
     *validate_cps = std::max(*validate_cps, val);
     *trace_cps = std::max(*trace_cps, trace);
+    *fault_cps = std::max(*fault_cps, fault);
     if (off > 0.0 && on > 0.0) tel_ratios.push_back(on / off);
     if (off > 0.0 && val > 0.0) val_ratios.push_back(val / off);
     if (off > 0.0 && trace > 0.0) trace_ratios.push_back(trace / off);
+    if (off > 0.0 && fault > 0.0) fault_ratios.push_back(fault / off);
   }
   *overhead_pct = (1.0 - median_of(tel_ratios)) * 100.0;
   // Slowdown factor of WORMSIM_VALIDATE=1, same paired-median estimate;
@@ -344,6 +387,13 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   // blocked-time attribution), same paired-median estimate.
   const double trace_ratio = median_of(trace_ratios);
   *trace_slowdown_x = trace_ratio > 0.0 ? 1.0 / trace_ratio : 0.0;
+  // Slowdown factor of degraded-mode operation (5% interior channels
+  // dead), same paired-median estimate.  Note this compares different
+  // simulations — dead channels change the traffic pattern — so it
+  // bounds the fault machinery plus the workload shift, not the
+  // zero-fault hot path (which the golden digests pin instead).
+  const double fault_ratio = median_of(fault_ratios);
+  *fault_overhead_x = fault_ratio > 0.0 ? 1.0 / fault_ratio : 0.0;
 }
 
 /// One workload configuration the JSON entry records.
@@ -515,9 +565,9 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
   manifest.title = "engine cycle throughput trajectory (cycles/sec)";
   manifest.seed = 1;  // SimConfig default; the workload is what matters
   manifest.quick = quick;
-  // Four engine variants (off / telemetry / validate / trace) step in
-  // lockstep through warmup plus 30 measured slices.
-  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 4;
+  // Five engine variants (off / telemetry / validate / trace / faulted)
+  // step in lockstep through warmup plus 30 measured slices.
+  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 5;
 
   const auto wall_start = std::chrono::steady_clock::now();
   telemetry::JsonValue kinds = telemetry::JsonValue::array();
@@ -531,9 +581,12 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     double validate_slowdown = 0.0;
     double trace = 0.0;
     double trace_slowdown = 0.0;
+    double fault = 0.0;
+    double fault_overhead = 0.0;
     measure_pair(jc.kind, cycles, jc.load, jc.vcs, jc.buffer_depth,
                  jc.credit_delay, &off, &on, &overhead, &validate,
-                 &validate_slowdown, &trace, &trace_slowdown);
+                 &validate_slowdown, &trace, &trace_slowdown, &fault,
+                 &fault_overhead);
     if (jc.in_geomean && off > 0.0) {
       geomean_log_sum += std::log(off);
       ++geomean_count;
@@ -554,6 +607,8 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     entry.set("validate_on_slowdown_x", validate_slowdown);
     entry.set("cycles_per_second_trace_on", trace);
     entry.set("trace_on_slowdown_x", trace_slowdown);
+    entry.set("cycles_per_second_fault_on", fault);
+    entry.set("fault_check_overhead_x", fault_overhead);
     kinds.push_back(std::move(entry));
   }
   manifest.wall_seconds =
@@ -562,7 +617,7 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
           .count();
 
   telemetry::JsonValue trajectory_entry = telemetry::JsonValue::object();
-  trajectory_entry.set("label", "implicit topology + compact lane state");
+  trajectory_entry.set("label", "runtime fault injection subsystem");
   trajectory_entry.set(
       "geomean_cycles_per_second_telemetry_off",
       geomean_count > 0 ? std::exp(geomean_log_sum / geomean_count) : 0.0);

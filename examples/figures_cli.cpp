@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   std::int64_t buffer_depth = 0;
   std::string flow_control;
   std::int64_t credit_delay = -1;
+  double fault_fraction = -1.0;
+  std::int64_t fault_seed = -1;
+  std::int64_t fault_at_cycle = -1;
   util::CliParser cli("figures_cli: run a paper figure reproduction");
   cli.add_flag("figure", &figure, "figure id (see --list)");
   cli.add_flag("list", &list, "list registered figure ids");
@@ -83,6 +86,16 @@ int main(int argc, char** argv) {
   cli.add_flag("credit-delay", &credit_delay,
                "credit/signal return delay in cycles (-1 = "
                "WORMSIM_CREDIT_DELAY env or 0)");
+  cli.add_flag("fault-fraction", &fault_fraction,
+               "kill this fraction of interior channels mid-run "
+               "(DESIGN.md §14; -1 = WORMSIM_FAULT_FRACTION env or 0); "
+               "dedicated fault figures override it per series");
+  cli.add_flag("fault-seed", &fault_seed,
+               "fault-plan RNG seed, independent of --seed (-1 = "
+               "WORMSIM_FAULT_SEED env or 1)");
+  cli.add_flag("fault-at-cycle", &fault_at_cycle,
+               "cycle the fault plan lands (-1 = WORMSIM_FAULT_AT_CYCLE "
+               "env or 0)");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -120,6 +133,13 @@ int main(int argc, char** argv) {
   }
   if (credit_delay >= 0) {
     options.credit_delay = static_cast<std::uint32_t>(credit_delay);
+  }
+  if (fault_fraction >= 0.0) options.fault_fraction = fault_fraction;
+  if (fault_seed >= 0) {
+    options.fault_seed = static_cast<std::uint64_t>(fault_seed);
+  }
+  if (fault_at_cycle >= 0) {
+    options.fault_at_cycle = static_cast<std::uint64_t>(fault_at_cycle);
   }
 
   unsigned shard_index = 0;

@@ -122,6 +122,9 @@ int main(int argc, char** argv) {
       case sim::TraceEvent::Kind::kDelivered:
         what = "delivered";
         break;
+      case sim::TraceEvent::Kind::kTerminated:
+        what = "terminated";
+        break;
     }
     table.row()
         .cell(event.cycle)

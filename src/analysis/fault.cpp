@@ -8,13 +8,13 @@ using routing::CandidateList;
 using routing::RouteQuery;
 using topology::ChannelRole;
 using topology::LaneId;
-using topology::Network;
+using topology::NetView;
 
 namespace {
 
-bool reachable(const Network& network, const routing::Router& router,
+bool reachable(const NetView& network, const routing::Router& router,
                const RouteQuery& query, LaneId lane, const FaultSet& faults) {
-  const topology::PhysChannel& ch = network.lane_channel(lane);
+  const topology::PhysChannel ch = network.lane_channel(lane);
   if (faults.count(ch.id) > 0) return false;
   if (ch.dst.is_node()) return true;
   CandidateList candidates;
@@ -35,7 +35,7 @@ bool reachable(const Network& network, const routing::Router& router,
 
 }  // namespace
 
-bool pair_survives(const Network& network, const routing::Router& router,
+bool pair_survives(const NetView& network, const routing::Router& router,
                    std::uint64_t src, std::uint64_t dst,
                    const FaultSet& faults) {
   WORMSIM_CHECK(src != dst);
@@ -47,7 +47,7 @@ bool pair_survives(const Network& network, const routing::Router& router,
   return reachable(network, router, query, inj, faults);
 }
 
-FaultCoverage fault_coverage(const Network& network,
+FaultCoverage fault_coverage(const NetView& network,
                              const routing::Router& router,
                              const FaultSet& faults) {
   FaultCoverage coverage;
@@ -64,9 +64,10 @@ FaultCoverage fault_coverage(const Network& network,
   return coverage;
 }
 
-bool single_fault_tolerant(const Network& network,
+bool single_fault_tolerant(const NetView& network,
                            const routing::Router& router) {
-  for (const topology::PhysChannel& ch : network.channels()) {
+  for (topology::ChannelId id = 0; id < network.channel_count(); ++id) {
+    const topology::PhysChannel ch = network.channel(id);
     if (ch.role != ChannelRole::kForward &&
         ch.role != ChannelRole::kBackward) {
       continue;

@@ -12,6 +12,12 @@
 // up-channel faults, while a down-channel fault cuts the pairs whose
 // unique backward path uses it; extra-stage MINs survive interior faults
 // via their disjoint route copies.
+//
+// All entry points take a topology::NetView, so the same static coverage
+// runs against materialized and implicit (million-node) topologies — and
+// against the exact channel set of a runtime fault_injection::FaultPlan,
+// which the degraded-SLO figures cross-check runtime delivery fractions
+// with.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +25,7 @@
 #include <vector>
 
 #include "routing/router.hpp"
-#include "topology/network.hpp"
+#include "topology/net_view.hpp"
 
 namespace wormsim::analysis {
 
@@ -27,7 +33,7 @@ using FaultSet = std::unordered_set<topology::ChannelId>;
 
 /// True iff at least one route from src to dst avoids every failed
 /// channel.
-bool pair_survives(const topology::Network& network,
+bool pair_survives(const topology::NetView& network,
                    const routing::Router& router, std::uint64_t src,
                    std::uint64_t dst, const FaultSet& faults);
 
@@ -44,7 +50,7 @@ struct FaultCoverage {
 };
 
 /// Coverage over all ordered pairs (excluding src == dst).
-FaultCoverage fault_coverage(const topology::Network& network,
+FaultCoverage fault_coverage(const topology::NetView& network,
                              const routing::Router& router,
                              const FaultSet& faults);
 
@@ -52,7 +58,7 @@ FaultCoverage fault_coverage(const topology::Network& network,
 /// inter-stage (forward/backward) channel — single-fault tolerance of the
 /// network interior.  Node links are excluded: with one-port nodes their
 /// loss always disconnects a node.
-bool single_fault_tolerant(const topology::Network& network,
+bool single_fault_tolerant(const topology::NetView& network,
                            const routing::Router& router);
 
 }  // namespace wormsim::analysis

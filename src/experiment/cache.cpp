@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -99,15 +100,20 @@ bool valid_point_json(const telemetry::JsonValue& p) {
   for (const char* key :
        {"offered", "offered_measured", "throughput", "latency_us",
         "network_latency_us", "queueing_us", "max_source_queue",
-        "delivered_messages"}) {
+        "delivered_messages", "delivery_fraction", "terminated_messages",
+        "time_to_drain_us"}) {
     if (!is_type(p.find(key), Type::kNumber)) return false;
   }
   if (!is_type(p.find("sustainable"), Type::kBool)) return false;
-  const telemetry::JsonValue* overflow = p.find("latency_p95_overflow");
-  if (!is_type(overflow, Type::kBool)) return false;
-  if (!overflow->as_bool() &&
-      !is_type(p.find("latency_p95_us"), Type::kNumber)) {
-    return false;
+  for (const char* flag : {"latency_p95_overflow", "latency_p99_overflow"}) {
+    const telemetry::JsonValue* overflow = p.find(flag);
+    if (!is_type(overflow, Type::kBool)) return false;
+    if (overflow->as_bool()) continue;
+    // Strip the "_overflow" suffix to get the value key.
+    const std::string value_key =
+        std::string(flag, std::strlen(flag) - std::strlen("_overflow")) +
+        "_us";
+    if (!is_type(p.find(value_key.c_str()), Type::kNumber)) return false;
   }
   return true;
 }
@@ -174,6 +180,10 @@ std::string ResultCache::fingerprint(const SeriesSpec& spec, double load,
   key.field("sim.flow_control",
             std::string(sim::to_string(sim_config.flow_control)));
   key.field("sim.credit_delay", sim_config.credit_delay);
+  key.field("sim.fault_fraction", sim_config.fault_fraction);
+  key.field("sim.fault_seed", sim_config.fault_seed);
+  key.field("sim.fault_at_cycle", sim_config.fault_at_cycle);
+  key.field("sim.fault_repair_cycle", sim_config.fault_repair_cycle);
   // engine_threads / engine_threads_exact are deliberately NOT keyed:
   // the advance team is bitwise neutral (tests/golden_test.cpp pins it),
   // so points computed at any width answer for every width.  The same

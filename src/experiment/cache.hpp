@@ -33,7 +33,9 @@
 namespace wormsim::experiment {
 
 /// Layout version of cache entry files; bump on any breaking change.
-inline constexpr int kCacheSchemaVersion = 2;
+/// v3: fault-injection knobs entered the fingerprint and points gained
+/// the degraded-mode SLO fields (p99, delivery_fraction, ...).
+inline constexpr int kCacheSchemaVersion = 3;
 
 class ResultCache {
  public:

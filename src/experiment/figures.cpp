@@ -1,6 +1,7 @@
 #include "experiment/figures.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -8,9 +9,13 @@
 
 #include <algorithm>
 
+#include "analysis/fault.hpp"
 #include "experiment/cache.hpp"
 #include "experiment/results_json.hpp"
 #include "experiment/scheduler.hpp"
+#include "routing/router.hpp"
+#include "sim/fault_injection/plan.hpp"
+#include "topology/network.hpp"
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -41,6 +46,9 @@ sim::SimConfig RunOptions::sim_config() const {
   config.credit_delay = credit_delay;
   config.engine_threads = engine_threads;
   config.implicit_topology = implicit_topology;
+  config.fault_fraction = fault_fraction;
+  config.fault_seed = fault_seed;
+  config.fault_at_cycle = fault_at_cycle;
   return config;
 }
 
@@ -92,6 +100,12 @@ RunOptions RunOptions::from_env() {
   if (const char* implicit = std::getenv("WORMSIM_IMPLICIT_TOPOLOGY")) {
     options.implicit_topology = implicit[0] != '\0' && implicit[0] != '0';
   }
+  options.fault_fraction =
+      util::env_double_or("WORMSIM_FAULT_FRACTION", options.fault_fraction);
+  options.fault_seed =
+      util::env_u64_or("WORMSIM_FAULT_SEED", options.fault_seed);
+  options.fault_at_cycle =
+      util::env_u64_or("WORMSIM_FAULT_AT_CYCLE", options.fault_at_cycle);
   return options;
 }
 
@@ -578,6 +592,63 @@ FigureDef define_figure(const std::string& id) {
             "32-flit messages, TMIN global uniform",
             series};
   }
+  // ---- Fault-injection figures (DESIGN.md §14, ROADMAP item 5) -----------
+  if (id == "ablation_fault_fraction") {
+    // Runtime resilience sweep: a seeded fraction of the interior
+    // channels dies at cycle 1000 (mid-warmup, so the measurement window
+    // sees the steady degraded network).  The unique-path TMIN loses
+    // every pair whose path crosses a dead channel — its delivery
+    // fraction tracks the static coverage — while the d-dilated DMIN
+    // routes around faults through the sibling channels.  One seed across
+    // all fractions keeps the dead sets nested (f=0.05 ⊂ f=0.10 ⊂
+    // f=0.20), so degradation is monotone along each network's series.
+    SeriesList series;
+    struct NetChoice {
+      const char* name;
+      topology::NetworkConfig net;
+    };
+    for (const NetChoice& choice :
+         {NetChoice{"TMIN(cube)", tmin_config()},
+          NetChoice{"DMIN(cube,d=2)", dmin_config()}}) {
+      for (const double fraction : {0.0, 0.05, 0.10, 0.20}) {
+        SeriesSpec spec;
+        char suffix[24];
+        std::snprintf(suffix, sizeof(suffix), " f=%.2f", fraction);
+        spec.label = std::string(choice.name) + suffix;
+        spec.net = choice.net;
+        spec.workload = uniform_workload(ClusterKind::kGlobal);
+        spec.tweak_sim = [fraction](sim::SimConfig& config) {
+          config.fault_fraction = fraction;
+          config.fault_seed = 1;
+          config.fault_at_cycle = 1000;
+        };
+        series.push_back(std::move(spec));
+      }
+    }
+    return {"Ablation: runtime channel-fault fraction, TMIN vs DMIN, "
+            "global uniform",
+            series};
+  }
+  if (id == "slo_fault_degradation") {
+    // Degraded-mode SLO table: the four Section 5.3 networks with 10% of
+    // their interior channels killed at cycle 1000.  The table pairs the
+    // runtime delivery fraction with the static connectivity
+    // (analysis::fault_coverage of the exact channel set the engines
+    // kill) plus the p95/p99 tail and the post-measurement drain time —
+    // at low load the runtime and static columns must converge
+    // (regression-tested in tests/fault_injection_test.cpp).
+    SeriesList series = four_networks(uniform_workload(ClusterKind::kGlobal));
+    for (SeriesSpec& spec : series) {
+      spec.tweak_sim = [](sim::SimConfig& config) {
+        config.fault_fraction = 0.10;
+        config.fault_seed = 1;
+        config.fault_at_cycle = 1000;
+      };
+    }
+    return {"Degraded-mode SLOs: four networks with 10% interior channel "
+            "faults, global uniform",
+            series};
+  }
   WORMSIM_CHECK_MSG(false, "unknown figure id");
 }
 
@@ -611,6 +682,8 @@ const std::vector<std::string>& registry() {
       "ablation_buffer_depth",
       "ablation_credit_delay",
       "ablation_flow_control",
+      "ablation_fault_fraction",
+      "slo_fault_degradation",
   };
   return ids;
 }
@@ -690,6 +763,32 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
   pool.cache = cache ? &*cache : nullptr;
   result.series = run_series_pool(def.series, options.sweep_options(), pool,
                                   &result.pool_stats);
+  // Static-coverage cross-check for fault-injected series: rebuild the
+  // exact fault plan the engines applied (deterministic in the network,
+  // fraction, and fault seed — DESIGN.md §14) and compute the fraction of
+  // ordered pairs that still have a live route.  The degraded-SLO tables
+  // print it beside the measured delivery fraction.
+  {
+    const sim::SimConfig base_config = options.sim_config();
+    for (std::size_t i = 0; i < def.series.size(); ++i) {
+      sim::SimConfig effective = base_config;
+      if (def.series[i].tweak_sim) def.series[i].tweak_sim(effective);
+      if (effective.fault_fraction <= 0.0) continue;
+      const topology::Network network =
+          topology::build_network(def.series[i].net);
+      const topology::NetView view(network);
+      const auto router = routing::make_router(view);
+      const sim::fault_injection::FaultPlan plan =
+          sim::fault_injection::build_fault_plan(view,
+                                                 effective.fault_fraction,
+                                                 effective.fault_seed,
+                                                 effective.fault_at_cycle);
+      const analysis::FaultSet faults(plan.channels.begin(),
+                                      plan.channels.end());
+      result.series[i].static_coverage =
+          analysis::fault_coverage(view, *router, faults).fraction();
+    }
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -730,45 +829,89 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
 }
 
 void print_figure(const FigureResult& result, std::ostream& os) {
+  // Fault-injected figures (any series with a computed static coverage)
+  // swap the table to the degraded-SLO columns; every other figure keeps
+  // the historical byte-pinned format.
+  bool degraded = false;
+  for (const Series& series : result.series) {
+    if (series.static_coverage >= 0.0) degraded = true;
+  }
   os << "== " << result.title << " ==\n";
   for (const Series& series : result.series) {
     os << "\n-- " << series.label << " --\n";
-    util::Table table({"offered%", "accepted%", "latency_us", "p95_us",
-                       "net_lat_us", "queue_us", "sustainable",
-                       "max_queue"});
-    for (const SweepPoint& point : series.points) {
-      table.row()
-          .cell(point.offered_requested * 100.0, 1)
-          .cell(point.throughput * 100.0, 1)
-          .cell(point.latency_us, 1)
-          .cell(point.latency_p95_us, 1)
-          .cell(point.network_latency_us, 1)
-          .cell(point.queueing_us, 1)
-          .cell(std::string(point.sustainable ? "yes" : "no"))
-          .cell(point.max_source_queue);
+    if (degraded) {
+      util::Table table({"offered%", "accepted%", "latency_us", "p95_us",
+                         "p99_us", "deliv%", "static%", "terminated",
+                         "drain_us", "sustainable", "max_queue"});
+      for (const SweepPoint& point : series.points) {
+        auto& row = table.row()
+                        .cell(point.offered_requested * 100.0, 1)
+                        .cell(point.throughput * 100.0, 1)
+                        .cell(point.latency_us, 1)
+                        .cell(point.latency_p95_us, 1)
+                        .cell(point.latency_p99_us, 1)
+                        .cell(point.delivery_fraction * 100.0, 2);
+        if (series.static_coverage >= 0.0) {
+          row.cell(series.static_coverage * 100.0, 2);
+        } else {
+          row.cell(std::string("-"));
+        }
+        row.cell(point.terminated_messages)
+            .cell(point.time_to_drain_us, 1)
+            .cell(std::string(point.sustainable ? "yes" : "no"))
+            .cell(point.max_source_queue);
+      }
+      table.print(os);
+    } else {
+      util::Table table({"offered%", "accepted%", "latency_us", "p95_us",
+                         "net_lat_us", "queue_us", "sustainable",
+                         "max_queue"});
+      for (const SweepPoint& point : series.points) {
+        table.row()
+            .cell(point.offered_requested * 100.0, 1)
+            .cell(point.throughput * 100.0, 1)
+            .cell(point.latency_us, 1)
+            .cell(point.latency_p95_us, 1)
+            .cell(point.network_latency_us, 1)
+            .cell(point.queueing_us, 1)
+            .cell(std::string(point.sustainable ? "yes" : "no"))
+            .cell(point.max_source_queue);
+      }
+      table.print(os);
     }
-    table.print(os);
   }
   os << "\n";
 }
 
 void print_figure_csv(const FigureResult& result, std::ostream& os) {
   util::Table table({"figure", "series", "offered_pct", "accepted_pct",
-                     "latency_us", "latency_p95_us", "network_latency_us",
-                     "queueing_us", "sustainable", "max_source_queue"});
+                     "latency_us", "latency_p95_us", "latency_p99_us",
+                     "network_latency_us", "queueing_us", "sustainable",
+                     "max_source_queue", "delivery_fraction",
+                     "terminated_messages", "time_to_drain_us",
+                     "static_coverage"});
   for (const Series& series : result.series) {
     for (const SweepPoint& point : series.points) {
-      table.row()
-          .cell(result.id)
-          .cell(series.label)
-          .cell(point.offered_requested * 100.0, 2)
-          .cell(point.throughput * 100.0, 2)
-          .cell(point.latency_us, 2)
-          .cell(point.latency_p95_us, 2)
-          .cell(point.network_latency_us, 2)
-          .cell(point.queueing_us, 2)
-          .cell(std::string(point.sustainable ? "1" : "0"))
-          .cell(point.max_source_queue);
+      auto& row = table.row()
+                      .cell(result.id)
+                      .cell(series.label)
+                      .cell(point.offered_requested * 100.0, 2)
+                      .cell(point.throughput * 100.0, 2)
+                      .cell(point.latency_us, 2)
+                      .cell(point.latency_p95_us, 2)
+                      .cell(point.latency_p99_us, 2)
+                      .cell(point.network_latency_us, 2)
+                      .cell(point.queueing_us, 2)
+                      .cell(std::string(point.sustainable ? "1" : "0"))
+                      .cell(point.max_source_queue)
+                      .cell(point.delivery_fraction, 4)
+                      .cell(point.terminated_messages)
+                      .cell(point.time_to_drain_us, 2);
+      if (series.static_coverage >= 0.0) {
+        row.cell(series.static_coverage, 4);
+      } else {
+        row.cell(std::string(""));
+      }
     }
   }
   table.print_csv(os);

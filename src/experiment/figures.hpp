@@ -52,6 +52,15 @@ struct RunOptions {
   /// million-node studies (DESIGN.md §13).
   bool implicit_topology = false;
 
+  /// Runtime fault injection applied to every series (DESIGN.md §14): a
+  /// seed-driven fraction of interior channels dies at fault_at_cycle.
+  /// 0 (the default) keeps every figure bitwise identical to the
+  /// fault-free baseline; the dedicated fault figures set their own
+  /// fractions via tweak_sim, which wins over these globals.
+  double fault_fraction = 0.0;
+  std::uint64_t fault_seed = 1;
+  std::uint64_t fault_at_cycle = 0;
+
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
@@ -60,8 +69,9 @@ struct RunOptions {
   /// Honors WORMSIM_QUICK=1, WORMSIM_SEED=<n>, WORMSIM_THREADS=<n>,
   /// WORMSIM_JSON_DIR=<dir>, WORMSIM_CACHE_DIR=<dir>,
   /// WORMSIM_BUFFER_DEPTH=<flits>, WORMSIM_FLOW_CONTROL=<scheme>,
-  /// WORMSIM_CREDIT_DELAY=<cycles>, WORMSIM_ENGINE_THREADS=<n>, and
-  /// WORMSIM_IMPLICIT_TOPOLOGY=1.
+  /// WORMSIM_CREDIT_DELAY=<cycles>, WORMSIM_ENGINE_THREADS=<n>,
+  /// WORMSIM_IMPLICIT_TOPOLOGY=1, WORMSIM_FAULT_FRACTION=<f>,
+  /// WORMSIM_FAULT_SEED=<n>, and WORMSIM_FAULT_AT_CYCLE=<n>.
   static RunOptions from_env();
 };
 

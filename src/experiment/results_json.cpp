@@ -22,11 +22,18 @@ JsonValue sweep_point_to_json(const SweepPoint& point) {
   p.set("latency_p95_us",
         p95_overflow ? JsonValue() : JsonValue(point.latency_p95_us));
   p.set("latency_p95_overflow", p95_overflow);
+  const bool p99_overflow = std::isinf(point.latency_p99_us);
+  p.set("latency_p99_us",
+        p99_overflow ? JsonValue() : JsonValue(point.latency_p99_us));
+  p.set("latency_p99_overflow", p99_overflow);
   p.set("network_latency_us", point.network_latency_us);
   p.set("queueing_us", point.queueing_us);
   p.set("sustainable", point.sustainable);
   p.set("max_source_queue", point.max_source_queue);
   p.set("delivered_messages", point.delivered_messages);
+  p.set("delivery_fraction", point.delivery_fraction);
+  p.set("terminated_messages", point.terminated_messages);
+  p.set("time_to_drain_us", point.time_to_drain_us);
   return p;
 }
 
@@ -42,11 +49,26 @@ SweepPoint sweep_point_from_json(const JsonValue& p) {
   } else {
     point.latency_p95_us = p.at("latency_p95_us").as_number();
   }
+  const JsonValue* p99_overflow = p.find("latency_p99_overflow");
+  if (p99_overflow != nullptr && p99_overflow->as_bool()) {
+    point.latency_p99_us = std::numeric_limits<double>::infinity();
+  } else if (const JsonValue* p99 = p.find("latency_p99_us")) {
+    point.latency_p99_us = p99->as_number();
+  }
   point.network_latency_us = p.at("network_latency_us").as_number();
   point.queueing_us = p.at("queueing_us").as_number();
   point.sustainable = p.at("sustainable").as_bool();
   point.max_source_queue = p.at("max_source_queue").as_uint();
   point.delivered_messages = p.at("delivered_messages").as_uint();
+  if (const JsonValue* v = p.find("delivery_fraction")) {
+    point.delivery_fraction = v->as_number();
+  }
+  if (const JsonValue* v = p.find("terminated_messages")) {
+    point.terminated_messages = v->as_uint();
+  }
+  if (const JsonValue* v = p.find("time_to_drain_us")) {
+    point.time_to_drain_us = v->as_number();
+  }
   return point;
 }
 
@@ -57,6 +79,9 @@ JsonValue figure_to_json(const FigureResult& result,
   for (const Series& series : result.series) {
     JsonValue series_json = JsonValue::object();
     series_json.set("label", series.label);
+    if (series.static_coverage >= 0.0) {
+      series_json.set("static_coverage", series.static_coverage);
+    }
     JsonValue points = JsonValue::array();
     for (const SweepPoint& point : series.points) {
       points.push_back(sweep_point_to_json(point));
@@ -80,6 +105,9 @@ FigureResult figure_from_json(const JsonValue& document) {
   for (const JsonValue& series_json : document.at("series").items()) {
     Series series;
     series.label = series_json.at("label").as_string();
+    if (const JsonValue* coverage = series_json.find("static_coverage")) {
+      series.static_coverage = coverage->as_number();
+    }
     for (const JsonValue& p : series_json.at("points").items()) {
       series.points.push_back(sweep_point_from_json(p));
     }

@@ -57,6 +57,12 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
     sf_config.buffer_packets = sim_config.buffer_depth;
     sf_config.flits_per_microsecond = sim_config.flits_per_microsecond;
     sf_config.telemetry = sim_config.telemetry;
+    // Runtime fault injection maps one-to-one (packet-granular kill
+    // semantics on the SF side, DESIGN.md §14).
+    sf_config.fault_fraction = sim_config.fault_fraction;
+    sf_config.fault_seed = sim_config.fault_seed;
+    sf_config.fault_at_cycle = sim_config.fault_at_cycle;
+    sf_config.fault_repair_cycle = sim_config.fault_repair_cycle;
     // Accepted-but-ignored (the reference engine is sequential); set for
     // config symmetry so mixed wormhole/SF sweeps share one knob.
     sf_config.engine_threads = sim_config.engine_threads;
@@ -73,12 +79,17 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
   point.throughput = result.throughput_fraction();
   point.latency_us = result.mean_latency_us();
   point.latency_p95_us = result.latency_quantile_us(0.95);
+  point.latency_p99_us = result.latency_quantile_us(0.99);
   point.network_latency_us = result.mean_network_latency_us();
   point.queueing_us =
       result.queueing_cycles.mean() / result.flits_per_microsecond;
   point.sustainable = result.sustainable(sim_config.sustainable_queue_limit);
   point.max_source_queue = result.max_source_queue;
   point.delivered_messages = result.delivered_messages_total;
+  point.delivery_fraction = result.delivery_fraction();
+  point.terminated_messages = result.terminated_messages;
+  point.time_to_drain_us = static_cast<double>(result.time_to_drain_cycles) /
+                           result.flits_per_microsecond;
   if (full_result != nullptr) *full_result = std::move(result);
   return point;
 }

@@ -27,16 +27,34 @@ struct SweepPoint {
   /// the latency histogram's overflow bin (saturation), serialized as a
   /// `latency_p95_overflow` flag in the results JSON.
   double latency_p95_us = 0.0;
+  /// 99th-percentile end-to-end latency; same overflow convention as p95
+  /// (`latency_p99_overflow` flag in the results JSON).
+  double latency_p99_us = 0.0;
   double network_latency_us = 0.0; ///< mean in-network latency
   double queueing_us = 0.0;        ///< mean source-queue wait
   bool sustainable = false;
   std::uint64_t max_source_queue = 0;
   std::uint64_t delivered_messages = 0;
+  // Degraded-mode SLOs (DESIGN.md §14).  Fault-free runs report
+  // delivery_fraction == 1.0 and terminated_messages == 0; these fields
+  // never enter the golden digests.
+  double delivery_fraction = 1.0;  ///< delivered / (delivered+terminated)
+  std::uint64_t terminated_messages = 0;
+  /// Microseconds from measurement end until the network fully drained
+  /// (== the configured drain budget when it never emptied).
+  double time_to_drain_us = 0.0;
 };
 
 struct Series {
   std::string label;
   std::vector<SweepPoint> points;
+  /// Static connectivity of the series' runtime fault plan: the
+  /// analysis::fault_coverage fraction computed from the exact channel
+  /// set the engines kill (run_figure fills it for series whose effective
+  /// config has fault_fraction > 0; -1 for fault-free series).  The
+  /// degraded-SLO tables print it beside the runtime delivery fraction —
+  /// at low load on a unique-path network the two must converge.
+  double static_coverage = -1.0;
 };
 
 /// One curve of a figure: a network plus a workload generator.  The

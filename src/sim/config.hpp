@@ -110,6 +110,28 @@ struct SimConfig {
   /// --implicit-topology.
   bool implicit_topology = false;
 
+  // ---- Runtime fault injection (src/sim/fault_injection/) -------------
+  // DESIGN.md §14.  Zero-fault configs (fraction 0 and no explicit plan)
+  // are bitwise identical to the fault-free engine (pinned by
+  // tests/fault_injection_test.cpp against the golden digests).
+
+  /// Probability each interior (switch<->switch) channel dies, drawn
+  /// once per channel from Rng(fault_seed) — never from the traffic
+  /// stream's RNG.  0 (default) disables fault injection.  Also
+  /// settable via WORMSIM_FAULT_FRACTION / --fault-fraction.
+  double fault_fraction = 0.0;
+  /// Dedicated seed for the fault plan draw, so fault scenarios vary
+  /// independently of traffic seeds.  Also settable via
+  /// WORMSIM_FAULT_SEED / --fault-seed.
+  std::uint64_t fault_seed = 1;
+  /// Cycle the kill lands (start of cycle, before arrivals); 0 = the
+  /// channels are dead from the first cycle.  Also settable via
+  /// WORMSIM_FAULT_AT_CYCLE / --fault-at-cycle.
+  std::uint64_t fault_at_cycle = 0;
+  /// Cycle the faulted channels come back, ~0 (default) = permanent.
+  /// Test/API-only knob — not exposed on the CLI.
+  std::uint64_t fault_repair_cycle = ~std::uint64_t{0};
+
   std::uint64_t total_cycles() const {
     return warmup_cycles + measure_cycles + drain_cycles;
   }

@@ -8,6 +8,7 @@
 #include <memory>
 #include <thread>
 
+#include "sim/fault_injection/plan.hpp"
 #include "sim/validate.hpp"
 #include "telemetry/worm_trace.hpp"
 #include "util/check.hpp"
@@ -202,6 +203,12 @@ Engine::Engine(const topology::NetView& network,
     wtrace_ = worm_tracer_.get();
     result_.worm_trace = worm_tracer_;
   }
+  if (config_.fault_fraction > 0.0) {
+    fault_state_.plan = fault_injection::build_fault_plan(
+        network_, config_.fault_fraction, config_.fault_seed,
+        config_.fault_at_cycle, config_.fault_repair_cycle);
+    fault_injection::validate_plan(network_, fault_state_.plan);
+  }
   if (config_.validate || validate_enabled_from_env()) {
     validator_ = std::make_unique<EngineValidator>(*this);
   }
@@ -369,16 +376,31 @@ void Engine::route_and_allocate() {
     // are exempt); the first such credit-gated lane is remembered for
     // starvation attribution.
     LaneId credit_gated = kInvalidId;
+    bool any_alive = false;  // some candidate is not faulty
     for (std::size_t i = 0; i < cand_count; ++i) {
       const LaneId lane = cand[i];
-      if (alloc_owner_[lane] != kInvalidId) continue;
+      if (alloc_owner_[lane] != kInvalidId) {
+        any_alive = true;  // allocations never survive on dead channels
+        continue;
+      }
       if (channel_faulty_.test(lane_channel_[lane])) continue;
+      any_alive = true;
       if (vct && lane_scan_pos_[lane] != kInvalidId &&
           !fc_.can_accept_packet(lane, pkt.length)) {
         if (credit_gated == kInvalidId) credit_gated = lane;
         continue;
       }
       free_lanes.push_back(lane);
+    }
+    if (cand_count > 0 && !any_alive) {
+      // Every legal lane is dead: the worm can never progress (only a
+      // repair could save it, and waiting would either trip the deadlock
+      // watchdog or hold buffers hostage indefinitely).  Terminate it —
+      // truncate-and-account, DESIGN.md §14.  Non-adaptive TMIN worms
+      // whose unique path died land here; adaptive networks only when
+      // the fault fraction disconnects the pair outright.
+      terminate_worm(pid);
+      return;
     }
     if (free_lanes.empty()) {  // blocked; the bit stays for next cycle
       if (tel_window_ != nullptr) {
@@ -442,6 +464,230 @@ void Engine::fail_channel(ChannelId channel) {
   WORMSIM_CHECK_MSG(ch.src.is_switch() && ch.dst.is_switch(),
                     "failing a node link disconnects a one-port node");
   channel_faulty_.set(channel);
+  fault_any_ = true;
+}
+
+void Engine::set_fault_plan(fault_injection::FaultPlan plan) {
+  WORMSIM_CHECK_MSG(cycle_ == 0, "install fault plans before the first step");
+  fault_injection::validate_plan(network_, plan);
+  fault_state_ = fault_injection::FaultState{};
+  fault_state_.plan = std::move(plan);
+}
+
+PacketId Engine::chain_worm(LaneId u) const {
+  // The worm streaming through input lane `u` (its route is held): the
+  // FIFO head is the oldest un-crossed flit and belongs to the route
+  // holder; an empty FIFO means the tail is strictly upstream, so follow
+  // the allocation chain until flits — or the still-transmitting
+  // source — are found.
+  while (true) {
+    if (fc_.count[u] > 0) return buf_packet_[u];
+    const ChannelId ch = lane_channel_[u];
+    const std::uint32_t src_node = ch_src_node_[ch];
+    if (src_node != kInvalidId) return node_tx_packet_[src_node];
+    const LaneId up = alloc_owner_[u];
+    if (up == kInvalidId) return kNoPacket;  // released chain, no worm
+    u = up;
+  }
+}
+
+std::uint32_t Engine::fc_remove_packet(LaneId lane, PacketId pid) {
+  const std::uint32_t count = fc_.count[lane];
+  if (count == 0) return 0;
+  const std::size_t base = fc_.ext_base(lane);
+  // Gather the survivors in FIFO order (head slot, then extensions).
+  std::vector<PacketId> keep_pkt;
+  std::vector<std::uint32_t> keep_seq;
+  std::vector<std::uint64_t> keep_epoch;
+  const bool head_removed = buf_packet_[lane] == pid;
+  if (!head_removed) {
+    keep_pkt.push_back(buf_packet_[lane]);
+    keep_seq.push_back(buf_seq_[lane]);
+    keep_epoch.push_back(arrived_epoch_[lane]);
+  }
+  for (std::uint32_t s = 0; s + 1 < count; ++s) {
+    if (fc_.ext_packet[base + s] == pid) continue;
+    keep_pkt.push_back(fc_.ext_packet[base + s]);
+    keep_seq.push_back(fc_.ext_seq[base + s]);
+    keep_epoch.push_back(fc_.ext_epoch[base + s]);
+  }
+  const auto kept = static_cast<std::uint32_t>(keep_pkt.size());
+  const std::uint32_t removed = count - kept;
+  if (removed == 0) return 0;
+
+  // Unregister the worm's unrouted header if it sat at this head slot
+  // (the bit state is authoritative: set iff an unrouted header is
+  // registered — a granted header already cleared it).
+  if (head_removed && buf_seq_[lane] == 0 &&
+      lane_scan_pos_[lane] != kInvalidId &&
+      header_bits_.test(lane_scan_pos_[lane])) {
+    header_bits_.clear(lane_scan_pos_[lane]);
+    --header_count_;
+  }
+
+  // Compact the survivors back, clearing the freed tail slots exactly as
+  // fc_pop leaves them so the validator's occupancy recount holds.
+  fc_.count[lane] = kept;
+  occupied_ -= removed;
+  if (kept > 0) {
+    buf_packet_[lane] = keep_pkt[0];
+    buf_seq_[lane] = keep_seq[0];
+    arrived_epoch_[lane] = keep_epoch[0];
+    for (std::uint32_t s = 0; s + 1 < kept; ++s) {
+      fc_.ext_packet[base + s] = keep_pkt[s + 1];
+      fc_.ext_seq[base + s] = keep_seq[s + 1];
+      fc_.ext_epoch[base + s] = keep_epoch[s + 1];
+    }
+  } else {
+    buf_packet_[lane] = kNoPacket;
+  }
+  for (std::uint32_t s = kept > 0 ? kept - 1 : 0; s + 1 < count; ++s) {
+    fc_.ext_packet[base + s] = kNoPacket;
+    fc_.ext_seq[base + s] = 0;
+    fc_.ext_epoch[base + s] = 0;
+  }
+
+  // A survivor promoted into the head slot can only be a header: a worm
+  // queued behind the removed one has popped nothing yet, so its oldest
+  // present flit is seq 0.  Register it.
+  if (head_removed && kept > 0 && buf_seq_[lane] == 0 &&
+      lane_scan_pos_[lane] != kInvalidId) {
+    WORMSIM_DCHECK(route_out_[lane] == kInvalidId);
+    add_header_lane(lane);
+    if (wtrace_ != nullptr) {
+      wtrace_->on_header_arrival(buf_packet_[lane], lane, cycle_);
+    }
+  }
+
+  // Return the freed slots upstream, mirroring fc_pop's per-flit
+  // sender-side accounting (the credit-conservation invariant needs
+  // every discarded flit's credit back, even on a dead lane).
+  const ChannelId lane_ch = lane_channel_[lane];
+  const bool lane_dead = channel_faulty_.test(lane_ch);
+  if (fc_.scheme == FlowControlScheme::kOnOff) {
+    // GO is emitted when occupancy drains *to* the threshold; removal
+    // crosses it at most once.
+    if (kept <= fc_.on_threshold && fc_.on_threshold < count) {
+      fc_deliver_or_queue(lane, /*go=*/true);
+    }
+  } else if (fc_.delay == 0) {
+    fc_.credits[lane] += removed;
+    fc_close_starve(lane);
+  } else {
+    for (std::uint32_t r = 0; r < removed; ++r) {
+      fc_.events.push_back({cycle_ + fc_.delay, lane, /*go=*/false});
+    }
+  }
+  if (fc_.scheme != FlowControlScheme::kCredit || fc_.delay > 0) {
+    if (!lane_dead && !fc_.can_accept(lane) && upstream_has_flit(lane)) {
+      fc_open_starve(lane);
+    }
+  }
+  // Freed slots may unblock a sender of a surviving worm on this lane.
+  if (!lane_dead && channel_sources_[lane_ch] != 0) {
+    schedule_channel(lane_ch);
+  }
+  if (tel_window_ != nullptr) {
+    tel_window_->lane_fault_terminated[lane] += removed;
+  }
+  return removed;
+}
+
+void Engine::terminate_worm(PacketId pid) {
+  PacketState& pkt = packets_[pid];
+  WORMSIM_DCHECK(!pkt.delivered());
+  WORMSIM_DCHECK(!pkt.terminated());
+  // (1) Stop the source mid-message: the un-sent tail never enters.
+  const auto src = static_cast<NodeId>(pkt.src);
+  std::uint32_t sent = pkt.length;
+  if (node_tx_packet_[src] == pid) {
+    sent = node_tx_sent_[src];
+    node_tx_packet_[src] = kNoPacket;
+    node_tx_sent_[src] = 0;
+    --transmitting_nodes_;
+    deactivate_channel(network_.injection_channel(src));
+    if (!node_queue_[src].empty()) mark_tx_pending(src);
+  }
+  // (2) Release the allocation chain.  Collect first: releasing mutates
+  // the alloc_owner_ links chain_worm() walks.
+  std::vector<LaneId> held;
+  const auto lanes = static_cast<LaneId>(buf_packet_.size());
+  for (LaneId u = 0; u < lanes; ++u) {
+    if (route_out_[u] != kInvalidId && chain_worm(u) == pid) {
+      held.push_back(u);
+    }
+  }
+  for (const LaneId u : held) {
+    const LaneId out = route_out_[u];
+    route_out_[u] = kInvalidId;
+    alloc_owner_[out] = kInvalidId;
+    deactivate_channel(lane_channel_[out]);
+    if (wtrace_ != nullptr) wtrace_->on_lane_released(out);
+  }
+  // (3) Discard the worm's buffered flits everywhere it has any.
+  std::uint32_t truncated = 0;
+  for (LaneId lane = 0; lane < lanes; ++lane) {
+    truncated += fc_remove_packet(lane, pid);
+  }
+  // (4) Account: delivered + terminated is the generalized conservation
+  // the validator reconciles (flits ejected before the kill stay
+  // delivered; sent - truncated of them were).
+  pkt.terminate_cycle = cycle_;
+  pkt.flits_sent_at_kill = sent;
+  pkt.flits_truncated = truncated;
+  ++result_.terminated_messages;
+  result_.terminated_flits += truncated;
+  --worms_in_flight_;
+  // Termination is progress: state changed, nothing is stuck.
+  last_move_cycle_ = cycle_;
+  trace(TraceEvent::Kind::kTerminated, pid, sent, topology::kInvalidId);
+  if (wtrace_ != nullptr) wtrace_->on_terminated(pid, cycle_);
+}
+
+void Engine::apply_fault_plan() {
+  fault_state_.applied = true;
+  fault_any_ = true;
+  const std::vector<ChannelId>& channels = fault_state_.plan.channels;
+  for (const ChannelId ch : channels) channel_faulty_.set(ch);
+  // Victims: every worm resident in, streaming through, or allocated
+  // onto a dead lane (a dead channel takes its input buffers with it).
+  // Worms whose only *future* paths died are caught by the next
+  // route_and_allocate instead.
+  std::vector<PacketId> victims;
+  for (const ChannelId ch : channels) {
+    const LaneId first = ch_first_lane_[ch];
+    for (unsigned v = 0; v < ch_num_lanes_[ch]; ++v) {
+      const LaneId lane = first + v;
+      if (fc_.count[lane] > 0) {
+        victims.push_back(buf_packet_[lane]);
+        const std::size_t base = fc_.ext_base(lane);
+        for (std::uint32_t s = 0; s + 1 < fc_.count[lane]; ++s) {
+          victims.push_back(fc_.ext_packet[base + s]);
+        }
+      }
+      if (route_out_[lane] != kInvalidId) {
+        victims.push_back(chain_worm(lane));
+      }
+      if (alloc_owner_[lane] != kInvalidId) {
+        victims.push_back(chain_worm(alloc_owner_[lane]));
+      }
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  for (const PacketId pid : victims) {
+    if (pid == kNoPacket) continue;
+    if (!packets_[pid].terminated()) terminate_worm(pid);
+  }
+}
+
+void Engine::repair_fault_plan() {
+  fault_state_.repaired = true;
+  for (const ChannelId ch : fault_state_.plan.channels) {
+    channel_faulty_.clear(ch);
+  }
+  // Blocked headers re-arbitrate every cycle and new grants re-seed the
+  // repaired channels, so no explicit wake-up is needed.
 }
 
 int Engine::decide_channel(ChannelId ch_id) {
@@ -876,6 +1122,8 @@ void Engine::step() {
   tel_window_ = measuring ? tel_ : nullptr;
   util_window_ = measuring && config_.record_channel_utilization;
   if (!fc_.events.empty()) drain_flow_control_events();
+  if (fault_state_.kill_due(cycle_)) apply_fault_plan();
+  if (fault_state_.repair_due(cycle_)) repair_fault_plan();
   generate_arrivals();
   start_transmissions();
   route_and_allocate();
@@ -945,14 +1193,39 @@ bool Engine::run_until_idle(std::uint64_t max_cycles) {
 
 SimResult Engine::run() {
   const std::uint64_t total = config_.total_cycles();
+  const std::uint64_t measure_end =
+      config_.warmup_cycles + config_.measure_cycles;
   while (cycle_ < total) {
     step();
   }
+  // Time-to-drain SLO: cycles past the measurement window until every
+  // message created before it ended was resolved (delivered or
+  // fault-terminated).  Sources keep offering traffic through the drain
+  // phase, so "network momentarily empty" would never fire at real
+  // loads; resolving the pre-drain population is the degraded-mode
+  // question — a fault that strands traffic shows up as a failed drain.
+  std::uint64_t last_resolved = 0;
+  bool all_resolved = true;
   for (const PacketState& pkt : packets_) {
     if (pkt.measured && !pkt.delivered()) {
       ++result_.measured_messages_unfinished;
     }
+    if (pkt.create_cycle >= measure_end) continue;
+    if (pkt.delivered()) {
+      last_resolved = std::max(last_resolved, pkt.deliver_cycle);
+    } else if (pkt.terminated()) {
+      last_resolved = std::max(last_resolved, pkt.terminate_cycle);
+    } else {
+      // Still queued at a source (or dropped at creation): the pre-drain
+      // population never resolved inside the drain budget.
+      all_resolved = false;
+    }
   }
+  result_.drained = all_resolved;
+  result_.time_to_drain_cycles =
+      all_resolved
+          ? (last_resolved > measure_end ? last_resolved - measure_end : 0)
+          : config_.drain_cycles;
   result_.telemetry_samples = sampler_.ordered();
   result_.engine_threads_used = engine_threads_;
   result_.engine_domain_busy_seconds = domain_busy_seconds_;

@@ -64,6 +64,7 @@
 #include "routing/router.hpp"
 #include "sim/advance_team.hpp"
 #include "sim/config.hpp"
+#include "sim/fault_injection/state.hpp"
 #include "sim/flow_control/state.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
@@ -146,10 +147,22 @@ class Engine {
   /// Marks a physical channel as failed: headers never route onto it and
   /// no flit crosses it.  Only adaptive networks (DMIN, VMIN with spare
   /// lanes, BMIN, extra-stage MINs) can route around interior faults; a
-  /// worm whose every legal lane is faulty blocks forever and trips the
-  /// deadlock watchdog.  Must be called before the first step(); node
-  /// links cannot be failed (a one-port node would be disconnected).
+  /// worm whose every legal lane is faulty is terminated and counted as
+  /// undelivered (DESIGN.md §14).  Must be called before the first
+  /// step(); node links cannot be failed (a one-port node would be
+  /// disconnected).  For mid-run kills use set_fault_plan / the
+  /// SimConfig fault knobs instead.
   void fail_channel(topology::ChannelId channel);
+
+  /// Installs an explicit fault plan (tests / drivers that pick exact
+  /// channels instead of SimConfig::fault_fraction's seeded draw).  Must
+  /// be called before the first step(); replaces any config-built plan.
+  void set_fault_plan(fault_injection::FaultPlan plan);
+
+  /// The active fault plan (empty when fault injection is off).
+  const fault_injection::FaultPlan& fault_plan() const {
+    return fault_state_.plan;
+  }
 
   /// Non-null when invariant checking is on (SimConfig::validate or
   /// WORMSIM_VALIDATE=1); the validator sweeps at the end of every step().
@@ -220,6 +233,30 @@ class Engine {
   }
   void record_sample();
   [[noreturn]] void report_deadlock() const;
+
+  // ---- Runtime fault injection (src/sim/fault_injection/) -------------
+  /// Kill transition: marks the plan's channels faulty and terminates
+  /// every worm resident in, streaming through, or allocated onto a dead
+  /// lane (DESIGN.md §14 — a dead channel takes its input buffers with
+  /// it).  Runs at the top of step(), before arrivals.
+  void apply_fault_plan();
+  /// Repair transition: clears the plan's faulty bits.  Blocked headers
+  /// re-arbitrate every cycle, so no explicit wake-up is needed.
+  void repair_fault_plan();
+  /// The worm currently streaming through input lane `u` (route held):
+  /// the buffered head if the FIFO is nonempty, else the chain is walked
+  /// upstream through alloc_owner_ to the worm's flits or its still-
+  /// transmitting source.
+  PacketId chain_worm(topology::LaneId u) const;
+  /// Truncate-and-account kill of one in-flight worm: stops its source,
+  /// releases its allocation chain, discards its buffered flits (with
+  /// full per-flit credit/threshold accounting), and records the
+  /// termination on the packet, the result counters, and the tracer.
+  void terminate_worm(PacketId pid);
+  /// Removes every flit of `pid` from `lane`'s FIFO, compacting the
+  /// survivors and mirroring fc_pop's sender-side accounting per removed
+  /// flit.  Returns the number of flits discarded.
+  std::uint32_t fc_remove_packet(topology::LaneId lane, PacketId pid);
 
   // ---- Flow control (src/sim/flow_control/) ---------------------------
   /// Delivers every backpressure event due this cycle: credits return to
@@ -371,6 +408,12 @@ class Engine {
   std::vector<std::uint64_t> channel_used_epoch_;  // epoch of last transmit
   std::vector<std::uint8_t> vc_rr_;                // round-robin lane pointer
   util::DenseBitset channel_faulty_;               // failed channels
+
+  // Runtime fault plan and its transition bookkeeping; fault_any_ stays
+  // true once any channel has ever faulted (fail_channel or a plan), so
+  // the zero-fault hot paths and validator sweeps stay branch-cheap.
+  fault_injection::FaultState fault_state_;
+  bool fault_any_ = false;
 
   // Lanes whose buffer sits at a switch, in scan order for routing, and
   // the inverse map (lane -> scan position, kInvalidId for others).

@@ -36,6 +36,17 @@ struct SimResult {
   std::uint64_t max_source_queue = 0;
   std::uint64_t measured_messages_unfinished = 0;
 
+  /// Worms killed by runtime fault injection (DESIGN.md §14): the
+  /// message count and the in-network flits discarded by the kills.
+  /// Always zero in fault-free runs, keeping golden digests unchanged.
+  std::uint64_t terminated_messages = 0;
+  std::uint64_t terminated_flits = 0;
+  /// Cycles from the end of the measurement window until the network
+  /// fully drained (no flits buffered, no node transmitting); equals
+  /// drain_cycles with drained == false when it never emptied.
+  std::uint64_t time_to_drain_cycles = 0;
+  bool drained = false;
+
   std::uint64_t measure_cycles = 0;
   std::uint64_t node_count = 0;
   double flits_per_microsecond = 20.0;
@@ -71,6 +82,18 @@ struct SimResult {
     return static_cast<double>(delivered_flits_in_window) /
            (static_cast<double>(measure_cycles) *
             static_cast<double>(node_count));
+  }
+
+  /// Fraction of finished messages that were actually delivered (the
+  /// rest were fault-terminated).  1.0 in fault-free runs; at near-zero
+  /// load on a unique-path network this converges to the static
+  /// analysis::fault_coverage of the same fault plan.
+  double delivery_fraction() const {
+    const std::uint64_t finished =
+        delivered_messages_total + terminated_messages;
+    if (finished == 0) return 1.0;
+    return static_cast<double>(delivered_messages_total) /
+           static_cast<double>(finished);
   }
 
   /// Offered load, same normalization.

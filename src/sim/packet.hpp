@@ -22,9 +22,19 @@ struct PacketState {
   std::uint64_t create_cycle = kNoCycle;   ///< entered the source queue
   std::uint64_t inject_cycle = kNoCycle;   ///< header flit entered network
   std::uint64_t deliver_cycle = kNoCycle;  ///< tail flit consumed
+  /// Cycle the worm was killed by fault injection (DESIGN.md §14);
+  /// kNoCycle for every packet in a fault-free run.
+  std::uint64_t terminate_cycle = kNoCycle;
+  /// Flits the source had sent when the kill landed (= length once the
+  /// tail left the source).  Terminated packets only.
+  std::uint32_t flits_sent_at_kill = 0;
+  /// In-network flits discarded by the kill; flits_sent_at_kill minus
+  /// flits already ejected.  Terminated packets only.
+  std::uint32_t flits_truncated = 0;
   bool measured = false;  ///< created inside the measurement window
 
   bool delivered() const { return deliver_cycle != kNoCycle; }
+  bool terminated() const { return terminate_cycle != kNoCycle; }
 };
 
 }  // namespace wormsim::sim

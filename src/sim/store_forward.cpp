@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "sim/fault_injection/plan.hpp"
 #include "sim/validate.hpp"
 #include "telemetry/worm_trace.hpp"
 #include "util/check.hpp"
@@ -29,6 +30,13 @@ StoreForwardEngine::StoreForwardEngine(const topology::NetView& network,
   nodes_.resize(network_.node_count());
   lanes_.resize(network_.lane_count());
   channel_free_at_.assign(network_.channel_count(), 0);
+  channel_faulty_.assign(network_.channel_count(), 0);
+  if (config_.fault_fraction > 0.0) {
+    fault_state_.plan = fault_injection::build_fault_plan(
+        network_, config_.fault_fraction, config_.fault_seed,
+        config_.fault_at_cycle, config_.fault_repair_cycle);
+    fault_injection::validate_plan(network_, fault_state_.plan);
+  }
   node_pending_flag_.assign(network_.node_count(), 0);
   lane_pending_flag_.assign(network_.lane_count(), 0);
   switch_feed_lanes_.resize(network_.switch_count());
@@ -65,6 +73,14 @@ StoreForwardEngine::StoreForwardEngine(const topology::NetView& network,
 }
 
 StoreForwardEngine::~StoreForwardEngine() = default;
+
+void StoreForwardEngine::set_fault_plan(fault_injection::FaultPlan plan) {
+  WORMSIM_CHECK_MSG(now_ == 0 && !fault_state_.applied,
+                    "fault plan must be set before any event is processed");
+  fault_injection::validate_plan(network_, plan);
+  fault_state_ = fault_injection::FaultState{};
+  fault_state_.plan = std::move(plan);
+}
 
 void StoreForwardEngine::schedule(std::uint64_t time, Event::Kind kind,
                                   std::uint64_t payload) {
@@ -147,31 +163,48 @@ bool StoreForwardEngine::try_start_from_node(NodeId node) {
 
 bool StoreForwardEngine::try_start_from_lane(LaneId lane) {
   LaneState& state = lanes_[lane];
-  if (state.transmitting || state.queue.empty()) return false;
-  const PacketId pkt = state.queue.front();
-  const PacketState& packet = packets_[pkt];
-  routing::RouteQuery query;
-  query.src = packet.src;
-  query.dst = packet.dst;
-  query.turn_stage = packet.turn_stage;
-  routing::CandidateList candidates;
-  router_.candidates(query, lane, candidates);
-  routing::CandidateList usable;
-  for (LaneId next : candidates) {
-    const PhysChannel& ch = network_.lane_channel(next);
-    if (channel_free_at_[ch.id] > now_) continue;
-    if (ch.dst.is_switch() && !lane_has_space(next)) continue;
-    // Dedupe lanes of the same channel: one transfer occupies the wires.
-    bool duplicate = false;
-    for (LaneId seen : usable) {
-      if (network_.lane(seen).channel == ch.id) duplicate = true;
+  // Loop so that terminating a fault-starved head exposes the next queued
+  // packet in the same pump; fault-free runs take at most one iteration.
+  while (!state.transmitting && !state.queue.empty()) {
+    const PacketId pkt = state.queue.front();
+    const PacketState& packet = packets_[pkt];
+    routing::RouteQuery query;
+    query.src = packet.src;
+    query.dst = packet.dst;
+    query.turn_stage = packet.turn_stage;
+    routing::CandidateList candidates;
+    router_.candidates(query, lane, candidates);
+    routing::CandidateList usable;
+    bool any_alive = false;
+    for (LaneId next : candidates) {
+      const PhysChannel& ch = network_.lane_channel(next);
+      if (channel_faulty_[ch.id] != 0) continue;
+      any_alive = true;
+      if (channel_free_at_[ch.id] > now_) continue;
+      if (ch.dst.is_switch() && !lane_has_space(next)) continue;
+      // Dedupe lanes of the same channel: one transfer occupies the wires.
+      bool duplicate = false;
+      for (LaneId seen : usable) {
+        if (network_.lane(seen).channel == ch.id) duplicate = true;
+      }
+      if (!duplicate) usable.push_back(next);
     }
-    if (!duplicate) usable.push_back(next);
+    if (!candidates.empty() && !any_alive) {
+      // Every legal next hop is dead: the packet can never leave this
+      // switch.  Terminate it (truncate-and-account) and free the slot
+      // for upstream senders.
+      state.queue.pop_front();
+      --queued_packets_;
+      terminate_packet(pkt);
+      mark_channel_users(network_.lane(lane).channel);
+      continue;
+    }
+    if (usable.empty()) return false;
+    const LaneId chosen =
+        usable[static_cast<std::size_t>(rng_.below(usable.size()))];
+    return start_transfer(pkt, lane, chosen);
   }
-  if (usable.empty()) return false;
-  const LaneId chosen =
-      usable[static_cast<std::size_t>(rng_.below(usable.size()))];
-  return start_transfer(pkt, lane, chosen);
+  return false;
 }
 
 void StoreForwardEngine::mark_channel_users(ChannelId channel) {
@@ -255,6 +288,14 @@ void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
   const PhysChannel& ch = network_.lane_channel(transfer.to);
   if (ch.dst.is_node()) {
     deliver(transfer.packet);
+  } else if (channel_faulty_[ch.id] != 0) {
+    // The kill landed while this transfer was in flight: the packet
+    // arrives into a buffer that no longer exists and is discarded
+    // (terminated), releasing its reservation.
+    LaneState& to = lanes_[transfer.to];
+    WORMSIM_DCHECK(to.incoming > 0);
+    --to.incoming;
+    terminate_packet(transfer.packet);
   } else {
     LaneState& to = lanes_[transfer.to];
     WORMSIM_DCHECK(to.incoming > 0);
@@ -268,9 +309,57 @@ void StoreForwardEngine::finish_transfer(const Transfer& transfer) {
   }
 }
 
+void StoreForwardEngine::terminate_packet(PacketId pkt_id) {
+  PacketState& pkt = packets_[pkt_id];
+  WORMSIM_DCHECK(!pkt.delivered() && !pkt.terminated());
+  pkt.terminate_cycle = now_;
+  // Packet granularity: the whole packet sat in (or was headed for) the
+  // dead buffer, so every flit that left the source is truncated.
+  pkt.flits_sent_at_kill = pkt.length;
+  pkt.flits_truncated = pkt.length;
+  ++result_.terminated_messages;
+  result_.terminated_flits += pkt.length;
+  if (wtrace_ != nullptr) wtrace_->on_terminated(pkt_id, now_);
+}
+
+void StoreForwardEngine::apply_fault_plan() {
+  fault_state_.applied = true;
+  fault_any_ = true;
+  for (const ChannelId ch_id : fault_state_.plan.channels) {
+    channel_faulty_[ch_id] = 1;
+    const PhysChannel ch = network_.channel(ch_id);
+    for (unsigned v = 0; v < ch.num_lanes; ++v) {
+      LaneState& state = lanes_[ch.first_lane + v];
+      // A transmitting head's data already left the dead buffer — its
+      // in-flight transfer across a live output channel completes
+      // normally.  Everything queued behind it dies with the buffer.
+      const std::size_t keep = state.transmitting ? 1 : 0;
+      while (state.queue.size() > keep) {
+        terminate_packet(state.queue.back());
+        state.queue.pop_back();
+        --queued_packets_;
+      }
+    }
+    // Wake the dead channel's feeders: a head whose every legal hop just
+    // died must be terminated now, not parked waiting for a free event
+    // that will never come.
+    mark_channel_users(ch_id);
+  }
+}
+
+void StoreForwardEngine::repair_fault_plan() {
+  fault_state_.repaired = true;
+  for (const ChannelId ch_id : fault_state_.plan.channels) {
+    channel_faulty_[ch_id] = 0;
+    mark_channel_users(ch_id);  // blocked senders may route again
+  }
+}
+
 void StoreForwardEngine::process(const Event& event) {
   WORMSIM_DCHECK(event.time >= now_);
   now_ = event.time;
+  if (fault_state_.kill_due(now_)) apply_fault_plan();
+  if (fault_state_.repair_due(now_)) repair_fault_plan();
   while (!free_calendar_.empty() && free_calendar_.top().first <= now_) {
     mark_channel_users(free_calendar_.top().second);
     free_calendar_.pop();
@@ -335,17 +424,39 @@ bool StoreForwardEngine::run_until_idle(std::uint64_t max_time) {
 SimResult StoreForwardEngine::run() {
   const std::uint64_t total = config_.warmup_cycles +
                               config_.measure_cycles + config_.drain_cycles;
+  const std::uint64_t measure_end =
+      config_.warmup_cycles + config_.measure_cycles;
   while (!events_.empty() && events_.top().time < total) {
     const Event event = events_.top();
     events_.pop();
     process(event);
   }
   now_ = total;
+  // Time-to-drain SLO, same definition as the wormhole engine: cycles
+  // past the measurement window until every message created before it
+  // ended was resolved (delivered or fault-terminated).  Sources keep
+  // offering traffic through the drain phase, so "network momentarily
+  // idle" would never fire at real loads.
+  std::uint64_t last_resolved = 0;
+  bool all_resolved = true;
   for (const PacketState& pkt : packets_) {
     if (pkt.measured && !pkt.delivered()) {
       ++result_.measured_messages_unfinished;
     }
+    if (pkt.create_cycle >= measure_end) continue;
+    if (pkt.delivered()) {
+      last_resolved = std::max(last_resolved, pkt.deliver_cycle);
+    } else if (pkt.terminated()) {
+      last_resolved = std::max(last_resolved, pkt.terminate_cycle);
+    } else {
+      all_resolved = false;
+    }
   }
+  result_.drained = all_resolved;
+  result_.time_to_drain_cycles =
+      all_resolved
+          ? (last_resolved > measure_end ? last_resolved - measure_end : 0)
+          : config_.drain_cycles;
   if (validator_ != nullptr) validator_->check_final(result_);
   return result_;
 }

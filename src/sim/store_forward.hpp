@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "routing/router.hpp"
+#include "sim/fault_injection/state.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/traffic_source.hpp"
@@ -54,6 +55,17 @@ struct StoreForwardConfig {
   /// and transfer legality checks, aborting with a diagnostic on the
   /// first violation.  Also enabled by WORMSIM_VALIDATE=1.
   bool validate = false;
+  /// Runtime fault injection (DESIGN.md §14), mirroring SimConfig: a
+  /// seed-driven fraction of interior channels dies at fault_at_cycle.
+  /// Kill semantics are packet-granular here — a dead channel's lane
+  /// buffers discard their queued packets (terminated, all flits
+  /// truncated), transfers completing onto a dead channel terminate on
+  /// arrival, and a queued packet whose every legal next hop is dead is
+  /// terminated instead of parked forever.
+  double fault_fraction = 0.0;
+  std::uint64_t fault_seed = 1;
+  std::uint64_t fault_at_cycle = 0;
+  std::uint64_t fault_repair_cycle = kNoCycle;
   /// Only `worm_trace` is honored here (the counter/sampling hooks are a
   /// wormhole-engine feature); also enabled by WORMSIM_TRACE=1.
   telemetry::TelemetryConfig telemetry;
@@ -89,6 +101,14 @@ class StoreForwardEngine {
   /// Non-null when per-packet tracing is on (telemetry.worm_trace or
   /// WORMSIM_TRACE=1); also shared into SimResult::worm_trace.
   const telemetry::WormTracer* worm_tracer() const { return wtrace_; }
+
+  /// Replaces the fault plan before any event has been processed
+  /// (tests / callers that need an exact channel set rather than a
+  /// seeded fraction).  Must be called at time 0 with no faults applied.
+  void set_fault_plan(fault_injection::FaultPlan plan);
+  const fault_injection::FaultPlan& fault_plan() const {
+    return fault_state_.plan;
+  }
 
  private:
   /// Read-only invariant checker (src/sim/validate.hpp); fault-injection
@@ -162,6 +182,13 @@ class StoreForwardEngine {
                       topology::LaneId to);
   void finish_transfer(const Transfer& transfer);
   void deliver(PacketId pkt);
+  /// Discards a packet killed by fault injection: stamps the terminate
+  /// cycle, truncates every flit (packet granularity — the whole packet
+  /// sat in the dead buffer) and accounts it.  Queue bookkeeping is the
+  /// caller's job.
+  void terminate_packet(PacketId pkt);
+  void apply_fault_plan();
+  void repair_fault_plan();
   bool lane_has_space(topology::LaneId lane) const;
   bool idle() const;
 
@@ -190,6 +217,13 @@ class StoreForwardEngine {
   std::vector<NodeState> nodes_;
   std::vector<LaneState> lanes_;
   std::vector<std::uint64_t> channel_free_at_;
+  /// Dead physical channels (fault injection); drained lazily at the top
+  /// of process() once now_ reaches the plan's kill / repair cycles.
+  std::vector<std::uint8_t> channel_faulty_;
+  fault_injection::FaultState fault_state_;
+  /// Latched true once any channel has ever faulted (stays true across a
+  /// repair) so the validator knows terminated packets may exist.
+  bool fault_any_ = false;
   std::int64_t in_flight_ = 0;
   std::int64_t queued_packets_ = 0;  ///< packets in node + lane queues
 

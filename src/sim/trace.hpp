@@ -17,10 +17,11 @@ namespace wormsim::sim {
 
 struct TraceEvent {
   enum class Kind : std::uint8_t {
-    kCreated,    ///< entered the source queue
-    kRouted,     ///< header granted an output lane (lane = granted)
-    kFlitMoved,  ///< one flit crossed a channel (lane = traversed)
-    kDelivered,  ///< tail consumed at the destination
+    kCreated,     ///< entered the source queue
+    kRouted,      ///< header granted an output lane (lane = granted)
+    kFlitMoved,   ///< one flit crossed a channel (lane = traversed)
+    kDelivered,   ///< tail consumed at the destination
+    kTerminated,  ///< worm killed by fault injection (DESIGN.md §14)
   };
   Kind kind{};
   std::uint64_t cycle = 0;

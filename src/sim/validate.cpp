@@ -134,6 +134,7 @@ void EngineValidator::check_cycle_end() {
   check_allocation();
   check_routing_legality();
   check_active_sets();
+  check_fault_state();
   maybe_probe_deadlock();
 }
 
@@ -159,6 +160,12 @@ void EngineValidator::check_buffers_and_counters() {
       engine_fail("flit-conservation", cycle, lane,
                   "packet %u delivered at cycle %llu but still buffered", pid,
                   static_cast<unsigned long long>(pkt.deliver_cycle));
+    }
+    if (pkt.terminated()) {
+      engine_fail("fault-termination", cycle, lane,
+                  "packet %u terminated at cycle %llu but still buffered",
+                  pid,
+                  static_cast<unsigned long long>(pkt.terminate_cycle));
     }
     if (e_.arrived_epoch_[lane] > e_.epoch_) {
       engine_fail("stale-epoch-stamp", cycle, lane,
@@ -194,6 +201,14 @@ void EngineValidator::check_buffers_and_counters() {
                       "slot %u",
                       pid,
                       static_cast<unsigned long long>(pkt.deliver_cycle),
+                      s + 1);
+        }
+        if (pkt.terminated()) {
+          engine_fail("fault-termination", cycle, lane,
+                      "packet %u terminated at cycle %llu but still in fifo "
+                      "slot %u",
+                      pid,
+                      static_cast<unsigned long long>(pkt.terminate_cycle),
                       s + 1);
         }
         if (e_.fc_.ext_epoch[slot] > e_.epoch_) {
@@ -288,6 +303,11 @@ void EngineValidator::check_buffers_and_counters() {
       engine_fail("flit-conservation", cycle, kInvalidId,
                   "node %u is transmitting packet %u which is %s", node, tx,
                   tx >= e_.packets_.size() ? "unknown" : "already delivered");
+    }
+    if (e_.packets_[tx].terminated()) {
+      engine_fail("fault-termination", cycle, kInvalidId,
+                  "node %u is still transmitting terminated packet %u", node,
+                  tx);
     }
   }
   if (transmitting != e_.transmitting_nodes_) {
@@ -695,6 +715,81 @@ void EngineValidator::check_domain_partition() {
   }
 }
 
+void EngineValidator::check_fault_state() {
+  if (!e_.fault_any_) {
+    return;  // no channel has ever faulted; nothing to sweep
+  }
+  const std::uint64_t cycle = e_.cycle_;
+
+  // Fault quiescence: a dead channel takes its input buffers with it
+  // (DESIGN.md §14), so between cycles its lanes must be fully drained —
+  // no buffered flits, no allocation, no held route.  Anything left
+  // behind is leaked kill state that a later repair would resurrect.
+  for (ChannelId ch_id = 0; ch_id < e_.network_.channel_count(); ++ch_id) {
+    if (!e_.channel_faulty_.test(ch_id)) continue;
+    const PhysChannel ch = e_.network_.channel(ch_id);
+    for (unsigned v = 0; v < ch.num_lanes; ++v) {
+      const LaneId lane = ch.first_lane + v;
+      if (e_.fc_.count[lane] != 0) {
+        engine_fail("fault-quiescence", cycle, lane,
+                    "dead channel %u's lane still buffers %u flits", ch_id,
+                    e_.fc_.count[lane]);
+      }
+      if (e_.alloc_owner_[lane] != kInvalidId) {
+        engine_fail("fault-quiescence", cycle, lane,
+                    "dead channel %u's lane is still allocated to input "
+                    "lane %u",
+                    ch_id, e_.alloc_owner_[lane]);
+      }
+      if (e_.route_out_[lane] != kInvalidId) {
+        engine_fail("fault-quiescence", cycle, lane,
+                    "dead channel %u's lane still holds a route to lane %u",
+                    ch_id, e_.route_out_[lane]);
+      }
+    }
+  }
+
+  // Fault routability: an unrouted header whose every legal candidate is
+  // faulty must be terminated by serve(), never parked.  A header
+  // promoted by a kill drain after this cycle's routing pass has
+  // legitimately not been served yet, so a starved (lane, packet) pair is
+  // only flagged here and fails if still starved one sweep later.
+  std::vector<std::pair<topology::LaneId, PacketId>> starved;
+  routing::CandidateList candidates;
+  for (std::size_t pos = 0; pos < e_.switch_input_lanes_.size(); ++pos) {
+    if (!e_.header_bits_.test(pos)) continue;
+    const LaneId lane = e_.switch_input_lanes_[pos];
+    const PacketId pid = e_.buf_packet_[lane];
+    const PacketState& pkt = e_.packets_[pid];
+    routing::RouteQuery query;
+    query.src = pkt.src;
+    query.dst = pkt.dst;
+    query.turn_stage = pkt.turn_stage;
+    candidates.clear();
+    e_.router_.candidates(query, lane, candidates);
+    if (candidates.empty()) continue;  // router misconfiguration, not faults
+    bool alive = false;
+    for (const LaneId c : candidates) {
+      if (!e_.channel_faulty_.test(e_.lane_channel_[c])) {
+        alive = true;
+        break;
+      }
+    }
+    if (alive) continue;
+    const auto key = std::make_pair(lane, pid);
+    if (std::find(fault_blocked_prev_.begin(), fault_blocked_prev_.end(),
+                  key) != fault_blocked_prev_.end()) {
+      engine_fail("fault-routability", cycle, lane,
+                  "packet %u's header sat two sweeps with every legal "
+                  "candidate faulty — fault-starved worms must be "
+                  "terminated, not stalled",
+                  pid);
+    }
+    starved.push_back(key);
+  }
+  fault_blocked_prev_.swap(starved);
+}
+
 WaitForAnalysis EngineValidator::analyze_waiting() const {
   WaitForAnalysis analysis;
   const std::size_t lane_count = e_.buf_packet_.size();
@@ -855,6 +950,29 @@ void EngineValidator::maybe_probe_deadlock() {
                  static_cast<long long>(e_.occupied_));
     return;
   }
+  if (e_.fault_any_) {
+    // Never report a deadlock that is really a fault-handling bug: an
+    // acyclic permanent blockage means a fault-starved worm survived
+    // serve(), and a wait-for cycle through a dead lane means the kill
+    // drain left allocation state behind.
+    if (analysis.cycle.empty()) {
+      engine_fail("fault-routability", e_.cycle_,
+                  analysis.stuck_lanes.front(),
+                  "%zu lanes permanently blocked with every legal lane "
+                  "faulty after a %llu-cycle stall — fault-starved worms "
+                  "must be terminated, not stalled",
+                  analysis.stuck_lanes.size(),
+                  static_cast<unsigned long long>(stall));
+    }
+    for (const LaneId lane : analysis.cycle) {
+      if (e_.channel_faulty_.test(e_.lane_channel_[lane])) {
+        engine_fail("fault-quiescence", e_.cycle_, lane,
+                    "wait-for cycle runs through dead channel %u — faulted "
+                    "lanes must drain, never deadlock",
+                    e_.lane_channel_[lane]);
+      }
+    }
+  }
   char detail[256];
   if (analysis.cycle.empty()) {
     std::snprintf(detail, sizeof detail,
@@ -896,6 +1014,8 @@ void EngineValidator::check_final(const SimResult& result) {
   std::uint64_t dropped = 0;
   std::uint64_t unfinished_measured = 0;
   std::uint64_t measured_delivered = 0;
+  std::uint64_t terminated_messages = 0;
+  std::uint64_t terminated_flits = 0;
   for (PacketId pid = 0; pid < e_.packets_.size(); ++pid) {
     const PacketState& pkt = e_.packets_[pid];
     if (pkt.delivered()) {
@@ -910,6 +1030,27 @@ void EngineValidator::check_final(const SimResult& result) {
       continue;
     }
     if (pkt.measured) ++unfinished_measured;
+    if (pkt.terminated()) {
+      // Conservation generalizes under faults: generated = delivered +
+      // terminated + queued + in flight, and a terminated worm's flits
+      // split exactly into delivered-before-the-kill plus truncated.
+      ++terminated_messages;
+      terminated_flits += pkt.flits_truncated;
+      if (buffered_flits[pid] != 0) {
+        engine_fail("fault-termination", cycle, kInvalidId,
+                    "terminated packet %u still has %u buffered flits", pid,
+                    buffered_flits[pid]);
+      }
+      if (pkt.flits_truncated > pkt.flits_sent_at_kill ||
+          pkt.flits_sent_at_kill > pkt.length) {
+        engine_fail("fault-termination", cycle, kInvalidId,
+                    "packet %u truncated %u of %u sent flits (length %u)",
+                    pid, pkt.flits_truncated, pkt.flits_sent_at_kill,
+                    pkt.length);
+      }
+      delivered_flits += pkt.flits_sent_at_kill - pkt.flits_truncated;
+      continue;
+    }
     std::uint32_t sent = 0;
     if (e_.node_tx_packet_[pkt.src] == pid) {
       sent = e_.node_tx_sent_[pkt.src];
@@ -944,6 +1085,16 @@ void EngineValidator::check_final(const SimResult& result) {
                 "%llu packets dropped but the result says %llu",
                 static_cast<unsigned long long>(dropped),
                 static_cast<unsigned long long>(result.dropped_messages));
+  }
+  if (terminated_messages != result.terminated_messages ||
+      terminated_flits != result.terminated_flits) {
+    engine_fail("fault-termination", cycle, kInvalidId,
+                "per-packet recount finds %llu terminated worms / %llu "
+                "truncated flits but the result says %llu / %llu",
+                static_cast<unsigned long long>(terminated_messages),
+                static_cast<unsigned long long>(terminated_flits),
+                static_cast<unsigned long long>(result.terminated_messages),
+                static_cast<unsigned long long>(result.terminated_flits));
   }
   if (unfinished_measured != result.measured_messages_unfinished) {
     engine_fail("result-reconcile", cycle, kInvalidId,
@@ -1152,6 +1303,14 @@ void StoreForwardValidator::check_event_end() {
                 pkt_mark_[pid] == sweeps_ ? "queued in two places"
                                           : "delivered but still queued");
       }
+      if (e_.packets_[pid].terminated()) {
+        sf_fail("fault-termination", now, kInvalidId,
+                "packet %u terminated at %llu but still queued at node %u",
+                pid,
+                static_cast<unsigned long long>(
+                    e_.packets_[pid].terminate_cycle),
+                node);
+      }
       pkt_mark_[pid] = sweeps_;
     }
   }
@@ -1169,12 +1328,27 @@ void StoreForwardValidator::check_event_end() {
               state.transmitting ? 1 : 0,
               state.transmitting ? "no matching" : "a");
     }
+    // Fault quiescence, packet-granular: a dead channel's lane buffer
+    // holds at most the head whose pre-kill transfer is still in flight.
+    if (e_.fault_any_ &&
+        e_.channel_faulty_[e_.network_.lane(lane).channel] != 0 &&
+        state.queue.size() > (state.transmitting ? 1u : 0u)) {
+      sf_fail("fault-quiescence", now, lane,
+              "dead channel %u's lane still queues %zu packets",
+              e_.network_.lane(lane).channel, state.queue.size());
+    }
     for (const PacketId pid : state.queue) {
       if (pkt_mark_[pid] == sweeps_ || e_.packets_[pid].delivered()) {
         sf_fail("sf-conservation", now, lane,
                 "packet %u is %s", pid,
                 pkt_mark_[pid] == sweeps_ ? "queued in two places"
                                           : "delivered but still queued");
+      }
+      if (e_.packets_[pid].terminated()) {
+        sf_fail("fault-termination", now, lane,
+                "packet %u terminated at %llu but still queued", pid,
+                static_cast<unsigned long long>(
+                    e_.packets_[pid].terminate_cycle));
       }
       pkt_mark_[pid] = sweeps_;
     }
@@ -1221,6 +1395,8 @@ void StoreForwardValidator::check_final(const SimResult& result) {
   std::uint64_t delivered_messages = 0;
   std::uint64_t measured_delivered = 0;
   std::uint64_t unfinished_measured = 0;
+  std::uint64_t terminated_messages = 0;
+  std::uint64_t terminated_flits = 0;
   for (const PacketState& pkt : e_.packets_) {
     if (pkt.delivered()) {
       ++delivered_messages;
@@ -1228,6 +1404,31 @@ void StoreForwardValidator::check_final(const SimResult& result) {
     } else if (pkt.measured) {
       ++unfinished_measured;
     }
+    if (pkt.terminated()) {
+      if (pkt.delivered()) {
+        sf_fail("fault-termination", now, kInvalidId,
+                "a packet is both delivered and terminated");
+      }
+      ++terminated_messages;
+      terminated_flits += pkt.flits_truncated;
+      // Packet granularity: a terminated packet loses every flit.
+      if (pkt.flits_truncated != pkt.length ||
+          pkt.flits_sent_at_kill != pkt.length) {
+        sf_fail("fault-termination", now, kInvalidId,
+                "terminated packet truncated %u / sent %u of its %u flits",
+                pkt.flits_truncated, pkt.flits_sent_at_kill, pkt.length);
+      }
+    }
+  }
+  if (terminated_messages != result.terminated_messages ||
+      terminated_flits != result.terminated_flits) {
+    sf_fail("fault-termination", now, kInvalidId,
+            "per-packet recount finds %llu terminated packets / %llu "
+            "truncated flits but the result says %llu / %llu",
+            static_cast<unsigned long long>(terminated_messages),
+            static_cast<unsigned long long>(terminated_flits),
+            static_cast<unsigned long long>(result.terminated_messages),
+            static_cast<unsigned long long>(result.terminated_flits));
   }
   if (delivered_messages != result.delivered_messages_total) {
     sf_fail("result-reconcile", now, kInvalidId,

@@ -86,6 +86,12 @@ class EngineValidator {
   ///     recount, epoch stamps never point to the future, every channel
   ///     ready to transmit next cycle has its seed bit set, and the
   ///     advance worklist bitmaps are empty between cycles;
+  ///   * fault state (only once a channel has ever faulted): dead
+  ///     channels' lanes are fully drained — no buffered flits, no
+  ///     allocation, no held route (fault-quiescence) — and no unrouted
+  ///     header sits starved with every legal candidate faulty for two
+  ///     consecutive sweeps (fault-routability: serve() must terminate
+  ///     such worms, not stall them);
   ///   * domain partition (engine_threads > 1): the domain table tiles
   ///     the channel ids in word-aligned slices, the topology is
   ///     feed-forward (every switch's incoming channel ids strictly below
@@ -117,6 +123,7 @@ class EngineValidator {
   void check_allocation();
   void check_routing_legality();
   void check_active_sets();
+  void check_fault_state();
   void check_domain_partition();
   void maybe_probe_deadlock();
 
@@ -136,6 +143,11 @@ class EngineValidator {
   // pass over the backpressure calendar.
   std::vector<std::uint32_t> pending_returns_;
   std::vector<std::int8_t> last_signal_;
+  // Fault-routability two-strike memory: (lane, packet) headers seen
+  // starved by faults last sweep.  A header promoted after this cycle's
+  // routing pass has legitimately not been served yet; only a pair still
+  // starved a full sweep later is a violation.
+  std::vector<std::pair<topology::LaneId, PacketId>> fault_blocked_prev_;
 };
 
 /// Invariant checker for the store-and-forward reference engine.  The

@@ -17,6 +17,9 @@ std::uint64_t Counters::total_denials() const { return sum(switch_denials); }
 std::uint64_t Counters::total_credit_starved_cycles() const {
   return sum(lane_credit_starved);
 }
+std::uint64_t Counters::total_fault_terminated_flits() const {
+  return sum(lane_fault_terminated);
+}
 
 std::uint64_t Counters::channel_flits(const topology::Network& network,
                                       topology::ChannelId channel) const {

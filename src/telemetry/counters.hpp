@@ -30,6 +30,10 @@ struct Counters {
   /// the starvation interval closes; always zero in the legacy
   /// single-flit / instant-credit configuration.
   std::vector<std::uint64_t> lane_credit_starved;
+  /// Flits discarded from each lane's FIFO by a runtime fault kill
+  /// (DESIGN.md §14) — attribution distinct from contention
+  /// (lane_blocked) and credit starvation; always zero without faults.
+  std::vector<std::uint64_t> lane_fault_terminated;
 
   bool enabled() const { return !lane_flits.empty(); }
 
@@ -39,6 +43,7 @@ struct Counters {
     switch_grants.assign(switch_count, 0);
     switch_denials.assign(switch_count, 0);
     lane_credit_starved.assign(lane_count, 0);
+    lane_fault_terminated.assign(lane_count, 0);
   }
 
   std::uint64_t total_flit_crossings() const;
@@ -46,6 +51,7 @@ struct Counters {
   std::uint64_t total_grants() const;
   std::uint64_t total_denials() const;
   std::uint64_t total_credit_starved_cycles() const;
+  std::uint64_t total_fault_terminated_flits() const;
 
   /// Flit crossings of one physical channel (sum over its lanes).
   std::uint64_t channel_flits(const topology::Network& network,

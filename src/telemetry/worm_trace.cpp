@@ -141,6 +141,12 @@ void WormTracer::on_delivered(WormId id, std::uint64_t cycle) {
   r.streaming_cycles = (r.deliver_cycle - r.inject_cycle) - header_wait;
 }
 
+void WormTracer::on_terminated(WormId id, std::uint64_t cycle) {
+  WormRecord& r = rec(id);
+  r.terminate_cycle = cycle;
+  r.blocked_open = false;
+}
+
 void WormTracer::set_measured(WormId id, bool measured) {
   rec(id).measured = measured;
 }
@@ -212,7 +218,11 @@ WormTraceSummary summarize_worm_trace(const WormTracer& tracer,
   std::vector<std::uint64_t> worm_intervals;
   for (const WormRecord& r : tracer.records()) {
     if (!r.delivered()) {
-      ++summary.unfinished;
+      if (r.terminated()) {
+        ++summary.terminated;
+      } else {
+        ++summary.unfinished;
+      }
       continue;
     }
     ++summary.delivered;
@@ -327,6 +337,12 @@ JsonValue worm_trace_summary_to_json(const WormTraceSummary& summary,
   JsonValue json = JsonValue::object();
   json.set("worms_delivered", summary.delivered);
   json.set("worms_unfinished", summary.unfinished);
+  // Only present under fault injection, keeping fault-free results
+  // byte-identical to the pre-fault schema (same discipline as the
+  // credit_starvation section below).
+  if (summary.terminated > 0) {
+    json.set("worms_terminated", summary.terminated);
+  }
   set_component(json, "queue", summary.queue_cycles,
                 summary.queue_p95_cycles, flits_per_microsecond);
   set_component(json, "routing", summary.routing_cycles,

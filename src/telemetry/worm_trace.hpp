@@ -100,6 +100,9 @@ struct WormRecord {
   std::uint64_t create_cycle = 0;
   std::uint64_t inject_cycle = kNoTraceCycle;
   std::uint64_t deliver_cycle = kNoTraceCycle;
+  /// Cycle a runtime fault kill truncated this worm (DESIGN.md §14);
+  /// kNoTraceCycle unless fault-terminated.
+  std::uint64_t terminate_cycle = kNoTraceCycle;
   std::vector<StageSpan> stages;          ///< wormhole; empty for SF
   std::vector<BlockedInterval> blocked;   ///< culprit-attributed waits
   std::uint32_t hops = 0;                 ///< SF transfers; 0 for wormhole
@@ -118,6 +121,7 @@ struct WormRecord {
 
   bool injected() const { return inject_cycle != kNoTraceCycle; }
   bool delivered() const { return deliver_cycle != kNoTraceCycle; }
+  bool terminated() const { return terminate_cycle != kNoTraceCycle; }
   std::uint64_t total_cycles() const { return deliver_cycle - create_cycle; }
 
   // Tracer scratch (meaningful only while the worm is in flight).
@@ -128,7 +132,9 @@ struct WormRecord {
 /// Aggregated decomposition over delivered worms (summarize()).
 struct WormTraceSummary {
   std::uint64_t delivered = 0;
-  std::uint64_t unfinished = 0;  ///< created but not delivered
+  std::uint64_t unfinished = 0;   ///< created but neither delivered
+                                  ///< nor fault-terminated
+  std::uint64_t terminated = 0;   ///< killed by runtime fault injection
   util::OnlineStats queue_cycles;
   util::OnlineStats routing_cycles;
   util::OnlineStats blocked_cycles;
@@ -201,6 +207,12 @@ class WormTracer {
   /// Tail crossed out_lane: the allocation (and holder) is released.
   void on_lane_released(topology::LaneId out_lane);
   void on_delivered(WormId id, std::uint64_t cycle);
+  /// Runtime fault kill truncated the worm: closes any open blocked
+  /// interval and stamps the termination (the worm never delivers — its
+  /// attribution is "fault-terminated", distinct from contention and
+  /// credit starvation).  The engine releases the worm's lanes through
+  /// the usual on_lane_released calls.
+  void on_terminated(WormId id, std::uint64_t cycle);
   /// A closed credit-starvation interval: worm `id`'s body spent `cycles`
   /// flow-control gated at `lane` while the downstream FIFO had space.
   /// Called once per interval when the gate lifts (id may be kNoWorm if

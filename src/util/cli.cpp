@@ -203,6 +203,19 @@ std::uint64_t env_u64_or(const char* name, std::uint64_t fallback) {
   return value;
 }
 
+double env_double_or(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !(value >= 0.0)) {
+    std::fprintf(stderr, "%s: expected a non-negative number, got '%s'\n",
+                 name, raw);
+    std::abort();
+  }
+  return value;
+}
+
 std::string CliParser::usage() const {
   std::ostringstream os;
   os << description_ << "\n\nflags:\n";

@@ -73,4 +73,9 @@ bool parse_u32(const std::string& text, std::uint32_t* out);
 std::uint32_t env_u32_or(const char* name, std::uint32_t fallback);
 std::uint64_t env_u64_or(const char* name, std::uint64_t fallback);
 
+/// Reads a non-negative floating-point environment knob (strtod syntax,
+/// full-string match); same unset/empty fallback and abort-on-garbage
+/// contract as env_u64_or.
+double env_double_or(const char* name, double fallback);
+
 }  // namespace wormsim::util

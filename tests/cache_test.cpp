@@ -55,11 +55,15 @@ SweepPoint sample_point() {
   point.throughput = 0.29;
   point.latency_us = 12.25;
   point.latency_p95_us = 31.5;
+  point.latency_p99_us = 47.75;
   point.network_latency_us = 7.125;
   point.queueing_us = 5.0 / 3.0;  // not exactly representable in decimal
   point.sustainable = true;
   point.max_source_queue = 7;
   point.delivered_messages = 12345;
+  point.delivery_fraction = 0.921875;
+  point.terminated_messages = 1047;
+  point.time_to_drain_us = 63.5;
   return point;
 }
 
@@ -69,11 +73,15 @@ void expect_point_eq(const SweepPoint& a, const SweepPoint& b) {
   EXPECT_EQ(a.throughput, b.throughput);
   EXPECT_EQ(a.latency_us, b.latency_us);
   EXPECT_EQ(a.latency_p95_us, b.latency_p95_us);
+  EXPECT_EQ(a.latency_p99_us, b.latency_p99_us);
   EXPECT_EQ(a.network_latency_us, b.network_latency_us);
   EXPECT_EQ(a.queueing_us, b.queueing_us);
   EXPECT_EQ(a.sustainable, b.sustainable);
   EXPECT_EQ(a.max_source_queue, b.max_source_queue);
   EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.delivery_fraction, b.delivery_fraction);
+  EXPECT_EQ(a.terminated_messages, b.terminated_messages);
+  EXPECT_EQ(a.time_to_drain_us, b.time_to_drain_us);
 }
 
 TEST(CacheFingerprint, StableAcrossCalls) {
@@ -193,6 +201,7 @@ TEST(Cache, InfinitePercentileRoundTrips) {
   const ResultCache cache(fresh_cache_dir("inf"));
   SweepPoint point = sample_point();
   point.latency_p95_us = std::numeric_limits<double>::infinity();
+  point.latency_p99_us = std::numeric_limits<double>::infinity();
   point.sustainable = false;
   const std::string fp =
       ResultCache::fingerprint(tiny_spec(), 0.95, tiny_options().sim);
@@ -200,6 +209,7 @@ TEST(Cache, InfinitePercentileRoundTrips) {
   const auto loaded = cache.load(fp);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(std::isinf(loaded->latency_p95_us));
+  EXPECT_TRUE(std::isinf(loaded->latency_p99_us));
   expect_point_eq(point, *loaded);
 }
 

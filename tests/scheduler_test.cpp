@@ -21,11 +21,15 @@ void expect_point_eq(const SweepPoint& a, const SweepPoint& b) {
   EXPECT_EQ(a.throughput, b.throughput);
   EXPECT_EQ(a.latency_us, b.latency_us);
   EXPECT_EQ(a.latency_p95_us, b.latency_p95_us);
+  EXPECT_EQ(a.latency_p99_us, b.latency_p99_us);
   EXPECT_EQ(a.network_latency_us, b.network_latency_us);
   EXPECT_EQ(a.queueing_us, b.queueing_us);
   EXPECT_EQ(a.sustainable, b.sustainable);
   EXPECT_EQ(a.max_source_queue, b.max_source_queue);
   EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.delivery_fraction, b.delivery_fraction);
+  EXPECT_EQ(a.terminated_messages, b.terminated_messages);
+  EXPECT_EQ(a.time_to_drain_us, b.time_to_drain_us);
 }
 
 void expect_series_eq(const std::vector<Series>& a,

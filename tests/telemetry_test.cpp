@@ -622,12 +622,17 @@ TEST(ResultsJson, FigureRoundTripsThroughText) {
   point.throughput = 0.375;
   point.latency_us = 12.5;
   point.latency_p95_us = 30.25;
+  point.latency_p99_us = 58.75;
   point.network_latency_us = 8.125;
   point.queueing_us = 4.375;
   point.sustainable = true;
   point.max_source_queue = 9;
   point.delivered_messages = 1234;
+  point.delivery_fraction = 0.875;
+  point.terminated_messages = 42;
+  point.time_to_drain_us = 17.25;
   series.points.push_back(point);
+  series.static_coverage = 0.875;
   point.offered_requested = 0.75;
   point.sustainable = false;
   series.points.push_back(point);
@@ -657,11 +662,16 @@ TEST(ResultsJson, FigureRoundTripsThroughText) {
   EXPECT_DOUBLE_EQ(p0.throughput, 0.375);
   EXPECT_DOUBLE_EQ(p0.latency_us, 12.5);
   EXPECT_DOUBLE_EQ(p0.latency_p95_us, 30.25);
+  EXPECT_DOUBLE_EQ(p0.latency_p99_us, 58.75);
   EXPECT_DOUBLE_EQ(p0.network_latency_us, 8.125);
   EXPECT_DOUBLE_EQ(p0.queueing_us, 4.375);
   EXPECT_TRUE(p0.sustainable);
   EXPECT_EQ(p0.max_source_queue, 9u);
   EXPECT_EQ(p0.delivered_messages, 1234u);
+  EXPECT_DOUBLE_EQ(p0.delivery_fraction, 0.875);
+  EXPECT_EQ(p0.terminated_messages, 42u);
+  EXPECT_DOUBLE_EQ(p0.time_to_drain_us, 17.25);
+  EXPECT_DOUBLE_EQ(back.series[0].static_coverage, 0.875);
   EXPECT_FALSE(back.series[0].points[1].sustainable);
 }
 
@@ -679,6 +689,7 @@ TEST(ResultsJson, OverflowedP95SurvivesRoundTrip) {
   point.offered_requested = 1.5;
   point.latency_us = 900.0;
   point.latency_p95_us = std::numeric_limits<double>::infinity();
+  point.latency_p99_us = std::numeric_limits<double>::infinity();
   point.sustainable = false;
   series.points.push_back(point);
   result.series.push_back(series);
@@ -699,11 +710,14 @@ TEST(ResultsJson, OverflowedP95SurvivesRoundTrip) {
       reparsed.at("series").items().at(0).at("points").items().at(0);
   EXPECT_TRUE(p.at("latency_p95_us").is_null());
   EXPECT_TRUE(p.at("latency_p95_overflow").as_bool());
+  EXPECT_TRUE(p.at("latency_p99_us").is_null());
+  EXPECT_TRUE(p.at("latency_p99_overflow").as_bool());
 
   const experiment::FigureResult back = experiment::figure_from_json(reparsed);
   ASSERT_EQ(back.series.size(), 1u);
   ASSERT_EQ(back.series[0].points.size(), 1u);
   EXPECT_TRUE(std::isinf(back.series[0].points[0].latency_p95_us));
+  EXPECT_TRUE(std::isinf(back.series[0].points[0].latency_p99_us));
 }
 
 TEST(ResultsJson, WriteFigureJsonCreatesFile) {

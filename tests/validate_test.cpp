@@ -52,6 +52,13 @@ struct EngineTestPeer {
   static std::uint64_t epoch(const Engine& e) { return e.epoch_; }
   static std::uint64_t cycle(const Engine& e) { return e.cycle_; }
   static FlowControlState& fc(Engine& e) { return e.fc_; }
+  static util::DenseBitset& channel_faulty(Engine& e) {
+    return e.channel_faulty_;
+  }
+  static bool& fault_any(Engine& e) { return e.fault_any_; }
+  static std::vector<topology::LaneId>& switch_input_lanes(Engine& e) {
+    return e.switch_input_lanes_;
+  }
   static EngineValidator& validator(Engine& e) { return *e.validator_; }
 };
 
@@ -141,6 +148,19 @@ class EngineCorruption : public ::testing::Test {
       if (route[lane] != kInvalidId) return lane;
     }
     return kInvalidId;
+  }
+
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  /// Position in switch_input_lanes_ of the first unrouted header
+  /// (kNoPos when none).
+  std::size_t header_pos() {
+    const auto& bits = EngineTestPeer::header_bits(engine_);
+    const auto& lanes = EngineTestPeer::switch_input_lanes(engine_);
+    for (std::size_t pos = 0; pos < lanes.size(); ++pos) {
+      if (bits.test(pos)) return pos;
+    }
+    return kNoPos;
   }
 
   Network net_;
@@ -425,6 +445,60 @@ TEST_F(EngineCorruption, PhantomStarvationIntervalCaught) {
         EngineTestPeer::validator(engine_).check_cycle_end();
       },
       "invariant 'starvation-accounting'.*can accept a flit");
+}
+
+TEST_F(EngineCorruption, FlitsOnDeadChannelTripFaultQuiescence) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        // Declare the channel under the worm's buffered flit dead without
+        // draining it — leaked kill state the quiescence sweep must catch.
+        const LaneId lane = buffered_lane();
+        EngineTestPeer::channel_faulty(engine_).set(net_.lane(lane).channel);
+        EngineTestPeer::fault_any(engine_) = true;
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'fault-quiescence'.*still buffers");
+}
+
+TEST_F(EngineCorruption, TerminatedButBufferedTripsFaultTermination) {
+  step_until([&] { return buffered_lane() != kInvalidId; });
+  EXPECT_DEATH(
+      {
+        // Stamp the in-flight worm terminated while its flits stay
+        // buffered — a kill that forgot the truncate-and-drain half.
+        EngineTestPeer::packets(engine_)[pid_].terminate_cycle = 1;
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'fault-termination'.*still buffered");
+}
+
+TEST_F(EngineCorruption, StarvedHeaderTripsFaultRoutability) {
+  step_until([&] { return header_pos() != kNoPos; });
+  EXPECT_DEATH(
+      {
+        // Kill every legal candidate ahead of an unrouted header but leave
+        // the header parked.  The first sweep only flags the starved
+        // (lane, packet) pair; the second must fail — serve() is required
+        // to terminate fault-starved worms, never stall them.
+        const std::size_t pos = header_pos();
+        const LaneId lane = EngineTestPeer::switch_input_lanes(engine_)[pos];
+        const PacketState& pkt = EngineTestPeer::packets(
+            engine_)[EngineTestPeer::buf_packet(engine_)[lane]];
+        routing::RouteQuery query;
+        query.src = pkt.src;
+        query.dst = pkt.dst;
+        query.turn_stage = pkt.turn_stage;
+        routing::CandidateList candidates;
+        router_->candidates(query, lane, candidates);
+        for (const LaneId c : candidates) {
+          EngineTestPeer::channel_faulty(engine_).set(net_.lane(c).channel);
+        }
+        EngineTestPeer::fault_any(engine_) = true;
+        EngineTestPeer::validator(engine_).check_cycle_end();
+        EngineTestPeer::validator(engine_).check_cycle_end();
+      },
+      "invariant 'fault-routability'.*two sweeps");
 }
 
 TEST(OnOffCorruption, StuckStopBitTripsLiveness) {
