@@ -12,14 +12,13 @@
 // telemetry::ResultWriter.
 #include <benchmark/benchmark.h>
 
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
@@ -36,6 +35,7 @@
 #include "topology/net_view.hpp"
 #include "topology/network.hpp"
 #include "traffic/workload.hpp"
+#include "util/resource.hpp"
 
 namespace {
 
@@ -314,7 +314,8 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
                   double* on_cps, double* overhead_pct,
                   double* validate_cps, double* validate_slowdown_x,
                   double* trace_cps, double* trace_slowdown_x,
-                  double* fault_cps, double* fault_overhead_x) {
+                  double* fault_cps, double* fault_overhead_x,
+                  double* heartbeat_cps, double* heartbeat_slowdown_x) {
   const topology::Network net =
       topology::build_network(config_for(kind, vcs));
   const auto router = routing::make_router(net);
@@ -342,12 +343,25 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   fault_config.fault_seed = 1;
   fault_config.fault_at_cycle = 64;
   sim::Engine fault_engine(net, *router, &traffic, fault_config);
+  // Streaming heartbeats on at the documented default cadence (DESIGN.md
+  // §15): NDJSON snapshot + atomic status rewrite every 1000 cycles into
+  // a scratch directory.  The acceptance budget is <= 1.05x slowdown.
+  sim::SimConfig heartbeat_config =
+      engine_config(false, buffer_depth, credit_delay);
+  heartbeat_config.telemetry.heartbeat_cycles = 1'000;
+  heartbeat_config.telemetry.heartbeat_dir =
+      (std::filesystem::temp_directory_path() / "wormsim_bench_heartbeat")
+          .string();
+  heartbeat_config.telemetry.heartbeat_tag =
+      std::string("bench_") + topology::to_string(kind);
+  sim::Engine heartbeat_engine(net, *router, &traffic, heartbeat_config);
   for (std::uint64_t i = 0; i < cycles / 10; ++i) {
     off_engine.step();
     on_engine.step();
     validate_engine.step();
     trace_engine.step();
     fault_engine.step();
+    heartbeat_engine.step();
   }
   // Many short alternating slices: CPU-noise bursts outlast one slice,
   // so the best-slice rate per variant reflects the same quiet-machine
@@ -358,25 +372,30 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   *validate_cps = 0.0;
   *trace_cps = 0.0;
   *fault_cps = 0.0;
+  *heartbeat_cps = 0.0;
   std::vector<double> tel_ratios;
   std::vector<double> val_ratios;
   std::vector<double> trace_ratios;
   std::vector<double> fault_ratios;
+  std::vector<double> hb_ratios;
   for (int rep = 0; rep < 30; ++rep) {
     const double off = time_steps(off_engine, slice);
     const double on = time_steps(on_engine, slice);
     const double val = time_steps(validate_engine, slice);
     const double trace = time_steps(trace_engine, slice);
     const double fault = time_steps(fault_engine, slice);
+    const double hb = time_steps(heartbeat_engine, slice);
     *off_cps = std::max(*off_cps, off);
     *on_cps = std::max(*on_cps, on);
     *validate_cps = std::max(*validate_cps, val);
     *trace_cps = std::max(*trace_cps, trace);
     *fault_cps = std::max(*fault_cps, fault);
+    *heartbeat_cps = std::max(*heartbeat_cps, hb);
     if (off > 0.0 && on > 0.0) tel_ratios.push_back(on / off);
     if (off > 0.0 && val > 0.0) val_ratios.push_back(val / off);
     if (off > 0.0 && trace > 0.0) trace_ratios.push_back(trace / off);
     if (off > 0.0 && fault > 0.0) fault_ratios.push_back(fault / off);
+    if (off > 0.0 && hb > 0.0) hb_ratios.push_back(hb / off);
   }
   *overhead_pct = (1.0 - median_of(tel_ratios)) * 100.0;
   // Slowdown factor of WORMSIM_VALIDATE=1, same paired-median estimate;
@@ -394,6 +413,10 @@ void measure_pair(topology::NetworkKind kind, std::uint64_t cycles,
   // zero-fault hot path (which the golden digests pin instead).
   const double fault_ratio = median_of(fault_ratios);
   *fault_overhead_x = fault_ratio > 0.0 ? 1.0 / fault_ratio : 0.0;
+  // Slowdown factor of streaming heartbeats (WORMSIM_HEARTBEAT=1000),
+  // same paired-median estimate; the acceptance budget is <= 1.05x.
+  const double hb_ratio = median_of(hb_ratios);
+  *heartbeat_slowdown_x = hb_ratio > 0.0 ? 1.0 / hb_ratio : 0.0;
 }
 
 /// One workload configuration the JSON entry records.
@@ -474,6 +497,24 @@ telemetry::JsonValue measure_large_n(std::uint64_t cycles) {
     scaling.push_back(std::move(point));
   }
   large_n.set("thread_scaling", std::move(scaling));
+  // Phase-profiler sanity on the same config: run a profiled simulation
+  // end to end and record how much of the engine's wall time the ten
+  // phase buckets account for.  The acceptance floor is 0.95.
+  {
+    const topology::Network net = topology::build_network(large_n_config());
+    const auto router = routing::make_router(net);
+    traffic::WorkloadSpec workload;
+    workload.offered = 0.5;
+    traffic::StandardTraffic traffic(net, workload);
+    sim::SimConfig config;
+    config.warmup_cycles = 0;
+    config.measure_cycles = std::max<std::uint64_t>(cycles, 200);
+    config.drain_cycles = 0;
+    config.telemetry.profile = true;
+    sim::Engine engine(net, *router, &traffic, config);
+    const sim::SimResult result = engine.run();
+    large_n.set("profile_coverage", result.phase_profile.coverage());
+  }
   return large_n;
 }
 
@@ -542,13 +583,10 @@ telemetry::JsonValue measure_large_n_implicit(bool quick) {
                 ? static_cast<double>(sim_config.total_cycles()) / seconds
                 : 0.0);
   entry.set("accepted_fraction", result.throughput_fraction());
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  // Linux ru_maxrss is in KiB; the small-net benchmarks before this
-  // point stay two orders of magnitude below the 2M-node engine, so the
-  // process high-water mark is this run's footprint.
-  entry.set("peak_rss_mb",
-            static_cast<double>(usage.ru_maxrss) / 1024.0);
+  // Process high-water mark: the small-net benchmarks before this point
+  // stay two orders of magnitude below the 2M-node engine, so the peak
+  // is this run's footprint.
+  entry.set("peak_rss_mb", util::peak_rss_mib());
   return entry;
 }
 
@@ -565,9 +603,9 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
   manifest.title = "engine cycle throughput trajectory (cycles/sec)";
   manifest.seed = 1;  // SimConfig default; the workload is what matters
   manifest.quick = quick;
-  // Five engine variants (off / telemetry / validate / trace / faulted)
-  // step in lockstep through warmup plus 30 measured slices.
-  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 5;
+  // Six engine variants (off / telemetry / validate / trace / faulted /
+  // heartbeat) step in lockstep through warmup plus 30 measured slices.
+  manifest.simulated_cycles = cycles * std::size(kJsonConfigs) * 6;
 
   const auto wall_start = std::chrono::steady_clock::now();
   telemetry::JsonValue kinds = telemetry::JsonValue::array();
@@ -583,10 +621,12 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     double trace_slowdown = 0.0;
     double fault = 0.0;
     double fault_overhead = 0.0;
+    double heartbeat = 0.0;
+    double heartbeat_slowdown = 0.0;
     measure_pair(jc.kind, cycles, jc.load, jc.vcs, jc.buffer_depth,
                  jc.credit_delay, &off, &on, &overhead, &validate,
                  &validate_slowdown, &trace, &trace_slowdown, &fault,
-                 &fault_overhead);
+                 &fault_overhead, &heartbeat, &heartbeat_slowdown);
     if (jc.in_geomean && off > 0.0) {
       geomean_log_sum += std::log(off);
       ++geomean_count;
@@ -609,6 +649,8 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
     entry.set("trace_on_slowdown_x", trace_slowdown);
     entry.set("cycles_per_second_fault_on", fault);
     entry.set("fault_check_overhead_x", fault_overhead);
+    entry.set("cycles_per_second_heartbeat_on", heartbeat);
+    entry.set("heartbeat_on_slowdown_x", heartbeat_slowdown);
     kinds.push_back(std::move(entry));
   }
   manifest.wall_seconds =
@@ -617,7 +659,7 @@ void write_engine_baseline(const std::string& dir, std::uint64_t cycles,
           .count();
 
   telemetry::JsonValue trajectory_entry = telemetry::JsonValue::object();
-  trajectory_entry.set("label", "runtime fault injection subsystem");
+  trajectory_entry.set("label", "streaming observability layer");
   trajectory_entry.set(
       "geomean_cycles_per_second_telemetry_off",
       geomean_count > 0 ? std::exp(geomean_log_sum / geomean_count) : 0.0);

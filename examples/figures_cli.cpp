@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
   double fault_fraction = -1.0;
   std::int64_t fault_seed = -1;
   std::int64_t fault_at_cycle = -1;
+  std::int64_t heartbeat_cycles = 0;
+  std::string heartbeat_dir;
+  bool profile = false;
   util::CliParser cli("figures_cli: run a paper figure reproduction");
   cli.add_flag("figure", &figure, "figure id (see --list)");
   cli.add_flag("list", &list, "list registered figure ids");
@@ -96,6 +99,19 @@ int main(int argc, char** argv) {
   cli.add_flag("fault-at-cycle", &fault_at_cycle,
                "cycle the fault plan lands (-1 = WORMSIM_FAULT_AT_CYCLE "
                "env or 0)");
+  cli.add_flag("heartbeat-cycles", &heartbeat_cycles,
+               "append an NDJSON heartbeat snapshot every N simulated "
+               "cycles (DESIGN.md §15; 0 = WORMSIM_HEARTBEAT env or off); "
+               "results stay bitwise identical either way");
+  cli.add_flag("heartbeat-dir", &heartbeat_dir,
+               "heartbeat stream root; each figure writes "
+               "<dir>/<id>/<point>.ndjson + .status.json (default "
+               "WORMSIM_HEARTBEAT_DIR env or .); watch live with "
+               "telemetry_report --watch <dir>");
+  cli.add_flag("profile", &profile,
+               "attribute engine wall time to advance/routing/... phase "
+               "buckets in the JSON manifest (default WORMSIM_PROFILE "
+               "env; diagnostics only)");
   switch (cli.parse(argc, argv)) {
     case util::CliParser::Status::kHelp: return 0;
     case util::CliParser::Status::kError: return 1;
@@ -141,6 +157,11 @@ int main(int argc, char** argv) {
   if (fault_at_cycle >= 0) {
     options.fault_at_cycle = static_cast<std::uint64_t>(fault_at_cycle);
   }
+  if (heartbeat_cycles > 0) {
+    options.heartbeat_cycles = static_cast<std::uint64_t>(heartbeat_cycles);
+  }
+  if (!heartbeat_dir.empty()) options.heartbeat_dir = heartbeat_dir;
+  options.profile = options.profile || profile;
 
   unsigned shard_index = 0;
   unsigned shard_count = 1;

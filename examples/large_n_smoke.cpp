@@ -25,8 +25,6 @@
 //                      [--rss-budget-mb=6144]
 //                      [--min-accept-ratio=0.3] [--max-accept-ratio=1.1]
 
-#include <sys/resource.h>
-
 #include <cstdint>
 #include <cstdio>
 #include <limits>
@@ -39,17 +37,7 @@
 #include "topology/net_view.hpp"
 #include "traffic/workload.hpp"
 #include "util/cli.hpp"
-
-namespace {
-
-double peak_rss_mb() {
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-  // Linux reports ru_maxrss in kilobytes.
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
-
-}  // namespace
+#include "util/resource.hpp"
 
 int main(int argc, char** argv) {
   using namespace wormsim;
@@ -142,7 +130,7 @@ int main(int argc, char** argv) {
   const double analytical = analysis::unbuffered_delta_acceptance(
       net_config.radix, net_config.stages, load);
   const double ratio = analytical > 0.0 ? accepted / analytical : 0.0;
-  const double rss = peak_rss_mb();
+  const double rss = util::peak_rss_mib();
 
   std::printf("accepted throughput %.4f of capacity\n", accepted);
   std::printf("analytical unbuffered acceptance %.4f (ratio %.3f)\n",

@@ -17,8 +17,10 @@
 #include "sim/fault_injection/plan.hpp"
 #include "topology/network.hpp"
 
+#include "telemetry/run_monitor.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/resource.hpp"
 #include "util/table.hpp"
 
 namespace wormsim::experiment {
@@ -49,6 +51,9 @@ sim::SimConfig RunOptions::sim_config() const {
   config.fault_fraction = fault_fraction;
   config.fault_seed = fault_seed;
   config.fault_at_cycle = fault_at_cycle;
+  config.telemetry.heartbeat_cycles = heartbeat_cycles;
+  config.telemetry.heartbeat_dir = heartbeat_dir;
+  config.telemetry.profile = profile;
   return config;
 }
 
@@ -106,6 +111,15 @@ RunOptions RunOptions::from_env() {
       util::env_u64_or("WORMSIM_FAULT_SEED", options.fault_seed);
   options.fault_at_cycle =
       util::env_u64_or("WORMSIM_FAULT_AT_CYCLE", options.fault_at_cycle);
+  // The engines re-read these themselves (telemetry/run_monitor.hpp);
+  // resolving here too makes the knobs visible to run_figure for the
+  // per-figure heartbeat subdirectory and the manifest.
+  options.heartbeat_cycles =
+      util::env_u64_or("WORMSIM_HEARTBEAT", options.heartbeat_cycles);
+  if (const char* dir = std::getenv("WORMSIM_HEARTBEAT_DIR")) {
+    if (dir[0] != '\0') options.heartbeat_dir = dir;
+  }
+  if (telemetry::profile_enabled_from_env()) options.profile = true;
   return options;
 }
 
@@ -761,8 +775,15 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
   PoolOptions pool;
   pool.threads = options.threads;
   pool.cache = cache ? &*cache : nullptr;
-  result.series = run_series_pool(def.series, options.sweep_options(), pool,
-                                  &result.pool_stats);
+  SweepOptions sweep = options.sweep_options();
+  if (telemetry::heartbeat_cycles_from_env(sweep.sim.telemetry) > 0) {
+    // One subdirectory per figure so concurrent figures (and the shard
+    // runner) never interleave streams; run_point tags each point inside.
+    std::string base = telemetry::heartbeat_dir_from_env(sweep.sim.telemetry);
+    if (base.empty()) base = ".";
+    sweep.sim.telemetry.heartbeat_dir = base + "/" + id;
+  }
+  result.series = run_series_pool(def.series, sweep, pool, &result.pool_stats);
   // Static-coverage cross-check for fault-injected series: rebuild the
   // exact fault plan the engines applied (deterministic in the network,
   // fraction, and fault seed — DESIGN.md §14) and compute the fraction of
@@ -818,6 +839,8 @@ FigureResult run_figure(const std::string& id, const RunOptions& options) {
     manifest.engine_threads = pool_stats.engine_threads;
     manifest.engine_domain_busy_seconds =
         pool_stats.engine_domain_busy_seconds;
+    manifest.peak_rss_mib = util::peak_rss_mib();
+    manifest.profile = pool_stats.engine_profile;
     manifest.cache_used = result.cache_used;
     manifest.cache_hits = result.cache_stats.hits;
     manifest.cache_misses = result.cache_stats.misses;

@@ -61,6 +61,20 @@ struct RunOptions {
   std::uint64_t fault_seed = 1;
   std::uint64_t fault_at_cycle = 0;
 
+  /// Streaming observability (DESIGN.md §15).  heartbeat_cycles > 0 makes
+  /// every simulated point append NDJSON heartbeat snapshots to
+  /// `<heartbeat_dir>/<figure_id>/<point tag>.ndjson` plus an atomically
+  /// rewritten `.status.json` beside it; `telemetry_report --watch` renders
+  /// the directory live.  0 (the default) is the exact heartbeat-free fast
+  /// path, and heartbeats never feed back into results (golden digests are
+  /// bitwise unchanged either way).
+  std::uint64_t heartbeat_cycles = 0;
+  std::string heartbeat_dir;
+  /// Attribute engine wall time to per-phase buckets (telemetry/
+  /// profiler.hpp); surfaces as the manifest's "profile" object and in
+  /// `telemetry_report --profile`.  Diagnostics only — never in results.
+  bool profile = false;
+
   /// Simulation phases sized for stable means (quick mode shrinks them).
   sim::SimConfig sim_config() const;
   std::vector<double> loads() const;
@@ -71,7 +85,9 @@ struct RunOptions {
   /// WORMSIM_BUFFER_DEPTH=<flits>, WORMSIM_FLOW_CONTROL=<scheme>,
   /// WORMSIM_CREDIT_DELAY=<cycles>, WORMSIM_ENGINE_THREADS=<n>,
   /// WORMSIM_IMPLICIT_TOPOLOGY=1, WORMSIM_FAULT_FRACTION=<f>,
-  /// WORMSIM_FAULT_SEED=<n>, and WORMSIM_FAULT_AT_CYCLE=<n>.
+  /// WORMSIM_FAULT_SEED=<n>, WORMSIM_FAULT_AT_CYCLE=<n>,
+  /// WORMSIM_HEARTBEAT=<cycles>, WORMSIM_HEARTBEAT_DIR=<dir>, and
+  /// WORMSIM_PROFILE=1.
   static RunOptions from_env();
 };
 

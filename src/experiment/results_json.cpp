@@ -34,6 +34,15 @@ JsonValue sweep_point_to_json(const SweepPoint& point) {
   p.set("delivery_fraction", point.delivery_fraction);
   p.set("terminated_messages", point.terminated_messages);
   p.set("time_to_drain_us", point.time_to_drain_us);
+  // Onset verdicts only exist when the point ran with heartbeats on
+  // (DESIGN.md §15); emitted conditionally so heartbeat-free results —
+  // including every committed figure — are byte-identical to before.
+  if (point.saturation_onset_cycle != telemetry::kNoOnset) {
+    p.set("saturation_onset_cycle", point.saturation_onset_cycle);
+  }
+  if (point.fault_onset_cycle != telemetry::kNoOnset) {
+    p.set("fault_onset_cycle", point.fault_onset_cycle);
+  }
   return p;
 }
 
@@ -68,6 +77,12 @@ SweepPoint sweep_point_from_json(const JsonValue& p) {
   }
   if (const JsonValue* v = p.find("time_to_drain_us")) {
     point.time_to_drain_us = v->as_number();
+  }
+  if (const JsonValue* v = p.find("saturation_onset_cycle")) {
+    point.saturation_onset_cycle = v->as_uint();
+  }
+  if (const JsonValue* v = p.find("fault_onset_cycle")) {
+    point.fault_onset_cycle = v->as_uint();
   }
   return point;
 }

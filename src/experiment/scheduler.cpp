@@ -90,6 +90,7 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
   std::mutex engine_stats_mutex;
   unsigned engine_threads_used = 1;
   std::vector<double> engine_domain_busy;
+  telemetry::PhaseProfile engine_profile;
 
   // Distribute series round-robin; each worker's deque holds its series'
   // points in (series, load) order, so a lone worker replays the exact
@@ -170,6 +171,10 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
             engine_domain_busy[d] += full.engine_domain_busy_seconds[d];
           }
         }
+        if (full.phase_profile.enabled) {
+          std::lock_guard<std::mutex> lock(engine_stats_mutex);
+          engine_profile.merge(full.phase_profile);
+        }
         if (pool.cache != nullptr) pool.cache->store(key, *point);
       }
       record(*item, std::move(*point));
@@ -224,6 +229,7 @@ std::vector<Series> run_series_pool(const std::vector<SeriesSpec>& specs,
         std::chrono::duration<double>(pool_end - pool_start).count();
     stats->engine_threads = engine_threads_used;
     stats->engine_domain_busy_seconds = std::move(engine_domain_busy);
+    stats->engine_profile = engine_profile;
   }
   return results;
 }

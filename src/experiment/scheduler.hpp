@@ -66,6 +66,10 @@ struct PoolStats {
   /// time in the parallel decide phase; empty when every point ran
   /// sequentially.
   std::vector<double> engine_domain_busy_seconds;
+  /// Summed engine phase attribution over computed points
+  /// (telemetry/profiler.hpp); enabled only when the sweep ran with
+  /// SimConfig::telemetry.profile or WORMSIM_PROFILE=1.
+  telemetry::PhaseProfile engine_profile;
 };
 
 /// Runs every series of `specs` over the pool; returns one Series per

@@ -1,6 +1,8 @@
 #include "experiment/sweep.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
 #include "routing/router.hpp"
 #include "sim/engine.hpp"
@@ -10,6 +12,29 @@
 
 namespace wormsim::experiment {
 
+namespace {
+
+/// Filesystem-safe stream tag for one (series, load) point:
+/// non-alphanumerics collapse to '_' and the load's decimal point
+/// becomes 'p' ("VMIN l=2", 0.52 -> "VMIN_l_2_load0p52").
+std::string heartbeat_tag_for(const std::string& label, double load) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", load);
+  std::string tag = label + "_load" + buffer;
+  for (char& c : tag) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    if (c == '.') {
+      c = 'p';
+    } else if (!keep) {
+      c = '_';
+    }
+  }
+  return tag;
+}
+
+}  // namespace
+
 SweepPoint run_point(const SeriesSpec& spec, double load,
                      const sim::SimConfig& base_sim_config,
                      sim::SimResult* full_result) {
@@ -18,6 +43,14 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
   // whatever SweepOptions::sim carries.
   sim::SimConfig sim_config = base_sim_config;
   if (spec.tweak_sim) spec.tweak_sim(sim_config);
+  // Every point of a sweep streams into its own heartbeat file: derive a
+  // per-point tag unless the caller pinned one (standalone runs).  The
+  // env overrides are folded in here so WORMSIM_HEARTBEAT alone cannot
+  // make concurrent pool workers collide on one "run" tag.
+  if (telemetry::heartbeat_cycles_from_env(sim_config.telemetry) > 0 &&
+      sim_config.telemetry.heartbeat_tag.empty()) {
+    sim_config.telemetry.heartbeat_tag = heartbeat_tag_for(spec.label, load);
+  }
   // Backend selection: the implicit backend computes topology records on
   // the fly (O(stages) state) and is bitwise identical to the
   // materialized graph; networks it cannot express (random
@@ -90,6 +123,8 @@ SweepPoint run_point(const SeriesSpec& spec, double load,
   point.terminated_messages = result.terminated_messages;
   point.time_to_drain_us = static_cast<double>(result.time_to_drain_cycles) /
                            result.flits_per_microsecond;
+  point.saturation_onset_cycle = result.saturation_onset_cycle;
+  point.fault_onset_cycle = result.fault_onset_cycle;
   if (full_result != nullptr) *full_result = std::move(result);
   return point;
 }

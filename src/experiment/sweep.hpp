@@ -43,6 +43,13 @@ struct SweepPoint {
   /// Microseconds from measurement end until the network fully drained
   /// (== the configured drain budget when it never emptied).
   double time_to_drain_us = 0.0;
+  /// Onset detector verdicts (DESIGN.md §15): first heartbeat-window
+  /// boundary where acceptance stopped tracking injection while source
+  /// queues grew / where fault terminations first appeared.
+  /// telemetry::kNoOnset when never detected or heartbeats were off; the
+  /// results JSON emits the fields only when detected.
+  std::uint64_t saturation_onset_cycle = telemetry::kNoOnset;
+  std::uint64_t fault_onset_cycle = telemetry::kNoOnset;
 };
 
 struct Series {

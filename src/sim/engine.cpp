@@ -212,6 +212,27 @@ Engine::Engine(const topology::NetView& network,
   if (config_.validate || validate_enabled_from_env()) {
     validator_ = std::make_unique<EngineValidator>(*this);
   }
+  const std::uint64_t heartbeat =
+      telemetry::heartbeat_cycles_from_env(config_.telemetry);
+  if (heartbeat > 0) {
+    telemetry::RunMonitor::RunInfo info;
+    info.dir = telemetry::heartbeat_dir_from_env(config_.telemetry);
+    info.tag = config_.telemetry.heartbeat_tag;
+    info.heartbeat_cycles = heartbeat;
+    info.warmup_cycles = config_.warmup_cycles;
+    info.measure_cycles = config_.measure_cycles;
+    info.drain_cycles = config_.drain_cycles;
+    info.node_count = network_.node_count();
+    info.engine = "wormhole";
+    run_monitor_ = std::make_unique<telemetry::RunMonitor>(std::move(info));
+    monitor_ = run_monitor_.get();
+    hb_interval_ = heartbeat;
+    hb_stage_intervals_ = telemetry::build_stage_lane_intervals(network_);
+  }
+  if (config_.telemetry.profile || telemetry::profile_enabled_from_env()) {
+    profiler_ = std::make_unique<telemetry::PhaseProfiler>();
+    prof_ = profiler_.get();
+  }
 }
 
 Engine::~Engine() = default;
@@ -647,6 +668,9 @@ void Engine::terminate_worm(PacketId pid) {
 void Engine::apply_fault_plan() {
   fault_state_.applied = true;
   fault_any_ = true;
+  if (monitor_ != nullptr) {
+    monitor_->on_fault(cycle_, "kill", fault_state_.plan.channels.size());
+  }
   const std::vector<ChannelId>& channels = fault_state_.plan.channels;
   for (const ChannelId ch : channels) channel_faulty_.set(ch);
   // Victims: every worm resident in, streaming through, or allocated
@@ -683,6 +707,9 @@ void Engine::apply_fault_plan() {
 
 void Engine::repair_fault_plan() {
   fault_state_.repaired = true;
+  if (monitor_ != nullptr) {
+    monitor_->on_fault(cycle_, "repair", fault_state_.plan.channels.size());
+  }
   for (const ChannelId ch : fault_state_.plan.channels) {
     channel_faulty_.clear(ch);
   }
@@ -1059,6 +1086,10 @@ void Engine::advance_pass_sequential() {
 }
 
 void Engine::advance_pass_parallel() {
+  // Profiler attribution: everything before the team run (bitmap scans,
+  // pass bookkeeping) is generic advance work; the team run itself is
+  // phase A, the sequential replay below is phase B.
+  if (prof_ != nullptr) prof_->lap(telemetry::EnginePhase::kAdvance);
   // Phase A: every domain records the transmit decision for each worklist
   // channel in its own channel-id slice, against the immutable pre-pass
   // state (no move has been applied; see DESIGN.md §12 for why each
@@ -1081,6 +1112,7 @@ void Engine::advance_pass_parallel() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
   });
+  if (prof_ != nullptr) prof_->lap(telemetry::EnginePhase::kAdvanceDecide);
   // Phase B: apply the recorded moves sequentially in canonical ascending
   // channel order (domains are id-contiguous and each domain's records are
   // in scan order), merging boundary effects — buffer pops that re-arm an
@@ -1104,6 +1136,7 @@ void Engine::advance_pass_parallel() {
     }
   }
   cur_pass_.swap(next_pass_);
+  if (prof_ != nullptr) prof_->lap(telemetry::EnginePhase::kAdvanceApply);
 }
 
 void Engine::record_sample() {
@@ -1118,29 +1151,69 @@ void Engine::record_sample() {
 }
 
 void Engine::step() {
+  using telemetry::EnginePhase;
   const bool measuring = in_measure_window();
   tel_window_ = measuring ? tel_ : nullptr;
   util_window_ = measuring && config_.record_channel_utilization;
+  if (prof_ != nullptr) prof_->mark();
   if (!fc_.events.empty()) drain_flow_control_events();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kFlowControl);
   if (fault_state_.kill_due(cycle_)) apply_fault_plan();
   if (fault_state_.repair_due(cycle_)) repair_fault_plan();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kFault);
   generate_arrivals();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kArrivals);
   start_transmissions();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kStartTx);
   route_and_allocate();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kRouting);
   advance_flits();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kAdvance);
 
   if (config_.telemetry.sampling &&
       cycle_ % config_.telemetry.sample_interval_cycles == 0) {
     record_sample();
   }
+  // Heartbeat cadence: `cycle_ + 1` cycles are complete once this step
+  // ends, so window boundaries land on exact multiples of the interval.
+  if (monitor_ != nullptr && (cycle_ + 1) % hb_interval_ == 0) {
+    monitor_->on_heartbeat(heartbeat_snapshot(cycle_ + 1));
+  }
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kTelemetry);
 
   if (validator_ != nullptr) validator_->on_cycle_end();
+  if (prof_ != nullptr) prof_->lap(EnginePhase::kValidate);
 
   if (occupied_ > 0 &&
       cycle_ - last_move_cycle_ > config_.deadlock_watchdog_cycles) {
     report_deadlock();
   }
   ++cycle_;
+}
+
+telemetry::HeartbeatSnapshot Engine::heartbeat_snapshot(
+    std::uint64_t cycle) const {
+  telemetry::HeartbeatSnapshot snap;
+  snap.cycle = cycle;
+  snap.messages_created = packets_.size();
+  snap.messages_delivered = result_.delivered_messages_total;
+  snap.messages_terminated = result_.terminated_messages;
+  snap.flits_delivered = delivered_flits_total_;
+  snap.flits_terminated = result_.terminated_flits;
+  snap.flits_in_flight = occupied_;
+  snap.worms_in_flight = worms_in_flight_;
+  snap.queued_messages = queued_messages_;
+  snap.dropped_messages = result_.dropped_messages;
+  snap.faulty_channels = channel_faulty_.count();
+  snap.stage_occupancy.reserve(hb_stage_intervals_.size());
+  for (const auto& intervals : hb_stage_intervals_) {
+    std::uint64_t flits = 0;
+    for (const auto& [begin, end] : intervals) {
+      for (LaneId lane = begin; lane < end; ++lane) flits += fc_.count[lane];
+    }
+    snap.stage_occupancy.push_back(flits);
+  }
+  return snap;
 }
 
 void Engine::report_deadlock() const {
@@ -1195,8 +1268,15 @@ SimResult Engine::run() {
   const std::uint64_t total = config_.total_cycles();
   const std::uint64_t measure_end =
       config_.warmup_cycles + config_.measure_cycles;
+  const auto run_start = std::chrono::steady_clock::now();
   while (cycle_ < total) {
     step();
+  }
+  if (prof_ != nullptr) {
+    profiler_->set_total_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count());
   }
   // Time-to-drain SLO: cycles past the measurement window until every
   // message created before it ended was resolved (delivered or
@@ -1229,6 +1309,14 @@ SimResult Engine::run() {
   result_.telemetry_samples = sampler_.ordered();
   result_.engine_threads_used = engine_threads_;
   result_.engine_domain_busy_seconds = domain_busy_seconds_;
+  if (monitor_ != nullptr) {
+    monitor_->finalize(heartbeat_snapshot(cycle_), result_.drained,
+                       static_cast<double>(result_.time_to_drain_cycles) /
+                           config_.flits_per_microsecond);
+    result_.saturation_onset_cycle = monitor_->saturation_onset_cycle();
+    result_.fault_onset_cycle = monitor_->fault_onset_cycle();
+  }
+  if (prof_ != nullptr) result_.phase_profile = profiler_->profile();
   if (validator_ != nullptr) validator_->check_final(result_);
   return result_;
 }

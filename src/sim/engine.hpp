@@ -172,6 +172,14 @@ class Engine {
   /// or WORMSIM_TRACE=1); also shared into SimResult::worm_trace.
   const telemetry::WormTracer* worm_tracer() const { return wtrace_; }
 
+  /// Non-null when streaming heartbeats are on
+  /// (SimConfig::telemetry.heartbeat_cycles or WORMSIM_HEARTBEAT).
+  const telemetry::RunMonitor* run_monitor() const { return monitor_; }
+
+  /// Non-null when the phase self-profiler is on
+  /// (SimConfig::telemetry.profile or WORMSIM_PROFILE=1).
+  const telemetry::PhaseProfiler* profiler() const { return prof_; }
+
   /// Flow-control introspection for tests: per-lane FIFO occupancy,
   /// credits, stop bits, and the in-flight backpressure calendar.
   const FlowControlState& flow_control() const { return fc_; }
@@ -232,6 +240,9 @@ class Engine {
            cycle_ < config_.warmup_cycles + config_.measure_cycles;
   }
   void record_sample();
+  /// Builds the deterministic heartbeat snapshot for `cycle` completed
+  /// cycles (telemetry/run_monitor.hpp); read-only over engine state.
+  telemetry::HeartbeatSnapshot heartbeat_snapshot(std::uint64_t cycle) const;
   [[noreturn]] void report_deadlock() const;
 
   // ---- Runtime fault injection (src/sim/fault_injection/) -------------
@@ -363,6 +374,21 @@ class Engine {
   // the returned SimResult; wtrace_ is the hot-loop alias.
   std::shared_ptr<telemetry::WormTracer> worm_tracer_;
   telemetry::WormTracer* wtrace_ = nullptr;
+
+  // Streaming heartbeat monitor (telemetry/run_monitor.hpp, DESIGN.md
+  // §15); same null-gated hook pattern.  hb_interval_ caches the cadence
+  // so the per-cycle check is one compare; hb_stage_intervals_ holds the
+  // per-stage lane ranges the occupancy summary scans.
+  std::unique_ptr<telemetry::RunMonitor> run_monitor_;
+  telemetry::RunMonitor* monitor_ = nullptr;
+  std::uint64_t hb_interval_ = 0;
+  std::vector<std::vector<std::pair<topology::LaneId, topology::LaneId>>>
+      hb_stage_intervals_;
+
+  // Phase self-profiler (telemetry/profiler.hpp); one predictable branch
+  // per phase boundary when off.
+  std::unique_ptr<telemetry::PhaseProfiler> profiler_;
+  telemetry::PhaseProfiler* prof_ = nullptr;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t last_move_cycle_ = 0;

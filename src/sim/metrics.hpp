@@ -7,6 +7,8 @@
 
 #include "sim/config.hpp"
 #include "telemetry/counters.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/run_monitor.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/stats.hpp"
 
@@ -74,6 +76,20 @@ struct SimResult {
   /// width.
   std::uint32_t engine_threads_used = 1;
   std::vector<double> engine_domain_busy_seconds;
+
+  /// Onset detector verdicts from the heartbeat monitor (DESIGN.md §15):
+  /// first heartbeat-window boundary where acceptance stopped tracking
+  /// injection while source queues grew, and where fault terminations
+  /// first appeared.  telemetry::kNoOnset when never detected or
+  /// heartbeats were off.  Diagnostics like the fields above — never
+  /// part of the golden digests.
+  std::uint64_t saturation_onset_cycle = telemetry::kNoOnset;
+  std::uint64_t fault_onset_cycle = telemetry::kNoOnset;
+
+  /// Wall-time attribution of the run loop to its phases (enabled=false
+  /// unless SimConfig::telemetry.profile or WORMSIM_PROFILE=1).  Same
+  /// diagnostics-only contract.
+  telemetry::PhaseProfile phase_profile;
 
   /// Accepted throughput as a fraction of the theoretical maximum of one
   /// flit per node per cycle (the one-port ejection bound).

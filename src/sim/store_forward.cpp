@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "sim/fault_injection/plan.hpp"
 #include "sim/validate.hpp"
@@ -69,6 +70,24 @@ StoreForwardEngine::StoreForwardEngine(const topology::NetView& network,
         network_.lane_count(), network_.channel_count());
     wtrace_ = worm_tracer_.get();
     result_.worm_trace = worm_tracer_;
+  }
+  const std::uint64_t heartbeat =
+      telemetry::heartbeat_cycles_from_env(config_.telemetry);
+  if (heartbeat > 0) {
+    telemetry::RunMonitor::RunInfo info;
+    info.dir = telemetry::heartbeat_dir_from_env(config_.telemetry);
+    info.tag = config_.telemetry.heartbeat_tag;
+    info.heartbeat_cycles = heartbeat;
+    info.warmup_cycles = config_.warmup_cycles;
+    info.measure_cycles = config_.measure_cycles;
+    info.drain_cycles = config_.drain_cycles;
+    info.node_count = network_.node_count();
+    info.engine = "store_forward";
+    run_monitor_ = std::make_unique<telemetry::RunMonitor>(std::move(info));
+    monitor_ = run_monitor_.get();
+    hb_interval_ = heartbeat;
+    hb_next_ = heartbeat;
+    hb_stage_intervals_ = telemetry::build_stage_lane_intervals(network_);
   }
 }
 
@@ -245,6 +264,7 @@ void StoreForwardEngine::deliver(PacketId pkt_id) {
   pkt.deliver_cycle = now_;
   if (wtrace_ != nullptr) wtrace_->on_sf_delivered(pkt_id, now_);
   ++result_.delivered_messages_total;
+  delivered_flits_total_ += pkt.length;
   if (in_measure_window()) {
     result_.delivered_flits_in_window += pkt.length;
   }
@@ -325,6 +345,9 @@ void StoreForwardEngine::terminate_packet(PacketId pkt_id) {
 void StoreForwardEngine::apply_fault_plan() {
   fault_state_.applied = true;
   fault_any_ = true;
+  if (monitor_ != nullptr) {
+    monitor_->on_fault(now_, "kill", fault_state_.plan.channels.size());
+  }
   for (const ChannelId ch_id : fault_state_.plan.channels) {
     channel_faulty_[ch_id] = 1;
     const PhysChannel ch = network_.channel(ch_id);
@@ -349,15 +372,59 @@ void StoreForwardEngine::apply_fault_plan() {
 
 void StoreForwardEngine::repair_fault_plan() {
   fault_state_.repaired = true;
+  if (monitor_ != nullptr) {
+    monitor_->on_fault(now_, "repair", fault_state_.plan.channels.size());
+  }
   for (const ChannelId ch_id : fault_state_.plan.channels) {
     channel_faulty_[ch_id] = 0;
     mark_channel_users(ch_id);  // blocked senders may route again
   }
 }
 
+telemetry::HeartbeatSnapshot StoreForwardEngine::heartbeat_snapshot(
+    std::uint64_t cycle) const {
+  telemetry::HeartbeatSnapshot snap;
+  snap.cycle = cycle;
+  snap.messages_created = packets_.size();
+  snap.messages_delivered = result_.delivered_messages_total;
+  snap.messages_terminated = result_.terminated_messages;
+  snap.flits_delivered = delivered_flits_total_;
+  snap.flits_terminated = result_.terminated_flits;
+  // Packet granularity: "worms in flight" are the active channel
+  // transfers, and the occupancy summary counts whole buffered packets.
+  snap.flits_in_flight = in_flight_;
+  snap.worms_in_flight = in_flight_;
+  snap.queued_messages = static_cast<std::uint64_t>(queued_packets_);
+  snap.dropped_messages = result_.dropped_messages;
+  std::uint64_t faulty = 0;
+  for (const std::uint8_t dead : channel_faulty_) faulty += dead;
+  snap.faulty_channels = faulty;
+  snap.stage_occupancy.reserve(hb_stage_intervals_.size());
+  for (const auto& intervals : hb_stage_intervals_) {
+    std::uint64_t packets = 0;
+    for (const auto& [begin, end] : intervals) {
+      for (LaneId lane = begin; lane < end; ++lane) {
+        packets += lanes_[lane].queue.size();
+      }
+    }
+    snap.stage_occupancy.push_back(packets);
+  }
+  return snap;
+}
+
+void StoreForwardEngine::maybe_heartbeat() {
+  if (now_ < hb_next_) return;
+  // Emit one line at the latest crossed boundary: the event-driven clock
+  // jumps, so windows no event landed in are merged into it.
+  const std::uint64_t boundary = now_ - (now_ % hb_interval_);
+  monitor_->on_heartbeat(heartbeat_snapshot(boundary));
+  hb_next_ = boundary + hb_interval_;
+}
+
 void StoreForwardEngine::process(const Event& event) {
   WORMSIM_DCHECK(event.time >= now_);
   now_ = event.time;
+  if (monitor_ != nullptr) maybe_heartbeat();
   if (fault_state_.kill_due(now_)) apply_fault_plan();
   if (fault_state_.repair_due(now_)) repair_fault_plan();
   while (!free_calendar_.empty() && free_calendar_.top().first <= now_) {
@@ -457,6 +524,13 @@ SimResult StoreForwardEngine::run() {
       all_resolved
           ? (last_resolved > measure_end ? last_resolved - measure_end : 0)
           : config_.drain_cycles;
+  if (monitor_ != nullptr) {
+    monitor_->finalize(heartbeat_snapshot(total), result_.drained,
+                       static_cast<double>(result_.time_to_drain_cycles) /
+                           config_.flits_per_microsecond);
+    result_.saturation_onset_cycle = monitor_->saturation_onset_cycle();
+    result_.fault_onset_cycle = monitor_->fault_onset_cycle();
+  }
   if (validator_ != nullptr) validator_->check_final(result_);
   return result_;
 }

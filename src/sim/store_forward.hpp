@@ -66,8 +66,11 @@ struct StoreForwardConfig {
   std::uint64_t fault_seed = 1;
   std::uint64_t fault_at_cycle = 0;
   std::uint64_t fault_repair_cycle = kNoCycle;
-  /// Only `worm_trace` is honored here (the counter/sampling hooks are a
-  /// wormhole-engine feature); also enabled by WORMSIM_TRACE=1.
+  /// `worm_trace` (WORMSIM_TRACE=1) and the heartbeat knobs
+  /// (`heartbeat_cycles` / WORMSIM_HEARTBEAT, `heartbeat_dir`,
+  /// `heartbeat_tag`) are honored here; the counter/sampling hooks and
+  /// the phase profiler are wormhole-engine features (the event-driven
+  /// reference has no per-cycle phase structure to attribute).
   telemetry::TelemetryConfig telemetry;
   /// Accepted for experiment-config symmetry with SimConfig and ignored:
   /// the event-driven reference engine is inherently sequential.  Sweeps
@@ -101,6 +104,12 @@ class StoreForwardEngine {
   /// Non-null when per-packet tracing is on (telemetry.worm_trace or
   /// WORMSIM_TRACE=1); also shared into SimResult::worm_trace.
   const telemetry::WormTracer* worm_tracer() const { return wtrace_; }
+
+  /// Non-null when streaming heartbeats are on (telemetry.heartbeat_cycles
+  /// or WORMSIM_HEARTBEAT).  The event-driven engine emits at the latest
+  /// crossed cadence boundary before each event, merging windows no event
+  /// landed in.
+  const telemetry::RunMonitor* run_monitor() const { return monitor_; }
 
   /// Replaces the fault plan before any event has been processed
   /// (tests / callers that need an exact channel set rather than a
@@ -191,6 +200,12 @@ class StoreForwardEngine {
   void repair_fault_plan();
   bool lane_has_space(topology::LaneId lane) const;
   bool idle() const;
+  /// Deterministic heartbeat snapshot at cadence boundary `cycle`
+  /// (packet-granular counters; stage occupancy counts buffered packets).
+  telemetry::HeartbeatSnapshot heartbeat_snapshot(std::uint64_t cycle) const;
+  /// Emits heartbeats for every cadence boundary now_ has crossed since
+  /// the last emission (merged into one line at the latest boundary).
+  void maybe_heartbeat();
 
   const topology::NetView network_;
   const routing::Router& router_;
@@ -242,6 +257,18 @@ class StoreForwardEngine {
   // like the wormhole engine's hooks.
   std::shared_ptr<telemetry::WormTracer> worm_tracer_;
   telemetry::WormTracer* wtrace_ = nullptr;
+
+  // Streaming heartbeat monitor (telemetry/run_monitor.hpp, DESIGN.md
+  // §15), null-gated.  hb_next_ is the next cadence boundary to emit at;
+  // the event-driven clock jumps, so one emission may cover several
+  // merged windows.
+  std::unique_ptr<telemetry::RunMonitor> run_monitor_;
+  telemetry::RunMonitor* monitor_ = nullptr;
+  std::uint64_t hb_interval_ = 0;
+  std::uint64_t hb_next_ = 0;
+  std::vector<std::vector<std::pair<topology::LaneId, topology::LaneId>>>
+      hb_stage_intervals_;
+  std::uint64_t delivered_flits_total_ = 0;
 
   SimResult result_;
 };

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace wormsim::telemetry {
 
@@ -29,6 +30,29 @@ struct TelemetryConfig {
   /// WORMSIM_TRACE=1.  Memory scales with messages injected; intended for
   /// single figure points, not full sweeps.
   bool worm_trace = false;
+
+  /// Streaming run heartbeats (telemetry/run_monitor.hpp, DESIGN.md §15):
+  /// every `heartbeat_cycles` cycles the engine appends one NDJSON
+  /// snapshot line (cycle, wall time, cycles/sec, flit counters, worms in
+  /// flight, per-stage occupancy, drain progress) to
+  /// `<heartbeat_dir>/<heartbeat_tag>.ndjson` and atomically rewrites
+  /// `<heartbeat_dir>/<heartbeat_tag>.status.json` for cheap polling.
+  /// 0 disables; also enabled by WORMSIM_HEARTBEAT=<cycles> (+
+  /// WORMSIM_HEARTBEAT_DIR).  Zero-feedback: golden digests are bitwise
+  /// unchanged with heartbeats on.
+  std::uint64_t heartbeat_cycles = 0;
+  std::string heartbeat_dir;
+  /// Stream file basename; sweeps derive one per point from the series
+  /// label + offered load when empty ("run" for standalone engines).
+  std::string heartbeat_tag;
+
+  /// Engine phase self-profiler (telemetry/profiler.hpp): attributes the
+  /// run's wall time to the step() phases (arrivals, routing, advance
+  /// decide/apply, flow control, fault transitions, telemetry, validate)
+  /// and surfaces them in the RunManifest and `telemetry_report
+  /// --profile`.  Also enabled by WORMSIM_PROFILE=1.  Zero-feedback like
+  /// the heartbeats; costs a few steady_clock reads per cycle when on.
+  bool profile = false;
 
   bool enabled() const { return counters || sampling || worm_trace; }
 };

@@ -27,6 +27,7 @@ JsonValue manifest_to_json(const RunManifest& manifest) {
   json.set("simulated_cycles", manifest.simulated_cycles);
   json.set("wall_seconds", manifest.wall_seconds);
   json.set("cycles_per_second", manifest.cycles_per_second());
+  json.set("peak_rss_mib", manifest.peak_rss_mib);
   if (manifest.pool_threads > 0) {
     JsonValue pool = JsonValue::object();
     pool.set("threads", static_cast<std::uint64_t>(manifest.pool_threads));
@@ -49,6 +50,19 @@ JsonValue manifest_to_json(const RunManifest& manifest) {
     engine.set("domain_busy_seconds", std::move(per_domain));
     engine.set("busy_seconds", total_busy);
     json.set("engine", std::move(engine));
+  }
+  if (manifest.profile.enabled) {
+    JsonValue profile = JsonValue::object();
+    JsonValue phases = JsonValue::object();
+    for (std::size_t i = 0; i < kEnginePhaseCount; ++i) {
+      phases.set(engine_phase_name(static_cast<EnginePhase>(i)),
+                 manifest.profile.seconds[i]);
+    }
+    profile.set("phase_seconds", std::move(phases));
+    profile.set("attributed_seconds", manifest.profile.attributed_seconds());
+    profile.set("engine_wall_seconds", manifest.profile.total_seconds);
+    profile.set("coverage", manifest.profile.coverage());
+    json.set("profile", std::move(profile));
   }
   if (manifest.cache_used) {
     JsonValue cache = JsonValue::object();

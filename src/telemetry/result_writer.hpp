@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "telemetry/json.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace wormsim::telemetry {
 
@@ -43,6 +44,11 @@ struct RunManifest {
                : 0.0;
   }
 
+  /// Peak resident set size of the producing process in MiB
+  /// (util::peak_rss_mib(), sampled at manifest-build time); 0 when the
+  /// platform exposes neither /proc/self/status nor getrusage.
+  double peak_rss_mib = 0.0;
+
   // Point-pool execution stats (experiment/scheduler.hpp).  pool_threads
   // == 0 means the run didn't go through the pool; the "pool" object is
   // then omitted from the JSON (additive schema change, no version bump).
@@ -65,6 +71,11 @@ struct RunManifest {
   // the "pool" object, which counts workers ACROSS points.
   unsigned engine_threads = 0;
   std::vector<double> engine_domain_busy_seconds;
+
+  // Engine phase attribution (telemetry/profiler.hpp), emitted as a
+  // "profile" object only when profile.enabled (SimConfig::telemetry
+  // .profile / WORMSIM_PROFILE=1) — additive, no version bump.
+  PhaseProfile profile;
 
   // Result-cache counters (experiment/cache.hpp), emitted as a "cache"
   // object only when a cache was attached to the run.

@@ -1,0 +1,54 @@
+#include "util/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define WORMSIM_HAVE_GETRUSAGE 1
+#endif
+
+namespace wormsim::util {
+
+namespace {
+
+/// VmHWM ("high water mark") from /proc/self/status, in kB; -1.0 when
+/// the file or the field is unavailable (non-Linux).
+double proc_peak_rss_kb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return -1.0;
+  char line[256];
+  double kb = -1.0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      long value = 0;
+      if (std::sscanf(line + 6, "%ld", &value) == 1) {
+        kb = static_cast<double>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb;
+}
+
+}  // namespace
+
+double peak_rss_mib() {
+  const double kb = proc_peak_rss_kb();
+  if (kb >= 0.0) return kb / 1024.0;
+#if WORMSIM_HAVE_GETRUSAGE
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace wormsim::util

@@ -1,0 +1,12 @@
+// Process resource introspection.
+#pragma once
+
+namespace wormsim::util {
+
+/// Peak resident set size of the calling process in MiB.  Reads VmHWM
+/// from /proc/self/status (Linux, kB granularity); falls back to
+/// getrusage(RUSAGE_SELF).ru_maxrss elsewhere.  Returns 0.0 when neither
+/// source is available.
+double peak_rss_mib();
+
+}  // namespace wormsim::util

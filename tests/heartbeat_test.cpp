@@ -1,0 +1,395 @@
+// Streaming observability tests (DESIGN.md §15).
+//
+// The contract under test: heartbeats are a pure tap.  With
+// TelemetryConfig::heartbeat_cycles > 0 both engines append NDJSON
+// snapshots on an exact cycle cadence and atomically rewrite a status
+// document, every emitted field except the three wall-clock keys is
+// deterministic, and the simulation results are bitwise identical to a
+// heartbeat-free run — the same zero-feedback rule the telemetry
+// counters and the worm tracer already obey.  The phase profiler rides
+// the same null-gated pattern and must attribute nearly all of the
+// engine's wall time.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "sim/store_forward.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_monitor.hpp"
+#include "topology/network.hpp"
+#include "traffic/workload.hpp"
+#include "util/resource.hpp"
+
+namespace wormsim::sim {
+namespace {
+
+topology::NetworkConfig small_network(
+    topology::NetworkKind kind = topology::NetworkKind::kTMIN) {
+  topology::NetworkConfig config;
+  config.kind = kind;
+  config.topology = "cube";
+  config.radix = 2;
+  config.stages = 3;
+  config.dilation = 2;
+  config.vcs = 2;
+  return config;
+}
+
+traffic::WorkloadSpec workload_at(double offered) {
+  traffic::WorkloadSpec workload;
+  workload.offered = offered;
+  workload.length = traffic::LengthSpec::uniform(4, 64);
+  return workload;
+}
+
+SimConfig base_config() {
+  SimConfig config;
+  config.seed = 7;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 4'000;
+  config.drain_cycles = 1'500;
+  return config;
+}
+
+SimResult run_wormhole(const SimConfig& config, double offered = 0.45,
+                       topology::NetworkKind kind =
+                           topology::NetworkKind::kTMIN) {
+  const topology::Network net = topology::build_network(small_network(kind));
+  const auto router = routing::make_router(net);
+  traffic::StandardTraffic traffic(net, workload_at(offered));
+  Engine engine(net, *router, &traffic, config);
+  return engine.run();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Strips the trailing wall-clock keys; the monitor emits them last on
+/// every line type, so the prefix is the deterministic payload.
+std::string deterministic_prefix(const std::string& line) {
+  const std::size_t pos = line.find(",\"wall_seconds\":");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+telemetry::JsonValue parse_line(const std::string& line) {
+  std::string error;
+  telemetry::JsonValue doc = telemetry::JsonValue::parse(line, &error);
+  EXPECT_TRUE(error.empty()) << error << " in: " << line;
+  return doc;
+}
+
+// ---- Determinism ---------------------------------------------------------
+
+// Two identically-seeded runs must produce byte-identical streams once
+// the three wall-clock keys are stripped — the contract watchers and the
+// CI schema check rely on.
+TEST(Heartbeat, StreamDeterministicModuloWallClock) {
+  std::vector<std::vector<std::string>> streams;
+  for (int rep = 0; rep < 2; ++rep) {
+    SimConfig config = base_config();
+    config.telemetry.heartbeat_cycles = 512;
+    config.telemetry.heartbeat_dir =
+        testing::TempDir() + "hb_determinism_" + std::to_string(rep);
+    config.telemetry.heartbeat_tag = "case";
+    run_wormhole(config);
+    streams.push_back(read_lines(config.telemetry.heartbeat_dir +
+                                 "/case.ndjson"));
+  }
+  ASSERT_EQ(streams[0].size(), streams[1].size());
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    EXPECT_EQ(deterministic_prefix(streams[0][i]),
+              deterministic_prefix(streams[1][i]))
+        << "line " << i;
+  }
+}
+
+// ---- Cadence -------------------------------------------------------------
+
+// Exact-cadence boundary behavior: one heartbeat per full window, plus a
+// final partial window when the run length is not a multiple of the
+// cadence; none when it divides evenly.
+TEST(Heartbeat, ExactCadenceAndFinalPartialWindow) {
+  struct Case {
+    std::uint64_t cadence;
+    std::uint64_t expected_heartbeats;  // total cycles = 6000
+  };
+  // 6000 = 500 + 4000 + 1500.  1500 divides it; 701 leaves a 396-cycle
+  // partial window the monitor must still emit.
+  const Case cases[] = {{1500, 4}, {701, 9}};
+  for (const Case& c : cases) {
+    SimConfig config = base_config();
+    config.telemetry.heartbeat_cycles = c.cadence;
+    config.telemetry.heartbeat_dir = testing::TempDir() + "hb_cadence_" +
+                                     std::to_string(c.cadence);
+    config.telemetry.heartbeat_tag = "case";
+    run_wormhole(config);
+    const std::vector<std::string> lines =
+        read_lines(config.telemetry.heartbeat_dir + "/case.ndjson");
+    ASSERT_GE(lines.size(), 3u);
+    EXPECT_EQ(parse_line(lines.front()).at("type").as_string(), "start");
+    EXPECT_EQ(parse_line(lines.back()).at("type").as_string(), "final");
+    std::uint64_t heartbeats = 0;
+    std::uint64_t previous_cycle = 0;
+    for (const std::string& line : lines) {
+      const telemetry::JsonValue doc = parse_line(line);
+      if (doc.at("type").as_string() != "heartbeat") continue;
+      ++heartbeats;
+      const std::uint64_t cycle = doc.at("cycle").as_uint();
+      EXPECT_GT(cycle, previous_cycle);
+      // Every full window lands exactly on the cadence grid; only the
+      // last (partial) window may not.
+      if (heartbeats * c.cadence <= 6'000) {
+        EXPECT_EQ(cycle, heartbeats * c.cadence);
+      } else {
+        EXPECT_EQ(cycle, 6'000u);
+      }
+      previous_cycle = cycle;
+    }
+    EXPECT_EQ(heartbeats, c.expected_heartbeats) << "cadence " << c.cadence;
+    EXPECT_EQ(previous_cycle, 6'000u);
+    EXPECT_EQ(parse_line(lines.back()).at("cycle").as_uint(), 6'000u);
+  }
+}
+
+// ---- Zero feedback -------------------------------------------------------
+
+// FNV-1a over the exact bit patterns of the result fields the golden
+// suite pins (tests/golden_test.cpp); heartbeats on must not move it.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (i * 8));
+      h *= 1099511628211ULL;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void stats(const util::OnlineStats& s) {
+    u64(s.count());
+    f64(s.mean());
+    f64(s.variance());
+    f64(s.min());
+    f64(s.max());
+  }
+};
+
+std::uint64_t digest(const SimResult& r) {
+  Fnv f;
+  f.stats(r.latency_cycles);
+  f.stats(r.network_latency_cycles);
+  f.stats(r.queueing_cycles);
+  f.u64(r.latency_histogram.total());
+  for (std::size_t i = 0; i <= r.latency_histogram.bin_count(); ++i) {
+    f.u64(r.latency_histogram.bin(i));
+  }
+  f.u64(r.delivered_flits_in_window);
+  f.u64(r.generated_messages_in_window);
+  f.u64(r.generated_flits_in_window);
+  f.u64(r.delivered_messages_total);
+  f.u64(r.dropped_messages);
+  f.u64(r.max_source_queue);
+  f.u64(r.measured_messages_unfinished);
+  for (std::uint64_t busy : r.channel_busy_cycles) f.u64(busy);
+  return f.h;
+}
+
+TEST(Heartbeat, ResultsBitwiseIdenticalWithHeartbeatsOn) {
+  const topology::NetworkKind kinds[] = {
+      topology::NetworkKind::kTMIN, topology::NetworkKind::kDMIN,
+      topology::NetworkKind::kVMIN, topology::NetworkKind::kBMIN};
+  for (topology::NetworkKind kind : kinds) {
+    SCOPED_TRACE(topology::to_string(kind));
+    const SimResult off = run_wormhole(base_config(), 0.45, kind);
+    SimConfig on_config = base_config();
+    on_config.telemetry.heartbeat_cycles = 256;
+    on_config.telemetry.heartbeat_dir =
+        testing::TempDir() + "hb_feedback_" +
+        std::string(topology::to_string(kind));
+    const SimResult on = run_wormhole(on_config, 0.45, kind);
+    EXPECT_EQ(digest(off), digest(on));
+  }
+}
+
+// ---- Status document -----------------------------------------------------
+
+TEST(Heartbeat, StatusFileReachesTerminalState) {
+  SimConfig config = base_config();
+  config.telemetry.heartbeat_cycles = 1'000;
+  config.telemetry.heartbeat_dir = testing::TempDir() + "hb_status";
+  config.telemetry.heartbeat_tag = "case";
+  const SimResult result = run_wormhole(config);
+  std::ifstream in(config.telemetry.heartbeat_dir + "/case.status.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const telemetry::JsonValue doc = parse_line(buffer.str());
+  EXPECT_TRUE(doc.at("finished").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("progress").as_number(), 1.0);
+  EXPECT_EQ(doc.at("cycle").as_uint(), 6'000u);
+  EXPECT_EQ(doc.at("engine").as_string(), "wormhole");
+  EXPECT_EQ(doc.at("messages_delivered").as_uint(),
+            result.delivered_messages_total);
+  // No temp file left behind by the atomic rewrite.
+  EXPECT_FALSE(std::ifstream(config.telemetry.heartbeat_dir +
+                             "/case.status.json.tmp")
+                   .good());
+}
+
+// ---- Onset detection -----------------------------------------------------
+
+TEST(Heartbeat, SaturationOnsetFlagsOverloadedRun) {
+  // Saturating load on the blocking TMIN: injection outruns acceptance
+  // well inside the measurement window.
+  SimConfig config = base_config();
+  config.telemetry.heartbeat_cycles = 256;
+  config.telemetry.heartbeat_dir = testing::TempDir() + "hb_onset_sat";
+  config.sustainable_queue_limit =
+      std::numeric_limits<std::uint64_t>::max();
+  const SimResult saturated = run_wormhole(config, 1.0);
+  EXPECT_NE(saturated.saturation_onset_cycle, telemetry::kNoOnset);
+  EXPECT_LE(saturated.saturation_onset_cycle,
+            config.warmup_cycles + config.measure_cycles);
+  EXPECT_EQ(saturated.fault_onset_cycle, telemetry::kNoOnset);
+
+  // A light load on the same network never trips the detector.
+  SimConfig light = base_config();
+  light.telemetry.heartbeat_cycles = 256;
+  light.telemetry.heartbeat_dir = testing::TempDir() + "hb_onset_light";
+  const SimResult ok = run_wormhole(light, 0.10);
+  EXPECT_EQ(ok.saturation_onset_cycle, telemetry::kNoOnset);
+  EXPECT_EQ(ok.fault_onset_cycle, telemetry::kNoOnset);
+}
+
+TEST(Heartbeat, FaultOnsetFollowsFaultPlan) {
+  SimConfig config = base_config();
+  config.telemetry.heartbeat_cycles = 256;
+  config.telemetry.heartbeat_dir = testing::TempDir() + "hb_onset_fault";
+  config.fault_fraction = 0.25;
+  config.fault_seed = 3;
+  config.fault_at_cycle = 2'000;
+  const SimResult result = run_wormhole(config, 0.45);
+  ASSERT_GT(result.terminated_messages, 0u);
+  ASSERT_NE(result.fault_onset_cycle, telemetry::kNoOnset);
+  // Terminations cannot precede the kill; the detector works on window
+  // boundaries, so the onset lands at the first boundary at or after it.
+  EXPECT_GT(result.fault_onset_cycle, config.fault_at_cycle);
+  // The stream carries the kill transition as its own event line.
+  const std::vector<std::string> lines =
+      read_lines(config.telemetry.heartbeat_dir + "/run.ndjson");
+  bool saw_kill = false;
+  for (const std::string& line : lines) {
+    const telemetry::JsonValue doc = parse_line(line);
+    if (doc.at("type").as_string() == "fault") {
+      EXPECT_EQ(doc.at("transition").as_string(), "kill");
+      EXPECT_EQ(doc.at("cycle").as_uint(), config.fault_at_cycle);
+      saw_kill = true;
+    }
+  }
+  EXPECT_TRUE(saw_kill);
+}
+
+// ---- Store-and-forward engine --------------------------------------------
+
+TEST(Heartbeat, StoreForwardEmitsStream) {
+  const topology::Network net = topology::build_network(small_network());
+  const auto router = routing::make_router(net);
+  traffic::StandardTraffic traffic(net, workload_at(0.45));
+  StoreForwardConfig config;
+  config.seed = 7;
+  config.buffer_packets = 2;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 4'000;
+  config.drain_cycles = 1'500;
+  config.telemetry.heartbeat_cycles = 701;
+  config.telemetry.heartbeat_dir = testing::TempDir() + "hb_sf";
+  config.telemetry.heartbeat_tag = "sf";
+  StoreForwardEngine engine(net, *router, &traffic, config);
+  const SimResult result = engine.run();
+  const std::vector<std::string> lines =
+      read_lines(config.telemetry.heartbeat_dir + "/sf.ndjson");
+  ASSERT_GE(lines.size(), 3u);
+  const telemetry::JsonValue start = parse_line(lines.front());
+  EXPECT_EQ(start.at("type").as_string(), "start");
+  EXPECT_EQ(start.at("engine").as_string(), "store_forward");
+  std::uint64_t heartbeats = 0;
+  std::uint64_t previous_cycle = 0;
+  for (const std::string& line : lines) {
+    const telemetry::JsonValue doc = parse_line(line);
+    if (doc.at("type").as_string() != "heartbeat") continue;
+    ++heartbeats;
+    const std::uint64_t cycle = doc.at("cycle").as_uint();
+    EXPECT_GT(cycle, previous_cycle);
+    previous_cycle = cycle;
+  }
+  EXPECT_GE(heartbeats, 1u);
+  const telemetry::JsonValue final_line = parse_line(lines.back());
+  EXPECT_EQ(final_line.at("type").as_string(), "final");
+  EXPECT_EQ(final_line.at("messages_delivered").as_uint(),
+            result.delivered_messages_total);
+}
+
+// ---- Phase profiler ------------------------------------------------------
+
+TEST(Heartbeat, ProfilerOffByDefaultOnWhenAsked) {
+  const SimResult off = run_wormhole(base_config());
+  EXPECT_FALSE(off.phase_profile.enabled);
+
+  SimConfig config = base_config();
+  config.telemetry.profile = true;
+  const SimResult on = run_wormhole(config);
+  ASSERT_TRUE(on.phase_profile.enabled);
+  EXPECT_GT(on.phase_profile.total_seconds, 0.0);
+  EXPECT_GT(on.phase_profile.attributed_seconds(), 0.0);
+  // The buckets can never exceed the wall they partition (small slack
+  // for clock granularity), and on any real run they cover most of it.
+  EXPECT_LE(on.phase_profile.attributed_seconds(),
+            on.phase_profile.total_seconds * 1.02);
+  EXPECT_GE(on.phase_profile.coverage(), 0.80);
+  // Every per-cycle phase the sequential engine runs must have ticked.
+  using telemetry::EnginePhase;
+  for (EnginePhase phase :
+       {EnginePhase::kArrivals, EnginePhase::kStartTx, EnginePhase::kRouting,
+        EnginePhase::kAdvance, EnginePhase::kTelemetry}) {
+    EXPECT_GT(on.phase_profile.seconds[static_cast<std::size_t>(phase)], 0.0)
+        << telemetry::engine_phase_name(phase);
+  }
+}
+
+TEST(Heartbeat, ProfilerIsZeroFeedback) {
+  const SimResult off = run_wormhole(base_config());
+  SimConfig config = base_config();
+  config.telemetry.profile = true;
+  const SimResult on = run_wormhole(config);
+  EXPECT_EQ(digest(off), digest(on));
+}
+
+// ---- Peak RSS helper -----------------------------------------------------
+
+TEST(Heartbeat, PeakRssHelperReportsPlausibleValue) {
+  const double rss = util::peak_rss_mib();
+  // Any live test process is megabytes big; the helper only returns 0
+  // on platforms with neither /proc nor getrusage.
+  EXPECT_GT(rss, 1.0);
+  EXPECT_LT(rss, 1024.0 * 1024.0);
+}
+
+}  // namespace
+}  // namespace wormsim::sim
